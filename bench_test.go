@@ -1,0 +1,163 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper (the regenerators of DESIGN.md's experiment index), plus
+// micro-benchmarks of the hot building blocks. Run with
+//
+//	go test -bench=. -benchmem
+package vrldram_test
+
+import (
+	"testing"
+
+	"vrldram/internal/circuit/analytic"
+	"vrldram/internal/circuit/netlists"
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/exp"
+	"vrldram/internal/retention"
+	"vrldram/internal/sim"
+	"vrldram/internal/trace"
+)
+
+// fastCfg shortens the trace-driven experiments so the full benchmark sweep
+// stays tractable; the paper-default window is exercised by the tests.
+func fastCfg() exp.Config {
+	cfg := exp.Default()
+	cfg.Duration = 0.256
+	return cfg
+}
+
+func benchExperiment(b *testing.B, run exp.Runner, cfg exp.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- One benchmark per paper artifact -------------------------------------------
+
+func BenchmarkFigure1a(b *testing.B) { benchExperiment(b, exp.Figure1a, exp.Default()) }
+func BenchmarkFigure1b(b *testing.B) { benchExperiment(b, exp.Figure1b, exp.Default()) }
+func BenchmarkFigure3a(b *testing.B) { benchExperiment(b, exp.Figure3a, exp.Default()) }
+func BenchmarkFigure3b(b *testing.B) { benchExperiment(b, exp.Figure3b, exp.Default()) }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, exp.Figure4, fastCfg()) }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, exp.Figure5, exp.Default()) }
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, exp.Table1, exp.Default()) }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, exp.Table2, exp.Default()) }
+func BenchmarkPower(b *testing.B)    { benchExperiment(b, exp.PowerComparison, fastCfg()) }
+func BenchmarkTauPartialSweep(b *testing.B) {
+	benchExperiment(b, exp.TauPartialSweep, fastCfg())
+}
+func BenchmarkPerfImpact(b *testing.B) { benchExperiment(b, exp.PerfImpact, fastCfg()) }
+
+// --- Ablation benches (DESIGN.md Section 8) ---------------------------------------
+
+func BenchmarkAblationGuardband(b *testing.B) { benchExperiment(b, exp.GuardbandSweep, fastCfg()) }
+func BenchmarkAblationNBits(b *testing.B)     { benchExperiment(b, exp.NBitsSweep, fastCfg()) }
+func BenchmarkAblationDecay(b *testing.B)     { benchExperiment(b, exp.DecaySweep, fastCfg()) }
+func BenchmarkAblationCoverage(b *testing.B)  { benchExperiment(b, exp.CoverageSweep, fastCfg()) }
+func BenchmarkAblationVRT(b *testing.B)       { benchExperiment(b, exp.VRTImpact, fastCfg()) }
+func BenchmarkAblationTemperature(b *testing.B) {
+	benchExperiment(b, exp.TemperatureSweep, fastCfg())
+}
+func BenchmarkAblationDensity(b *testing.B) { benchExperiment(b, exp.DensitySweep, fastCfg()) }
+func BenchmarkAblationRank(b *testing.B)    { benchExperiment(b, exp.RankSweep, fastCfg()) }
+func BenchmarkAblationElastic(b *testing.B) { benchExperiment(b, exp.ElasticSweep, fastCfg()) }
+func BenchmarkAblationRankPerf(b *testing.B) {
+	benchExperiment(b, exp.RankPerfSweep, fastCfg())
+}
+func BenchmarkAblationMargin(b *testing.B) { benchExperiment(b, exp.SenseMarginSweep, fastCfg()) }
+func BenchmarkAblationSALP(b *testing.B)   { benchExperiment(b, exp.SALPSweep, fastCfg()) }
+
+// --- Micro-benchmarks of the building blocks --------------------------------------
+
+// BenchmarkAnalyticTauPre measures the closed-form model query of Table 1's
+// "Our Model" wall-clock column.
+func BenchmarkAnalyticTauPre(b *testing.B) {
+	m := analytic.MustNew(device.Default90nm(), device.PaperBank)
+	for i := 0; i < b.N; i++ {
+		_ = m.TauPre(analytic.PreSenseTargetDefault)
+	}
+}
+
+// BenchmarkSpicePreSense measures the transient-simulation counterpart of
+// Table 1's SPICE column (smallest configuration).
+func BenchmarkSpicePreSense(b *testing.B) {
+	p := device.Default90nm()
+	g := device.BankGeometry{Rows: 2048, Cols: 32}
+	for i := 0; i < b.N; i++ {
+		if _, err := netlists.MeasurePreSense(p, g, "ones", 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputeMPRSF measures the per-row mechanism cost.
+func BenchmarkComputeMPRSF(b *testing.B) {
+	rm, err := core.PaperRestoreModel(device.Default90nm(), device.PaperBank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	decay := retention.ExpDecay{}
+	for i := 0; i < b.N; i++ {
+		_ = core.ComputeMPRSF(1.5, 0.256, rm, decay, core.ChargeGuardband, 3)
+	}
+}
+
+// BenchmarkSimRefreshOnly measures a refresh-only VRL run over one bin
+// hyperperiod on the paper bank.
+func BenchmarkSimRefreshOnly(b *testing.B) {
+	p := device.Default90nm()
+	prof, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, device.PaperBank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := core.NewVRL(prof, core.Config{Restore: rm})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bank, err := dram.NewBank(prof, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(bank, sched, nil, sim.Options{Duration: 0.768, TCK: p.TCK}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthesizing one benchmark's trace.
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, err := trace.FindBenchmark("streamcluster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Generate(device.PaperBank.Rows, 0.256, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileConstruction measures building the paper's retention
+// profile.
+func BenchmarkProfileConstruction(b *testing.B) {
+	dist := retention.DefaultCellDistribution()
+	for i := 0; i < b.N; i++ {
+		if _, err := retention.NewPaperProfile(dist, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command vrlexp regenerates the tables and figures of the VRL-DRAM paper.
+//
+// Usage:
+//
+//	vrlexp -list
+//	vrlexp -exp fig4
+//	vrlexp -exp all -seed 7 -duration 0.768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrldram"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed     = flag.Int64("seed", 0, "override the deterministic seed (0 = paper default)")
+		duration = flag.Float64("duration", 0, "override the simulation window in seconds (0 = paper default)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		format   = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range vrldram.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = ids[:0]
+		for _, e := range vrldram.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		var err error
+		switch *format {
+		case "table":
+			err = vrldram.RunExperimentSeeded(id, os.Stdout, *seed, *duration)
+		case "csv":
+			err = vrldram.RunExperimentCSV(id, os.Stdout, *seed, *duration)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vrlexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

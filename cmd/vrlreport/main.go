@@ -1,0 +1,56 @@
+// Command vrlreport runs every experiment of the reproduction and emits a
+// Markdown report of the regenerated tables and figures - the generator
+// behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vrlreport > report.md
+//	vrlreport -seed 7 -duration 0.768 -o report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrldram/internal/exp"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 0, "override the deterministic seed (0 = paper default)")
+		duration = flag.Float64("duration", 0, "override the simulation window in seconds (0 = paper default)")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *duration != 0 {
+		cfg.Duration = *duration
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := exp.WriteMarkdownReport(w, cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vrlreport: %v\n", err)
+	os.Exit(1)
+}

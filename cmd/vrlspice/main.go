@@ -1,0 +1,146 @@
+// Command vrlspice drives the mini-SPICE engine directly: build one of the
+// paper's reference netlists (or parse a deck), run a transient analysis,
+// and dump waveforms as CSV or the netlist as a SPICE deck.
+//
+// Usage:
+//
+//	vrlspice -ckt equalization -tstop 2n -csv eq.csv
+//	vrlspice -ckt chargeshare -rows 8192 -cols 32 -probe bl0,sa0
+//	vrlspice -ckt senseamp -deck senseamp.sp
+//	vrlspice -parse mydeck.sp -tstop 50n -probe out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vrldram/internal/circuit/netlists"
+	"vrldram/internal/circuit/spice"
+	"vrldram/internal/device"
+)
+
+func main() {
+	var (
+		cktName = flag.String("ckt", "equalization", "netlist: equalization, chargeshare, senseamp")
+		parse   = flag.String("parse", "", "parse a SPICE deck file instead of a built-in netlist")
+		rows    = flag.Int("rows", device.PaperBank.Rows, "bank rows (chargeshare)")
+		cols    = flag.Int("cols", device.PaperBank.Cols, "bank columns (chargeshare)")
+		pattern = flag.String("pattern", "ones", "cell data pattern (chargeshare)")
+		tstop   = flag.String("tstop", "2n", "transient end time (SPICE units)")
+		step    = flag.String("step", "", "time step (default tstop/2000)")
+		probes  = flag.String("probe", "", "comma-separated probe nodes (default per netlist)")
+		trap    = flag.Bool("trap", false, "use trapezoidal integration")
+		csvOut  = flag.String("csv", "", "write waveforms as CSV to this file (default stdout)")
+		deckOut = flag.String("deck", "", "export the netlist as a SPICE deck and exit")
+	)
+	flag.Parse()
+
+	p := device.Default90nm()
+	var ckt *spice.Circuit
+	var defaultProbes []string
+	switch {
+	case *parse != "":
+		f, err := os.Open(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		var notes []string
+		ckt, notes, err = spice.ParseDeck(f)
+		cerr := f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cerr != nil {
+			fatal(cerr)
+		}
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "vrlspice: note: %s\n", n)
+		}
+	case *cktName == "equalization":
+		ckt = netlists.Equalization(p)
+		defaultProbes = []string{"bl", "blb"}
+	case *cktName == "chargeshare":
+		var err error
+		ckt, err = netlists.ChargeSharing(p, netlists.ChargeSharingOpts{
+			Geom:    device.BankGeometry{Rows: *rows, Cols: *cols},
+			Pattern: *pattern,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defaultProbes = []string{netlists.BitlineName(0), netlists.SenseNodeName(0)}
+	case *cktName == "senseamp":
+		ckt = netlists.SenseAmp(p, 0.14, 0.55*p.Vdd)
+		defaultProbes = []string{"ox", "oy", "cell"}
+	default:
+		fatal(fmt.Errorf("unknown netlist %q", *cktName))
+	}
+
+	if *deckOut != "" {
+		f, err := os.Create(*deckOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ckt.ExportDeck(f, *cktName+" netlist"); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vrlspice: wrote %s\n", *deckOut)
+		return
+	}
+
+	ts, err := spice.ParseValue(*tstop)
+	if err != nil {
+		fatal(fmt.Errorf("bad -tstop: %v", err))
+	}
+	h := ts / 2000
+	if *step != "" {
+		if h, err = spice.ParseValue(*step); err != nil {
+			fatal(fmt.Errorf("bad -step: %v", err))
+		}
+	}
+	probeList := defaultProbes
+	if *probes != "" {
+		probeList = strings.Split(*probes, ",")
+	}
+	if len(probeList) == 0 {
+		fatal(fmt.Errorf("no probes; pass -probe node1,node2"))
+	}
+	if *trap {
+		if err := ckt.SetMethod(spice.Trapezoidal); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := ckt.Transient(spice.TransientOpts{TStop: ts, H: h, Probes: probeList})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "t_s,%s\n", strings.Join(probeList, ","))
+	for i, t := range res.Times {
+		fmt.Fprintf(w, "%.6e", t)
+		for _, pr := range probeList {
+			fmt.Fprintf(w, ",%.6e", res.Probes[pr][i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vrlspice: %v\n", err)
+	os.Exit(1)
+}

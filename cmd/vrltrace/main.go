@@ -1,0 +1,136 @@
+// Command vrltrace generates and inspects the synthetic memory traces the
+// evaluation uses.
+//
+// Usage:
+//
+//	vrltrace -list
+//	vrltrace -bench streamcluster -duration 0.768 -o sc.trc
+//	vrltrace -stats sc.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vrldram/internal/device"
+	"vrldram/internal/trace"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list benchmark names and exit")
+		bench    = flag.String("bench", "", "benchmark to generate")
+		rows     = flag.Int("rows", device.PaperBank.Rows, "bank rows")
+		duration = flag.Float64("duration", 0.768, "trace duration in seconds")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "text", "output format: text, binary, or gzip (binary+gzip)")
+		stats    = flag.String("stats", "", "analyze an existing trace file and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, b := range trace.PARSEC() {
+			fmt.Printf("%-14s footprint=%.0f%% sweep=%.0f%% hot=%d/%d-per-window write=%.0f%%\n",
+				b.Name, 100*b.FootprintFrac, 100*b.SweepFrac, b.HotRows, b.HotAccessesPerWindow, 100*b.WriteFrac)
+		}
+	case *stats != "":
+		f, err := os.Open(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := trace.OpenSource(f)
+		if err != nil {
+			fatal(err)
+		}
+		var recs []trace.Record
+		for {
+			r, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			recs = append(recs, r)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		end := 0.0
+		if len(recs) > 0 {
+			end = recs[len(recs)-1].Time
+		}
+		st := trace.Analyze(recs, *rows, end)
+		fmt.Printf("records:       %d (%d reads, %d writes)\n", st.Records, st.Reads, st.Writes)
+		fmt.Printf("unique rows:   %d of %d\n", st.UniqueRows, *rows)
+		fmt.Printf("mean coverage: %.1f%% of rows per 64 ms window\n", 100*st.MeanCoverage)
+	case *bench != "":
+		spec, err := trace.FindBenchmark(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := spec.Generate(*rows, *duration, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		switch *format {
+		case "text":
+			tw := trace.NewWriter(w)
+			tw.Comment(fmt.Sprintf("benchmark=%s rows=%d duration=%gs seed=%d", *bench, *rows, *duration, *seed))
+			for _, r := range recs {
+				if err := tw.Write(r); err != nil {
+					fatal(err)
+				}
+			}
+			if err := tw.Flush(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vrltrace: wrote %d records\n", tw.Count())
+		case "binary":
+			bw := trace.NewBinaryWriter(w)
+			for _, r := range recs {
+				if err := bw.Write(r); err != nil {
+					fatal(err)
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vrltrace: wrote %d binary records\n", bw.Count())
+		case "gzip":
+			cw := trace.NewCompressedWriter(w)
+			for _, r := range recs {
+				if err := cw.Write(r); err != nil {
+					fatal(err)
+				}
+			}
+			if err := cw.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vrltrace: wrote %d compressed records\n", cw.Count())
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vrltrace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Quickstart: build the paper's evaluation system, replay one workload, and
+// compare the refresh overhead of all four scheduling policies.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrldram"
+)
+
+func main() {
+	// The zero-value options reproduce the paper's setup: an 8192x32 bank at
+	// 90 nm with the calibrated retention profile and nbits=2 counters.
+	sys, err := vrldram.NewSystem(vrldram.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One hyperperiod of the RAIDR bins (LCM of 64/128/192/256 ms).
+	const duration = 0.768
+
+	// A memory-intensive workload: the Redis background-save trace.
+	accesses, err := sys.GenerateTrace("bgsave", duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d accesses of 'bgsave' over %.0f ms\n\n", len(accesses), duration*1000)
+
+	fmt.Printf("%-12s %10s %10s %12s %12s %6s\n",
+		"scheduler", "fulls", "partials", "busy cycles", "energy (uJ)", "viol")
+	var baseline int64
+	for _, kind := range vrldram.SchedulerKinds {
+		st, err := sys.Simulate(kind, accesses, duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if kind == vrldram.SchedRAIDR {
+			baseline = st.BusyCycles
+		}
+		fmt.Printf("%-12s %10d %10d %12d %12.2f %6d\n",
+			st.Scheduler, st.FullRefreshes, st.PartialRefreshes, st.BusyCycles,
+			st.RefreshEnergy*1e6, st.Violations)
+	}
+
+	st, err := sys.Simulate(vrldram.SchedVRLAccess, accesses, duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nVRL-Access spends %.1f%% fewer cycles refreshing than RAIDR (paper: ~34%% on average)\n",
+		100*(1-float64(st.BusyCycles)/float64(baseline)))
+
+	partial, full := sys.RefreshLatencies()
+	fmt.Printf("refresh latencies: partial %d cycles, full %d cycles (paper Section 3.1: 11 and 19)\n",
+		partial, full)
+}

@@ -1,0 +1,65 @@
+// Retention binning walkthrough: from a profiled bank to RAIDR refresh
+// periods to per-row MPRSF values - the pipeline behind the paper's
+// Figure 3b and Algorithm 1.
+//
+//	go run ./examples/retention_binning
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vrldram"
+)
+
+func main() {
+	sys, err := vrldram.NewSystem(vrldram.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: RAIDR bins the bank's rows by profiled retention time.
+	counts, err := sys.BinCounts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bins := make([]float64, 0, len(counts))
+	for b := range counts {
+		bins = append(bins, b)
+	}
+	sort.Float64s(bins)
+	fmt.Println("RAIDR refresh-period binning (paper Figure 3b):")
+	for _, b := range bins {
+		fmt.Printf("  %4.0f ms bin: %5d rows\n", b*1000, counts[b])
+	}
+
+	// Step 2: VRL-DRAM assigns each row an MPRSF - the number of low-latency
+	// partial refreshes it sustains between full refreshes.
+	hist, err := sys.MPRSFHistogram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMPRSF assignment (nbits = 2, so at most 3 partials):")
+	total := 0
+	for m, c := range hist {
+		fmt.Printf("  MPRSF = %d: %5d rows\n", m, c)
+		total += c
+	}
+	fmt.Printf("  total:     %5d rows\n", total)
+
+	// Step 3: what that buys - refresh-only overhead comparison.
+	const duration = 0.768
+	raidr, err := sys.Simulate(vrldram.SchedRAIDR, nil, duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vrl, err := sys.Simulate(vrldram.SchedVRL, nil, duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefresh overhead over %.0f ms: RAIDR %d cycles, VRL %d cycles (%.1f%% lower)\n",
+		duration*1000, raidr.BusyCycles, vrl.BusyCycles,
+		100*(1-float64(vrl.BusyCycles)/float64(raidr.BusyCycles)))
+	fmt.Printf("data-integrity violations: RAIDR %d, VRL %d\n", raidr.Violations, vrl.Violations)
+}

@@ -1,0 +1,75 @@
+// VRT mitigation: show why any static retention profile (the paper's
+// assumption) needs an online safety net, and that the AVATAR-style row
+// upgrade restores integrity.
+//
+//	go run ./examples/vrt_mitigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/retention"
+	"vrldram/internal/sim"
+)
+
+func main() {
+	params := device.Default90nm()
+	profile, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(params, device.PaperBank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := sim.Options{Duration: 0.768, TCK: params.TCK}
+	vrt := retention.DefaultVRT()
+
+	run := func(prof *retention.BankProfile, withVRT bool) (sim.Stats, []dram.Violation) {
+		sched, err := core.NewVRL(prof, core.Config{Restore: rm})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bank, err := dram.NewBank(prof, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if withVRT {
+			if err := bank.SetVRT(&vrt); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st, err := sim.Run(bank, sched, nil, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st, bank.Violations()
+	}
+
+	st0, _ := run(profile, false)
+	fmt.Printf("static world (no VRT):   %d violations\n", st0.Violations)
+
+	st1, viol := run(profile, true)
+	fmt.Printf("VRT, static profile:     %d violations across %d sensing events\n",
+		st1.Violations, st1.FullRefreshes+st1.PartialRefreshes)
+
+	caught := map[int]bool{}
+	for _, v := range viol {
+		caught[v.Row] = true
+	}
+	rows := make([]int, 0, len(caught))
+	for r := range caught {
+		rows = append(rows, r)
+	}
+	upgraded := core.UpgradeRows(profile, rows, retention.RAIDRBins[0])
+	st2, _ := run(upgraded, true)
+	fmt.Printf("VRT + AVATAR upgrade:    %d violations after upgrading %d rows to the 64 ms bin\n",
+		st2.Violations, len(rows))
+
+	fmt.Println("\nstatic retention-aware refresh needs online VRT mitigation;")
+	fmt.Println("the paper cites AVATAR (Qureshi et al., DSN 2015) for exactly this.")
+}

@@ -1,0 +1,125 @@
+package vrldram_test
+
+import (
+	"testing"
+
+	"vrldram"
+)
+
+func TestMemoryLatencyOrdering(t *testing.T) {
+	sys := newSystem(t)
+	const duration = 0.256
+	accesses, err := sys.GenerateTrace("bgsave", duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raidr, err := sys.MemoryLatency(vrldram.SchedRAIDR, accesses, duration, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrl, err := sys.MemoryLatency(vrldram.SchedVRL, accesses, duration, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raidr.Requests == 0 || raidr.Requests != vrl.Requests {
+		t.Fatalf("request accounting: %d vs %d", raidr.Requests, vrl.Requests)
+	}
+	if vrl.RefreshBusyCycles >= raidr.RefreshBusyCycles {
+		t.Fatalf("VRL busy %d !< RAIDR %d", vrl.RefreshBusyCycles, raidr.RefreshBusyCycles)
+	}
+	if vrl.AvgLatency > raidr.AvgLatency {
+		t.Fatalf("VRL avg latency %.3f worse than RAIDR %.3f", vrl.AvgLatency, raidr.AvgLatency)
+	}
+	if raidr.Violations+vrl.Violations != 0 {
+		t.Fatal("violations in safe configurations")
+	}
+	// Elastic slack is accepted and postpones nothing on a sparse trace
+	// without breaking anything.
+	elastic, err := sys.MemoryLatency(vrldram.SchedVRL, accesses, duration, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elastic.Violations != 0 {
+		t.Fatal("elastic run violated")
+	}
+	if _, err := sys.MemoryLatency("bogus", nil, duration, 0); err == nil {
+		t.Fatal("unknown scheduler must error")
+	}
+	if _, err := sys.MemoryLatency(vrldram.SchedVRL, nil, duration, 0.9); err == nil {
+		t.Fatal("absurd slack must error")
+	}
+}
+
+func TestProfileChip(t *testing.T) {
+	rep, err := vrldram.ProfileChip(512, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds == 0 {
+		t.Fatal("no rounds executed")
+	}
+	total := 0
+	for _, c := range rep.BinCounts {
+		total += c
+	}
+	if total != 512 {
+		t.Fatalf("binned %d rows, want 512", total)
+	}
+	if !(rep.MinMS >= 64 && rep.MinMS <= rep.MedianMS && rep.MedianMS <= rep.MaxMS) {
+		t.Fatalf("summary ordering wrong: %+v", rep)
+	}
+	if _, err := vrldram.ProfileChip(0, 32, 7); err == nil {
+		t.Fatal("bad geometry must error")
+	}
+}
+
+func TestSimulateWithVRT(t *testing.T) {
+	sys := newSystem(t)
+	raw, err := sys.SimulateWithVRT(0.768, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Violations == 0 {
+		t.Fatal("VRT against a static profile should violate")
+	}
+	if raw.CorrectedErrors != 0 || raw.RowsUpgraded != 0 {
+		t.Fatal("unmitigated run must not classify or upgrade")
+	}
+	mit, err := sys.SimulateWithVRT(0.768, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mit.CorrectedErrors == 0 || mit.RowsUpgraded == 0 {
+		t.Fatal("mitigated run should correct and upgrade")
+	}
+}
+
+func TestAtTemperature(t *testing.T) {
+	sys := newSystem(t)
+	// Cooler than the profiling temperature: safe.
+	cool := sys.AtTemperature(45)
+	st, err := cool.Simulate(vrldram.SchedVRL, nil, 0.256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("cool operation violated: %d", st.Violations)
+	}
+	// Hotter: the static profile loses data.
+	hot := sys.AtTemperature(95)
+	st, err = hot.Simulate(vrldram.SchedVRL, nil, 0.256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations == 0 {
+		t.Fatal("above-rated temperature should violate with a static profile")
+	}
+	// The original system is untouched.
+	st, err = sys.Simulate(vrldram.SchedVRL, nil, 0.256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatal("AtTemperature mutated the original system")
+	}
+}

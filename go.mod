@@ -1,0 +1,3 @@
+module vrldram
+
+go 1.22

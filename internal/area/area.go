@@ -1,0 +1,84 @@
+// Package area models the silicon cost of VRL-DRAM's per-bank control logic
+// at the 90 nm node, reproducing the paper's Table 2: the mprsf/rcount
+// counter pair, the comparator, and the refresh-latency mux, synthesized per
+// bank.
+//
+// The model is a linear fit in the counter width nbits through the paper's
+// three published points (105 / 152 / 200 um^2 at nbits = 2 / 3 / 4) plus a
+// bank-area model that reproduces the published percentages for the 8192x32
+// evaluation bank.
+package area
+
+import (
+	"fmt"
+
+	"vrldram/internal/device"
+)
+
+// Feature90nm is the 90 nm feature size in micrometers.
+const Feature90nm = 0.09
+
+// Model holds the fitted coefficients.
+type Model struct {
+	// LogicFixed and LogicPerBit fit the synthesized control logic area:
+	// area(nbits) = LogicFixed + LogicPerBit*nbits (um^2).
+	LogicFixed  float64
+	LogicPerBit float64
+	// CellAreaFactor is the effective area of one DRAM cell in F^2 units,
+	// including array overheads (sense amps, decoders) amortized per cell.
+	CellAreaFactor float64
+	// Feature is the technology feature size (um).
+	Feature float64
+}
+
+// Default90nm returns the model fitted to the paper's Table 2.
+func Default90nm() Model {
+	return Model{
+		LogicFixed:     10.0,
+		LogicPerBit:    47.5,
+		CellAreaFactor: 5.1,
+		Feature:        Feature90nm,
+	}
+}
+
+// LogicArea returns the VRL-DRAM control logic area for an nbits-wide
+// counter pair, in um^2.
+func (m Model) LogicArea(nbits int) (float64, error) {
+	if nbits < 1 {
+		return 0, fmt.Errorf("area: nbits must be >= 1, got %d", nbits)
+	}
+	return m.LogicFixed + m.LogicPerBit*float64(nbits), nil
+}
+
+// BankArea returns the DRAM bank area in um^2 for a geometry.
+func (m Model) BankArea(g device.BankGeometry) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	cell := m.CellAreaFactor * m.Feature * m.Feature
+	return float64(g.Cells()) * cell, nil
+}
+
+// Overhead is one Table 2 row.
+type Overhead struct {
+	NBits     int
+	LogicArea float64 // um^2
+	Percent   float64 // % of the bank area
+}
+
+// Overheads computes Table 2 for the given geometry and counter widths.
+func (m Model) Overheads(g device.BankGeometry, nbitsList []int) ([]Overhead, error) {
+	bank, err := m.BankArea(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Overhead, 0, len(nbitsList))
+	for _, n := range nbitsList {
+		la, err := m.LogicArea(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Overhead{NBits: n, LogicArea: la, Percent: 100 * la / bank})
+	}
+	return out, nil
+}

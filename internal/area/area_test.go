@@ -1,0 +1,96 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"vrldram/internal/device"
+)
+
+func TestLogicAreaMatchesPaperTable2(t *testing.T) {
+	m := Default90nm()
+	want := map[int]float64{2: 105, 3: 152, 4: 200}
+	for nbits, area := range want {
+		got, err := m.LogicArea(nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-area) > 1 {
+			t.Errorf("nbits=%d: %v um^2, paper %v", nbits, got, area)
+		}
+	}
+	if _, err := m.LogicArea(0); err == nil {
+		t.Fatal("nbits=0 must be rejected")
+	}
+}
+
+func TestPercentagesMatchPaperTable2(t *testing.T) {
+	m := Default90nm()
+	ovs, err := m.Overheads(device.PaperBank, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.97, 1.40, 1.85}
+	for i, o := range ovs {
+		if math.Abs(o.Percent-want[i]) > 0.08 {
+			t.Errorf("nbits=%d: %.2f%%, paper %.2f%%", o.NBits, o.Percent, want[i])
+		}
+	}
+}
+
+func TestAreaMonotoneInNBits(t *testing.T) {
+	m := Default90nm()
+	prev := 0.0
+	for nbits := 1; nbits <= 8; nbits++ {
+		a, err := m.LogicArea(nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a <= prev {
+			t.Fatalf("area not monotone at nbits=%d", nbits)
+		}
+		prev = a
+	}
+}
+
+func TestBankAreaScalesWithGeometry(t *testing.T) {
+	m := Default90nm()
+	small, err := m.BankArea(device.BankGeometry{Rows: 2048, Cols: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := m.BankArea(device.BankGeometry{Rows: 16384, Cols: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := large / small; math.Abs(ratio-8) > 1e-9 {
+		t.Fatalf("8x the rows must be 8x the area, got %vx", ratio)
+	}
+	if _, err := m.BankArea(device.BankGeometry{}); err == nil {
+		t.Fatal("bad geometry must be rejected")
+	}
+}
+
+func TestOverheadsUnderTwoPercent(t *testing.T) {
+	// The paper's headline area claim: within 1-2% of a bank for nbits <= 4.
+	m := Default90nm()
+	ovs, err := m.Overheads(device.PaperBank, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ovs {
+		if o.Percent >= 2 {
+			t.Errorf("nbits=%d overhead %.2f%% >= 2%%", o.NBits, o.Percent)
+		}
+	}
+}
+
+func TestOverheadsPropagateErrors(t *testing.T) {
+	m := Default90nm()
+	if _, err := m.Overheads(device.PaperBank, []int{0}); err == nil {
+		t.Fatal("bad nbits must be rejected")
+	}
+	if _, err := m.Overheads(device.BankGeometry{}, []int{2}); err == nil {
+		t.Fatal("bad geometry must be rejected")
+	}
+}

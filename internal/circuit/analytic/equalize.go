@@ -1,0 +1,94 @@
+package analytic
+
+import "math"
+
+// Equalization delay (paper Section 2.1).
+//
+// Before a row can be activated for refresh, the differential sense
+// amplifier's bitline pair must be driven from the previous activation's
+// full-swing state (one bitline at Vdd, the complement at Vss) to the
+// equalization voltage Veq = Vdd/2. The equalization devices M2/M3 start in
+// saturation (Phase 1, constant-current discharge) and enter the linear
+// region once the bitline has moved by Vtn (Phase 2, exponential settling).
+
+// EqIdsat returns the saturation current of the equalization NMOS devices,
+// Idsat2 = (beta_n/2) * (Vg - Veq - Vtn)^2, the denominator of Eq. 1.
+func (m *Model) EqIdsat() float64 {
+	ov := m.P.Vg - m.P.Veq() - m.P.Vtn
+	if ov <= 0 {
+		return 0
+	}
+	return m.P.BetaN / 2 * ov * ov
+}
+
+// EqPhase1Time returns t_o of Eq. 1: the duration of the constant-current
+// phase, which ends when the bitline voltage has moved by Vtn toward Veq.
+func (m *Model) EqPhase1Time() float64 {
+	id := m.EqIdsat()
+	if id <= 0 {
+		return math.Inf(1)
+	}
+	return m.P.CblSeg() * m.P.Vtn / id
+}
+
+// EqRon returns ron2 of Eq. 2, the linear-region ON resistance of the
+// equalization device: 1 / (beta_n * (Vg - Veq - Vtn)).
+func (m *Model) EqRon() float64 {
+	ov := m.P.Vg - m.P.Veq() - m.P.Vtn
+	if ov <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (m.P.BetaN * ov)
+}
+
+// EqReq returns Req = Rbl + ron2 of Eq. 2.
+func (m *Model) EqReq() float64 { return m.P.Rbl + m.EqRon() }
+
+// EqBitlineVoltage returns the two-phase equalization waveform of Eqs. 1-2
+// at time t (seconds) after EQ assertion. If high is true the waveform is
+// for the bitline that starts at Vdd; otherwise for the complementary
+// bitline that starts at Vss.
+func (m *Model) EqBitlineVoltage(t float64, high bool) float64 {
+	p := m.P
+	veq := p.Veq()
+	to := m.EqPhase1Time()
+	id := m.EqIdsat()
+	cbl := p.CblSeg()
+
+	v0 := p.Vss
+	dir := 1.0 // complementary bitline charges up
+	if high {
+		v0 = p.Vdd
+		dir = -1.0 // bitline discharges down
+	}
+	if t <= 0 {
+		return v0
+	}
+	if t < to {
+		// Phase 1: constant-current slewing at Idsat2/Cbl.
+		return v0 + dir*id/cbl*t
+	}
+	// Phase 2: exponential settling to Veq (Eq. 2).
+	vto := v0 + dir*p.Vtn
+	tau := m.EqReq() * cbl
+	return veq + (vto-veq)*math.Exp(-(t-to)/tau)
+}
+
+// TauEq returns the equalization delay: the time until both bitlines are
+// within tol volts of Veq. A typical tol is a few millivolts; the paper's
+// Section 3.1 operating point quantizes this to 1 DRAM cycle.
+func (m *Model) TauEq(tol float64) float64 {
+	p := m.P
+	to := m.EqPhase1Time()
+	gap := math.Abs(p.Vdd - p.Vtn - p.Veq()) // both bitlines are Vtn from the rail at t_o
+	if gap <= tol {
+		return to
+	}
+	tau := m.EqReq() * p.CblSeg()
+	return to + tau*math.Log(gap/tol)
+}
+
+// EqTolDefault is the settling tolerance used when quantizing the
+// equalization delay to cycles: 5 mV residual imbalance is far below the
+// sense margin.
+const EqTolDefault = 5e-3

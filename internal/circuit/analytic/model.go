@@ -1,0 +1,76 @@
+// Package analytic implements the paper's circuit-level analytical model of
+// a DRAM refresh operation (Section 2): the two-phase equalization delay
+// (Eqs. 1-2), the pre-sensing charge-sharing delay including
+// bitline-to-bitline and bitline-to-wordline parasitic coupling with the
+// closed-form solution of the cyclic dependency (Eqs. 3-8), the four-phase
+// post-sensing delay of the latch-based sense amplifier (Eqs. 9-12), and the
+// refresh cycle time composition tRFC = teq + tpre + tpost + tfixed
+// (Eq. 13).
+//
+// The model's purpose, as in the paper, is to estimate the minimum refresh
+// latency that restores a DRAM cell to a given fraction of its full charge
+// - in particular the latency of a truncated "partial" refresh - orders of
+// magnitude faster than transient circuit simulation.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/device"
+)
+
+// Model evaluates the analytical refresh model for one device parameter set
+// and bank geometry.
+type Model struct {
+	P    device.Params
+	Geom device.BankGeometry
+}
+
+// New returns a model for the given parameters and geometry, validating
+// both.
+func New(p device.Params, g device.BankGeometry) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{P: p, Geom: g}, nil
+}
+
+// MustNew is New but panics on invalid inputs; for tests and examples with
+// known-good parameters.
+func MustNew(p device.Params, g device.BankGeometry) *Model {
+	m, err := New(p, g)
+	if err != nil {
+		panic(fmt.Sprintf("analytic: %v", err))
+	}
+	return m
+}
+
+// solveMonotone finds t in [lo, hi] with f(t) = 0 for f monotonically
+// decreasing, by bisection to absolute tolerance tol (seconds).
+func solveMonotone(f func(float64) float64, lo, hi, tol float64) float64 {
+	flo, fhi := f(lo), f(hi)
+	if flo <= 0 {
+		return lo
+	}
+	if fhi > 0 {
+		return hi
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// clamp01 clips v to [0, 1].
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

@@ -1,0 +1,142 @@
+package analytic
+
+import "math"
+
+// Post-sensing delay (paper Section 2.3).
+//
+// Once the sense amplifier is enabled it passes through four phases:
+//
+//	Phase 1 (Eq. 9):  both outputs discharge at the NMOS saturation current
+//	                  until one PMOS turns on (output drops by Vtp).
+//	Phase 2 (Eq. 10): positive feedback in the cross-coupled pair amplifies
+//	                  the differential.
+//	Phase 3 (Eq. 11): the output terminals are driven to the rails.
+//	Phase 4 (Eq. 12): the cell capacitor is charged to the restored level
+//	                  through the restore path with time constant
+//	                  Rpost * Cpost.
+//
+// Only Phase 4 moves significant charge into the cell; phases 1-3 are the
+// sensing overhead t1+t2+t3 that a truncated (partial) refresh still has to
+// pay. This is exactly why the last few percent of charge are so expensive
+// (the paper's Observation 1): the charge already restored grows like
+// 1 - exp(-t/RpostCpost) only after the t1+t2+t3 offset.
+
+// SenseIdsat returns Idsat10 of Eq. 9: the saturation current of the
+// sense-amplifier pull-down devices at the equalized input level.
+func (m *Model) SenseIdsat() float64 {
+	p := m.P
+	ov := p.Veq() - p.Vtn
+	if ov <= 0 {
+		return 0
+	}
+	ratio := (p.Vdd - p.Vtn) / ov
+	f := 1 - 0.75/(1+ratio)
+	return p.BetaN * ov * ov * f * f
+}
+
+// T1 returns Phase 1's delay (Eq. 9): the time for an output node
+// (precharged to Vdd) to discharge by Vtp at the saturation current.
+func (m *Model) T1() float64 {
+	id := m.SenseIdsat()
+	if id <= 0 {
+		return math.Inf(1)
+	}
+	return m.P.CblSeg() * m.P.Vtp / id
+}
+
+// T2 returns Phase 2's delay (Eq. 10): the regeneration time of the
+// cross-coupled pair given the differential input dvbl developed during
+// pre-sensing. Smaller input signals regenerate more slowly
+// (logarithmically).
+func (m *Model) T2(dvbl float64) float64 {
+	p := m.P
+	if dvbl <= 0 {
+		return math.Inf(1)
+	}
+	id := m.SenseIdsat()
+	arg := (1 / p.Vtp) * 2 * math.Sqrt(id/p.BetaN) * (p.Vdd - p.Vtp - p.Veq()) / dvbl
+	if arg < 1 {
+		// Input already exceeds the regeneration boundary; Phase 2 is
+		// effectively instantaneous.
+		return 0
+	}
+	return p.CblSeg() / p.Gme * math.Log(arg)
+}
+
+// T3 returns Phase 3's delay (Eq. 11): driving the output terminals to the
+// rails, t3 = Rpost * Cbl * ln(Veq / Vresidue).
+func (m *Model) T3() float64 {
+	p := m.P
+	return p.Rpost() * p.CblSeg() * math.Log(p.Veq()/p.Vresidue)
+}
+
+// SensePhaseDelay returns t1+t2+t3 for a refresh whose pre-sensing developed
+// the given differential bitline voltage.
+func (m *Model) SensePhaseDelay(dvbl float64) float64 {
+	return m.T1() + m.T2(dvbl) + m.T3()
+}
+
+// DefaultDvbl returns the differential input the sense amplifier sees at the
+// paper's operating point: 95% of the worst-case coupled sense asymptote.
+func (m *Model) DefaultDvbl() (float64, error) {
+	att, err := m.WorstCaseAttenuation(m.Geom.Cols)
+	if err != nil {
+		return 0, err
+	}
+	return PreSenseTargetDefault * att * m.VsenseIdeal(m.P.Vdd-m.P.Veq()), nil
+}
+
+// RestoreTau returns the Phase 4 restore time constant Rpost * Cpost of
+// Eq. 12.
+func (m *Model) RestoreTau() float64 {
+	return m.P.Rpost() * m.P.Cpost()
+}
+
+// RestoreVoltage evaluates Eq. 12: the cell voltage after a post-sensing
+// window of tauPost seconds, starting from vPre volts on the cell, with the
+// t1+t2+t3 sensing overhead computed for differential input dvbl. The cell
+// charges toward Vdd exponentially once the sensing phases complete; before
+// that it holds vPre.
+func (m *Model) RestoreVoltage(vPre, tauPost, dvbl float64) float64 {
+	t123 := m.SensePhaseDelay(dvbl)
+	drive := tauPost - t123
+	if drive <= 0 {
+		return vPre
+	}
+	va := m.P.Vdd - vPre
+	return vPre + va*(1-math.Exp(-drive/m.RestoreTau()))
+}
+
+// RestoreAlpha returns the normalized restore coefficient of a refresh whose
+// post-sensing window is tauPost seconds: the fraction of the gap to full
+// charge that Phase 4 closes, alpha = 1 - exp(-(tauPost - t1 - t2 - t3) /
+// (Rpost*Cpost)), clamped to [0, 1]. This is the quantity the VRL-DRAM
+// mechanism feeds into the MPRSF computation: a refresh maps normalized cell
+// charge v to v + (1-v)*alpha.
+func (m *Model) RestoreAlpha(tauPost, dvbl float64) float64 {
+	t123 := m.SensePhaseDelay(dvbl)
+	drive := tauPost - t123
+	if drive <= 0 {
+		return 0
+	}
+	return clamp01(1 - math.Exp(-drive/m.RestoreTau()))
+}
+
+// TauPost returns the post-sensing window needed to restore a cell starting
+// at vPre volts to targetFrac of Vdd, for differential input dvbl. Returns
+// +Inf if the target is unreachable (targetFrac >= 1).
+func (m *Model) TauPost(vPre, targetFrac, dvbl float64) float64 {
+	p := m.P
+	target := targetFrac * p.Vdd
+	if target <= vPre {
+		return 0
+	}
+	if targetFrac >= 1 {
+		return math.Inf(1)
+	}
+	t123 := m.SensePhaseDelay(dvbl)
+	// Invert Eq. 12: target = vPre + (Vdd - vPre)(1 - exp(-drive/tau)).
+	frac := (target - vPre) / (p.Vdd - vPre)
+	drive := -m.RestoreTau() * math.Log(1-frac)
+	return t123 + drive
+}

@@ -1,0 +1,180 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/linalg"
+)
+
+// Pre-sensing delay (paper Section 2.2).
+//
+// After the wordline is asserted, each activated cell shares its charge with
+// its (equalized) bitline through the access transistor. The differential
+// voltage that develops on bitline i approaches an asymptote Vsense_i that
+// is reduced by charge stolen into the bitline-to-bitline (Cbb) and
+// bitline-to-wordline (Cbw) parasitics, and - the paper's modeling
+// contribution - depends cyclically on the voltage developed on the
+// NEIGHBORING bitlines (Eq. 7). The closed form is the tridiagonal solve of
+// Eq. 8.
+
+// U returns the charge-sharing settling function of Eq. 3 evaluated at time
+// t (seconds) after the wordline completes assertion. U decays from 1 to 0;
+// the developed bitline voltage is DeltaVbl(t) = Vsense * (1 - U(t)).
+func (m *Model) U(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	cs, cbl := m.P.Cs, m.P.CblSeg()
+	rpre := m.P.Rpre(m.Geom.Rows)
+	num := cs*math.Exp(-t/(rpre*cbl)) + cbl*math.Exp(-t/(rpre*cs))
+	return num / (cs + cbl)
+}
+
+// VsenseIdeal returns the coupling-free asymptotic bitline voltage change of
+// Eq. 4 for a cell whose stored voltage differs from the equalized bitline
+// by lself volts: Cs/(Cs+Cbl) * lself.
+func (m *Model) VsenseIdeal(lself float64) float64 {
+	return m.P.ChargeTransferRatio() * lself
+}
+
+// CouplingK1K2 returns the K1 and K2 constants of Eq. 7:
+// K1 = Cs / (Cs + Cbl + 2*Cbb + Cbw), K2 = Cbb / (same denominator).
+func (m *Model) CouplingK1K2() (k1, k2 float64) {
+	den := m.P.Cs + m.P.CblSeg() + 2*m.P.Cbb + m.P.Cbw
+	return m.P.Cs / den, m.P.Cbb / den
+}
+
+// VsenseVector solves the coupled system of Eq. 8, K * Vsense = K1 * Lself,
+// for a wordline crossing len(lself) bitlines. lself[i] is the signed
+// cell-to-bitline voltage difference of the cell on bitline i (positive for
+// a stored "1" on an equalized bitline, negative for a stored "0"). K is
+// tridiagonal with unit diagonal and -K2 off-diagonals.
+func (m *Model) VsenseVector(lself []float64) ([]float64, error) {
+	n := len(lself)
+	if n == 0 {
+		return nil, fmt.Errorf("analytic: VsenseVector needs at least one bitline")
+	}
+	k1, k2 := m.CouplingK1K2()
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 1
+		if i > 0 {
+			lower[i] = -k2
+		}
+		if i < n-1 {
+			upper[i] = -k2
+		}
+		rhs[i] = k1 * lself[i]
+	}
+	return linalg.SolveTridiagonal(lower, diag, upper, rhs)
+}
+
+// PatternLself returns the signed Lself vector for the given data pattern
+// stored on fully charged cells across n bitlines. The magnitude is
+// Vdd - Veq (a full cell against an equalized bitline); the sign encodes the
+// stored bit. Supported patterns match the paper's Section 3.1 evaluation
+// set: "zeros", "ones", "alt" (alternating), and "random" (deterministic,
+// seeded by the bitline index).
+func (m *Model) PatternLself(pattern string, n int) ([]float64, error) {
+	mag := m.P.Vdd - m.P.Veq()
+	out := make([]float64, n)
+	switch pattern {
+	case "zeros":
+		for i := range out {
+			out[i] = -mag
+		}
+	case "ones":
+		for i := range out {
+			out[i] = mag
+		}
+	case "alt":
+		for i := range out {
+			if i%2 == 0 {
+				out[i] = mag
+			} else {
+				out[i] = -mag
+			}
+		}
+	case "random":
+		// xorshift-style deterministic bit per column; no global state so
+		// results are reproducible across runs and platforms.
+		x := uint64(0x9E3779B97F4A7C15)
+		for i := range out {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			if x&1 == 1 {
+				out[i] = mag
+			} else {
+				out[i] = -mag
+			}
+		}
+	default:
+		return nil, fmt.Errorf("analytic: unknown data pattern %q", pattern)
+	}
+	return out, nil
+}
+
+// Patterns lists the four data patterns of the paper's Section 3.1
+// evaluation.
+var Patterns = []string{"zeros", "ones", "alt", "random"}
+
+// WorstCaseAttenuation returns the minimum |Vsense_i| / |VsenseIdeal| ratio
+// over all bitlines and over the four data patterns: how much parasitic
+// coupling shrinks the developed sense signal in the worst case. The
+// returned value is in (0, 1].
+func (m *Model) WorstCaseAttenuation(cols int) (float64, error) {
+	ideal := math.Abs(m.VsenseIdeal(m.P.Vdd - m.P.Veq()))
+	// Note: the fair comparison point for attenuation is the same-capacitor
+	// asymptote without coupling terms, i.e. K1 with Cbb=Cbw=0 vs with. We
+	// compare against the plain charge-transfer ratio, matching Eq. 4.
+	worst := math.Inf(1)
+	for _, pat := range Patterns {
+		lself, err := m.PatternLself(pat, cols)
+		if err != nil {
+			return 0, err
+		}
+		vs, err := m.VsenseVector(lself)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range vs {
+			if r := math.Abs(v) / ideal; r < worst {
+				worst = r
+			}
+		}
+	}
+	return worst, nil
+}
+
+// TauPre returns the pre-sensing delay: the wordline assertion delay for
+// this bank's column count plus the charge-sharing time needed for the
+// developed bitline voltage to reach targetFrac of its asymptote
+// (Eq. 5 with 1-U(tau_pre) = targetFrac). The paper's Table 1 uses
+// targetFrac = 0.95 ("95% of capacity").
+func (m *Model) TauPre(targetFrac float64) float64 {
+	if targetFrac <= 0 {
+		return m.P.WordlineDelay(m.Geom.Cols)
+	}
+	if targetFrac >= 1 {
+		return math.Inf(1)
+	}
+	resid := 1 - targetFrac
+	cs, cbl := m.P.Cs, m.P.CblSeg()
+	rpre := m.P.Rpre(m.Geom.Rows)
+	// Upper bound: slowest time constant times enough decades.
+	tauSlow := rpre * math.Max(cs, cbl)
+	hi := tauSlow * math.Log(1/resid) * 4
+	tShare := solveMonotone(func(t float64) float64 {
+		return m.U(t) - resid
+	}, 0, hi, 1e-15)
+	return m.P.WordlineDelay(m.Geom.Cols) + tShare
+}
+
+// PreSenseTargetDefault is the restore target used by the paper's Table 1:
+// develop 95% of the achievable sense signal.
+const PreSenseTargetDefault = 0.95

@@ -1,0 +1,166 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Refresh cycle time composition (paper Eq. 13):
+//
+//	tRFC = tau_eq + tau_pre + tau_post + tau_fixed
+//
+// The paper quantizes each component to DRAM cycles and, at its Section 3.1
+// operating point, schedules
+//
+//	tau_partial = 11 cycles (tau_eq=1, tau_pre=2, tau_post=4, tau_fixed=4)
+//	tau_full    = 19 cycles (tau_eq=1, tau_pre=2, tau_post=12, tau_fixed=4)
+//
+// Note a quirk of the paper itself: Section 3.1 budgets tau_pre = 2 cycles
+// for scheduling while Table 1 reports ~9 cycles of pre-sensing for the same
+// 8192x32 bank (Table 1 measures the time to develop 95% of the sense
+// signal; the scheduling budget assumes sensing can fire much earlier and
+// restore continues through Phase 4). We expose both: Breakdown carries the
+// model-derived component latencies, and the Tau*Cycles constants carry the
+// paper's canonical scheduling values, which the refresh schedulers use.
+
+// Canonical scheduling latencies from the paper's Section 3.1.
+const (
+	TauEqCycles          = 1  // equalization budget, cycles
+	TauPreCycles         = 2  // pre-sensing budget, cycles
+	TauPostFullCycles    = 12 // post-sensing budget of a full refresh, cycles
+	TauPostPartialCycles = 4  // post-sensing budget of a partial refresh, cycles
+
+	// TauFullCycles and TauPartialCycles are the total refresh latencies the
+	// memory controller schedules (tau_fixed = 4 cycles is added by the
+	// device parameters; 1+2+12+4 = 19 and 1+2+4+4 = 11).
+	TauFullCycles    = 19
+	TauPartialCycles = 11
+)
+
+// Breakdown is the model-derived decomposition of one refresh operation's
+// latency for a particular restore target.
+type Breakdown struct {
+	TargetFrac float64 // restore target as a fraction of full charge
+
+	TauEq    float64 // equalization delay (s)
+	TauPre   float64 // pre-sensing delay to 95% signal development (s)
+	TauPost  float64 // post-sensing delay to the restore target (s)
+	TauFixed float64 // aggregate fixed delays (s)
+	TRFC     float64 // total (s)
+
+	TauEqCycles    int
+	TauPreCycles   int
+	TauPostCycles  int
+	TauFixedCycles int
+	TRFCCycles     int
+
+	Dvbl  float64 // differential input to the sense amp (V)
+	Alpha float64 // normalized restore coefficient of the post window
+}
+
+// TRFC computes the model-derived refresh latency breakdown needed to
+// restore a cell that has decayed to vPreFrac of Vdd up to targetFrac of
+// Vdd. The paper's Figure 1b scenario corresponds to vPreFrac around the
+// sensing threshold and targetFrac of 0.95 (partial) or ~1.0 (full).
+func (m *Model) TRFC(vPreFrac, targetFrac float64) (Breakdown, error) {
+	if vPreFrac < 0 || vPreFrac > 1 {
+		return Breakdown{}, fmt.Errorf("analytic: vPreFrac %v outside [0,1]", vPreFrac)
+	}
+	if targetFrac <= 0 || targetFrac >= 1 {
+		return Breakdown{}, fmt.Errorf("analytic: targetFrac %v outside (0,1)", targetFrac)
+	}
+	dvbl, err := m.DefaultDvbl()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	// The differential the amp actually sees scales with the decayed cell
+	// level relative to the equalized bitline.
+	veq := m.P.Veq()
+	cellV := vPreFrac * m.P.Vdd
+	scale := math.Abs(cellV-veq) / (m.P.Vdd - veq)
+	dv := dvbl * math.Max(scale, 1e-3)
+
+	b := Breakdown{TargetFrac: targetFrac, Dvbl: dv}
+	b.TauEq = m.TauEq(EqTolDefault)
+	b.TauPre = m.TauPre(PreSenseTargetDefault)
+	// Post-sensing starts from the charge-shared cell level ~ Veq + dv.
+	vStart := veq + dv
+	if cellV < veq {
+		vStart = veq - dv
+	}
+	// Restoring a "1": drive toward Vdd from the shared level. (A "0" is
+	// symmetric; the model tracks the "1" case, the slower direction for a
+	// positive-logic cell.)
+	b.TauPost = m.TauPost(vStart, targetFrac, dv)
+	b.TauFixed = float64(m.P.TFixedCycles) * m.P.TCK
+	b.TRFC = b.TauEq + b.TauPre + b.TauPost + b.TauFixed
+
+	b.TauEqCycles = m.P.Cycles(b.TauEq)
+	b.TauPreCycles = m.P.Cycles(b.TauPre)
+	b.TauPostCycles = m.P.Cycles(b.TauPost)
+	b.TauFixedCycles = m.P.TFixedCycles
+	b.TRFCCycles = b.TauEqCycles + b.TauPreCycles + b.TauPostCycles + b.TauFixedCycles
+	b.Alpha = m.RestoreAlpha(b.TauPost, dv)
+	return b, nil
+}
+
+// RestorePoint is one sample of the Figure 1a restore trajectory.
+type RestorePoint struct {
+	FracTRFC   float64 // fraction of the full refresh cycle time elapsed
+	FracCharge float64 // fraction of full charge on the cell capacitor
+}
+
+// RestoreCurve reproduces the paper's Figure 1a: the fraction of full charge
+// on the cell capacitor as a function of the fraction of tRFC elapsed, for a
+// full refresh of a cell that had decayed to startFrac of full charge
+// (Figure 1a starts near the 50% sensing threshold). The timeline follows
+// the Section 3.1 budget order (tau_fixed, tau_eq, tau_pre, then
+// post-sensing): charge only moves during Phase 4 of post-sensing, which is
+// what makes the final few percent so expensive.
+func (m *Model) RestoreCurve(startFrac float64, n int) ([]RestorePoint, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("analytic: RestoreCurve needs n >= 2, got %d", n)
+	}
+	dvbl, err := m.DefaultDvbl()
+	if err != nil {
+		return nil, err
+	}
+	tck := m.P.TCK
+	total := float64(TauFullCycles) * tck
+	preamble := float64(m.P.TFixedCycles+TauEqCycles+TauPreCycles) * tck
+	t123 := m.SensePhaseDelay(dvbl)
+	tau := m.RestoreTau()
+
+	pts := make([]RestorePoint, n)
+	for i := 0; i < n; i++ {
+		t := total * float64(i) / float64(n-1)
+		var v float64
+		switch {
+		case t <= preamble+t123:
+			v = startFrac
+		default:
+			drive := t - preamble - t123
+			v = startFrac + (1-startFrac)*(1-math.Exp(-drive/tau))
+		}
+		pts[i] = RestorePoint{FracTRFC: t / total, FracCharge: clamp01(v)}
+	}
+	return pts, nil
+}
+
+// TimeToChargeFraction returns the fraction of tRFC at which the restore
+// trajectory of RestoreCurve first reaches the given charge fraction, or 1
+// if it never does within tRFC. This is the scalar behind the paper's
+// Observation 1 ("~60% of tRFC is spent charging the cell to 95% of its
+// capacity").
+func (m *Model) TimeToChargeFraction(startFrac, chargeFrac float64) (float64, error) {
+	pts, err := m.RestoreCurve(startFrac, 2001)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range pts {
+		if p.FracCharge >= chargeFrac {
+			return p.FracTRFC, nil
+		}
+	}
+	return 1, nil
+}

@@ -1,0 +1,223 @@
+package netlists
+
+import (
+	"math"
+	"testing"
+
+	"vrldram/internal/circuit/analytic"
+	"vrldram/internal/circuit/spice"
+	"vrldram/internal/device"
+)
+
+func TestEqualizationSettles(t *testing.T) {
+	p := device.Default90nm()
+	ckt := Equalization(p)
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 4e-9, H: 2e-12, Probes: []string{"bl", "blb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	veq := p.Veq()
+	bl, _ := res.Final("bl")
+	blb, _ := res.Final("blb")
+	if math.Abs(bl-veq) > 5e-3 || math.Abs(blb-veq) > 5e-3 {
+		t.Fatalf("bitlines settle to %v / %v, want %v", bl, blb, veq)
+	}
+	// The pair starts at full swing.
+	b0, _ := res.At("bl", 0)
+	bb0, _ := res.At("blb", 0)
+	if b0 != p.Vdd || bb0 != p.Vss {
+		t.Fatalf("initial conditions wrong: %v / %v", b0, bb0)
+	}
+}
+
+func TestEqualizationMatchesAnalyticModel(t *testing.T) {
+	// The two-phase analytical waveform should track the transient result
+	// within tens of millivolts over the first nanosecond.
+	p := device.Default90nm()
+	am := analytic.MustNew(p, device.PaperBank)
+	ckt := Equalization(p)
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 1e-9, H: 1e-12, Probes: []string{"bl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i <= 20; i++ {
+		tt := 1e-9 * float64(i) / 20
+		sim, err := res.At("bl", tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := am.EqBitlineVoltage(tt, true)
+		if d := math.Abs(sim - mod); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.09 {
+		t.Fatalf("model deviates %v V from transient simulation; want < 90 mV", worst)
+	}
+}
+
+func TestChargeSharingAsymptote(t *testing.T) {
+	// The developed bitline signal approaches the coupled analytic asymptote.
+	p := device.Default90nm()
+	geom := device.BankGeometry{Rows: 2048, Cols: 8}
+	ckt, err := ChargeSharing(p, ChargeSharingOpts{Geom: geom, Pattern: "ones"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []string{BitlineName(3), SenseNodeName(3)}
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 60e-9, H: 30e-12, Probes: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := res.Final(BitlineName(3))
+	dv := final - p.Veq()
+
+	am := analytic.MustNew(p, geom)
+	lself, err := am.PatternLself("ones", geom.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := am.VsenseVector(lself)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vs[3]
+	// The netlist adds global wire capacitance the model ignores, so the
+	// developed signal is somewhat smaller; require agreement within 30%.
+	if dv <= 0 {
+		t.Fatalf("no signal developed: %v", dv)
+	}
+	if math.Abs(dv-want)/want > 0.30 {
+		t.Fatalf("developed signal %v, model asymptote %v", dv, want)
+	}
+}
+
+func TestChargeSharingPatternSigns(t *testing.T) {
+	p := device.Default90nm()
+	geom := device.BankGeometry{Rows: 2048, Cols: 4}
+	ckt, err := ChargeSharing(p, ChargeSharingOpts{Geom: geom, Pattern: "alt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 60e-9, H: 30e-12,
+		Probes: []string{BitlineName(0), BitlineName(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := res.Final(BitlineName(0))
+	v1, _ := res.Final(BitlineName(1))
+	if v0 <= p.Veq() {
+		t.Fatalf("bitline 0 (stored 1) should rise above Veq: %v", v0)
+	}
+	if v1 >= p.Veq() {
+		t.Fatalf("bitline 1 (stored 0) should fall below Veq: %v", v1)
+	}
+}
+
+func TestChargeSharingRejectsBadInputs(t *testing.T) {
+	p := device.Default90nm()
+	if _, err := ChargeSharing(p, ChargeSharingOpts{Geom: device.BankGeometry{}, Pattern: "ones"}); err == nil {
+		t.Fatal("bad geometry must be rejected")
+	}
+	if _, err := ChargeSharing(p, ChargeSharingOpts{Geom: device.PaperBank, Pattern: "nope"}); err == nil {
+		t.Fatal("bad pattern must be rejected")
+	}
+}
+
+func TestMeasurePreSenseGrowsWithRows(t *testing.T) {
+	p := device.Default90nm()
+	small, err := MeasurePreSense(p, device.BankGeometry{Rows: 2048, Cols: 16}, "ones", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MeasurePreSense(p, device.BankGeometry{Rows: 16384, Cols: 16}, "ones", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.T95 <= small.T95 {
+		t.Fatalf("pre-sensing must grow with rows: %v vs %v", small.T95, large.T95)
+	}
+	if small.Cycles <= 0 || large.Cycles <= 0 {
+		t.Fatal("cycle counts must be positive")
+	}
+	if small.WallClock <= 0 {
+		t.Fatal("wall clock must be measured")
+	}
+}
+
+func TestMeasurePreSenseMatchesModel(t *testing.T) {
+	// The paper's Table 1 claim: the analytical model is within 0-12.5% of
+	// transient simulation. Allow 15% here.
+	p := device.Default90nm()
+	for _, g := range []device.BankGeometry{{Rows: 2048, Cols: 32}, {Rows: 8192, Cols: 32}} {
+		meas, err := MeasurePreSense(p, g, "ones", 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am := analytic.MustNew(p, g)
+		model := am.TauPre(analytic.PreSenseTargetDefault)
+		if diff := math.Abs(model-meas.T95) / meas.T95; diff > 0.15 {
+			t.Errorf("%s: model %v vs transient %v (%.0f%% apart)", g, model, meas.T95, diff*100)
+		}
+	}
+}
+
+func TestSenseAmpRegenerates(t *testing.T) {
+	p := device.Default90nm()
+	ckt := SenseAmp(p, 0.14, 0.55*p.Vdd)
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 20e-9, H: 5e-12,
+		Probes: []string{"ox", "oy", "cell"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ox, _ := res.Final("ox")
+	oy, _ := res.Final("oy")
+	cell, _ := res.Final("cell")
+	if math.Abs(ox-p.Vdd) > 0.02 {
+		t.Fatalf("high output = %v, want Vdd", ox)
+	}
+	if math.Abs(oy-p.Vss) > 0.02 {
+		t.Fatalf("low output = %v, want Vss", oy)
+	}
+	if p.Vdd-cell > 0.02 {
+		t.Fatalf("cell restored to %v, want ~Vdd", cell)
+	}
+}
+
+func TestSenseAmpPolarity(t *testing.T) {
+	// Flip the differential: the outputs must latch the other way.
+	p := device.Default90nm()
+	ckt := SenseAmp(p, -0.14, 0.45*p.Vdd)
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 20e-9, H: 5e-12, Probes: []string{"ox", "oy"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ox, _ := res.Final("ox")
+	oy, _ := res.Final("oy")
+	if ox > 0.1 || oy < p.Vdd-0.1 {
+		t.Fatalf("latch polarity wrong: ox=%v oy=%v", ox, oy)
+	}
+}
+
+func TestSenseAmpRestoreShape(t *testing.T) {
+	// Observation 1 in the transient domain: restoring the cell's last 5% of
+	// charge takes longer than the first 45%.
+	p := device.Default90nm()
+	ckt := SenseAmp(p, 0.14, 0.5*p.Vdd)
+	res, err := ckt.Transient(spice.TransientOpts{TStop: 30e-9, H: 5e-12, Probes: []string{"cell"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t95, err := res.FirstCrossing("cell", 0.95*p.Vdd, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t999, err := res.FirstCrossing("cell", 0.999*p.Vdd, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t999 < 1.4*t95 {
+		t.Fatalf("last 5%% should be slow: t95=%v t99.9=%v", t95, t999)
+	}
+}

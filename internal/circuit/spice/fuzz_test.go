@@ -1,0 +1,37 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDeck: arbitrary deck text must never panic; parsed circuits must
+// be structurally sound (interned nodes, only known devices).
+func FuzzParseDeck(f *testing.F) {
+	f.Add("R1 a b 1k\nC1 b 0 1p\n.END")
+	f.Add("V1 a 0 DC 1.2\nI1 0 a DC 1u\n.IC V(a)=0.5")
+	f.Add("* only a comment")
+	f.Add(".IC V(=")
+	f.Add("M1 d g s 0 NMOS")
+	f.Fuzz(func(t *testing.T, input string) {
+		ckt, _, err := ParseDeck(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if ckt.NumNodes() < 0 {
+			t.Fatal("negative node count")
+		}
+	})
+}
+
+// FuzzParseValue: arbitrary value strings must never panic.
+func FuzzParseValue(f *testing.F) {
+	f.Add("1k")
+	f.Add("45f")
+	f.Add("2meg")
+	f.Add("--")
+	f.Add("1e999")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ParseValue(input)
+	})
+}

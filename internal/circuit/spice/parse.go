@@ -1,0 +1,162 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDeck reads a SPICE-format netlist deck (the subset ExportDeck emits
+// for linear elements) back into a Circuit: R, C, V (DC), I (DC) cards plus
+// .IC lines, ending at .END. Comment cards (*) and inline comments (;) are
+// ignored. Switches and MOSFETs are simulator-specific in real decks and
+// are not round-tripped; their cards are skipped with a parse note.
+//
+// Engineering-unit suffixes are supported: f, p, n, u, m, k, meg, g.
+func ParseDeck(r io.Reader) (*Circuit, []string, error) {
+	ckt := New()
+	var notes []string
+	s := bufio.NewScanner(r)
+	line := 0
+	for s.Scan() {
+		line++
+		text := strings.TrimSpace(s.Text())
+		if i := strings.IndexByte(text, ';'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" || strings.HasPrefix(text, "*") {
+			continue
+		}
+		upper := strings.ToUpper(text)
+		fields := strings.Fields(text)
+		switch {
+		case upper == ".END":
+			return ckt, notes, nil
+		case strings.HasPrefix(upper, ".IC"):
+			// .IC V(node)=value [V(node)=value ...]
+			for _, f := range fields[1:] {
+				if err := parseIC(ckt, f); err != nil {
+					return nil, nil, fmt.Errorf("spice: line %d: %v", line, err)
+				}
+			}
+		case strings.HasPrefix(upper, "R"):
+			if len(fields) < 4 {
+				return nil, nil, fmt.Errorf("spice: line %d: resistor needs 4 fields", line)
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice: line %d: %v", line, err)
+			}
+			if v <= 0 {
+				return nil, nil, fmt.Errorf("spice: line %d: resistance must be positive, got %g", line, v)
+			}
+			ckt.R(fields[1], fields[2], v)
+		case strings.HasPrefix(upper, "C"):
+			if len(fields) < 4 {
+				return nil, nil, fmt.Errorf("spice: line %d: capacitor needs 4 fields", line)
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice: line %d: %v", line, err)
+			}
+			if v <= 0 {
+				return nil, nil, fmt.Errorf("spice: line %d: capacitance must be positive, got %g", line, v)
+			}
+			ckt.C(fields[1], fields[2], v)
+		case strings.HasPrefix(upper, "V"):
+			// Vname n+ n- [DC] value
+			val, err := sourceValue(fields)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice: line %d: %v", line, err)
+			}
+			if fields[2] != "0" && strings.ToLower(fields[2]) != "gnd" {
+				notes = append(notes, fmt.Sprintf("line %d: floating voltage source referenced to %s treated as grounded", line, fields[2]))
+			}
+			ckt.V(fields[1], DC(val))
+		case strings.HasPrefix(upper, "I"):
+			val, err := sourceValue(fields)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice: line %d: %v", line, err)
+			}
+			ckt.I(fields[1], fields[2], DC(val))
+		case strings.HasPrefix(upper, "S") || strings.HasPrefix(upper, "M"):
+			notes = append(notes, fmt.Sprintf("line %d: skipped simulator-specific card %q", line, fields[0]))
+		case strings.HasPrefix(upper, "."):
+			notes = append(notes, fmt.Sprintf("line %d: ignored directive %s", line, fields[0]))
+		default:
+			return nil, nil, fmt.Errorf("spice: line %d: unrecognized card %q", line, fields[0])
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, nil, err
+	}
+	return ckt, notes, nil
+}
+
+func sourceValue(fields []string) (float64, error) {
+	if len(fields) < 4 {
+		return 0, fmt.Errorf("source needs at least 4 fields")
+	}
+	idx := 3
+	if strings.EqualFold(fields[3], "DC") {
+		if len(fields) < 5 {
+			return 0, fmt.Errorf("DC source missing value")
+		}
+		idx = 4
+	}
+	return ParseValue(fields[idx])
+}
+
+func parseIC(ckt *Circuit, f string) error {
+	// V(node)=value
+	f = strings.TrimSpace(f)
+	u := strings.ToUpper(f)
+	if !strings.HasPrefix(u, "V(") {
+		return fmt.Errorf("bad .IC entry %q", f)
+	}
+	close := strings.IndexByte(f, ')')
+	eq := strings.IndexByte(f, '=')
+	if close < 0 || eq < close {
+		return fmt.Errorf("bad .IC entry %q", f)
+	}
+	node := f[2:close]
+	v, err := ParseValue(f[eq+1:])
+	if err != nil {
+		return err
+	}
+	ckt.SetIC(node, v)
+	return nil
+}
+
+// ParseValue parses a SPICE number with optional engineering suffix
+// (case-insensitive): f=1e-15, p=1e-12, n=1e-9, u=1e-6, m=1e-3, k=1e3,
+// meg=1e6, g=1e9.
+func ParseValue(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "meg"):
+		mult, s = 1e6, strings.TrimSuffix(s, "meg")
+	case strings.HasSuffix(s, "f"):
+		mult, s = 1e-15, strings.TrimSuffix(s, "f")
+	case strings.HasSuffix(s, "p"):
+		mult, s = 1e-12, strings.TrimSuffix(s, "p")
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, strings.TrimSuffix(s, "n")
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, strings.TrimSuffix(s, "u")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1e9, strings.TrimSuffix(s, "g")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v * mult, nil
+}

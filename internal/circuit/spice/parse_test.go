@@ -1,0 +1,139 @@
+package spice
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1000", 1000},
+		{"1k", 1e3},
+		{"2.5k", 2.5e3},
+		{"45f", 45e-15},
+		{"12p", 12e-12},
+		{"3n", 3e-9},
+		{"7u", 7e-6},
+		{"5m", 5e-3},
+		{"2meg", 2e6},
+		{"1g", 1e9},
+		{"-0.6", -0.6},
+		{"1e-12", 1e-12},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > math.Abs(c.want)*1e-12 {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseValue("abc"); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestParseDeckBasic(t *testing.T) {
+	deck := `* test deck
+R1 a b 1k
+C1 b 0 1p
+V1 a 0 DC 1.2
+I1 0 b DC 1u
+.IC V(b)=0.3
+.TRAN 1n 10n
+.END
+trailing garbage that must not be read`
+	ckt, notes, err := ParseDeck(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", ckt.NumNodes())
+	}
+	foundTran := false
+	for _, n := range notes {
+		if strings.Contains(n, ".TRAN") {
+			foundTran = true
+		}
+	}
+	if !foundTran {
+		t.Fatalf("expected a note about the ignored .TRAN directive, got %v", notes)
+	}
+	// The parsed circuit must actually simulate.
+	res, err := ckt.Transient(TransientOpts{TStop: 20e-9, H: 20e-12, Probes: []string{"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b settles to 1.2 + 1uA*1k = 1.2011 V? No: the current source pushes
+	// 1 uA into b through... just verify it settles near the source value.
+	got, _ := res.Final("b")
+	if math.Abs(got-1.2011) > 0.01 {
+		t.Fatalf("parsed circuit settles to %v, want ~1.201", got)
+	}
+}
+
+func TestParseDeckErrors(t *testing.T) {
+	bad := []string{
+		"R1 a b",       // too few fields
+		"R1 a b xx",    // bad value
+		"C1 a 0 oops",  // bad value
+		"V1 a 0 DC",    // missing value
+		"Q1 a b c",     // unknown card
+		".IC V(b=0.3",  // malformed IC
+		".IC X(b)=0.3", // malformed IC
+	}
+	for _, deck := range bad {
+		if _, _, err := ParseDeck(strings.NewReader(deck)); err == nil {
+			t.Errorf("deck %q not rejected", deck)
+		}
+	}
+}
+
+func TestDeckRoundTrip(t *testing.T) {
+	// Export a linear circuit and re-parse it: the transient responses must
+	// agree.
+	build := func() *Circuit {
+		ckt := New()
+		ckt.V("src", DC(1.0))
+		ckt.R("src", "mid", 2e3)
+		ckt.C("mid", "0", 3e-12)
+		ckt.R("mid", "out", 1e3)
+		ckt.C("out", "0", 1e-12)
+		ckt.SetIC("mid", 0.2)
+		return ckt
+	}
+	orig := build()
+	var buf bytes.Buffer
+	if err := orig.ExportDeck(&buf, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, notes, err := ParseDeck(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+	opts := TransientOpts{TStop: 50e-9, H: 50e-12, Probes: []string{"out"}}
+	r1, err := build().Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := parsed.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{1e-9, 10e-9, 40e-9} {
+		a, _ := r1.At("out", tt)
+		b, _ := r2.At("out", tt)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("round-trip mismatch at %v: %v vs %v", tt, a, b)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package spice is a compact transient circuit simulator: the stand-in for
+// the HSPICE runs the paper uses to validate its analytical model (Figures
+// 1a and 5, Table 1).
+//
+// It implements nodal analysis with backward-Euler integration and
+// Newton-Raphson iteration for the nonlinear devices. Supported elements:
+//
+//   - resistors,
+//   - capacitors (node-to-node and node-to-driven-waveform),
+//   - voltage sources (Norton form with a small series resistance, which
+//     keeps the conductance matrix free of zero diagonals),
+//   - time-controlled switches,
+//   - level-1 (Shichman-Hodges) MOSFETs, N and P, whose gate is either a
+//     circuit node or a driven waveform (the latter models a wordline driver
+//     without creating a dense matrix row across every bitline).
+//
+// Small circuits (the equalizer and the latch sense amplifier, which contain
+// the nonlinear devices) solve through dense LU with partial pivoting; large
+// cell-array netlists are linear by construction and solve through a banded
+// no-pivot factorization, so transient cost is O(nodes * bandwidth^2) per
+// step. This is what makes the engine usable for Table 1's bank-size sweep
+// while still being orders of magnitude slower than the analytical model -
+// the trade-off Table 1 exists to demonstrate.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vrldram/internal/linalg"
+)
+
+// Gmin is the minimum conductance tied from every node to ground for
+// numerical robustness, as in production SPICE implementations.
+const Gmin = 1e-12
+
+// denseCutoff is the node count above which the banded solver is used.
+const denseCutoff = 64
+
+// Waveform is a time-dependent source value in volts.
+type Waveform func(t float64) float64
+
+// DC returns a constant waveform.
+func DC(v float64) Waveform { return func(float64) float64 { return v } }
+
+// PWL returns a piecewise-linear waveform through the given (time, value)
+// points; it holds the first value before the first point and the last value
+// after the last point. Points must be in increasing time order.
+func PWL(times, values []float64) (Waveform, error) {
+	if len(times) != len(values) || len(times) == 0 {
+		return nil, fmt.Errorf("spice: PWL needs equal, non-empty point lists (got %d, %d)", len(times), len(values))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("spice: PWL times must increase (point %d)", i)
+		}
+	}
+	ts := append([]float64(nil), times...)
+	vs := append([]float64(nil), values...)
+	return func(t float64) float64 {
+		if t <= ts[0] {
+			return vs[0]
+		}
+		for i := 1; i < len(ts); i++ {
+			if t <= ts[i] {
+				f := (t - ts[i-1]) / (ts[i] - ts[i-1])
+				return vs[i-1] + f*(vs[i]-vs[i-1])
+			}
+		}
+		return vs[len(vs)-1]
+	}, nil
+}
+
+// Ramp returns a v0->v1 ramp starting at t0 lasting rise seconds.
+func Ramp(v0, v1, t0, rise float64) Waveform {
+	return func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return v0
+		case t >= t0+rise:
+			return v1
+		default:
+			return v0 + (v1-v0)*(t-t0)/rise
+		}
+	}
+}
+
+// matrix abstracts the two storage/solver backends.
+type matrix interface {
+	AddAt(i, j int, v float64)
+	Zero()
+}
+
+// stampCtx carries the per-iteration assembly state handed to devices.
+type stampCtx struct {
+	m      matrix
+	rhs    []float64
+	x      []float64 // current Newton iterate (node voltages)
+	xPrev  []float64 // node voltages at the previous accepted timestep
+	t      float64   // time at the end of the current step
+	h      float64   // step size
+	method Method
+	capI   map[*capacitor]float64 // trapezoidal current memory
+}
+
+// volt returns the iterate voltage of a node index (ground = -1 reads 0).
+func (c *stampCtx) volt(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return c.x[n]
+}
+
+func (c *stampCtx) voltPrev(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return c.xPrev[n]
+}
+
+// addM stamps into the matrix, dropping ground rows/columns.
+func (c *stampCtx) addM(i, j int, v float64) {
+	if i >= 0 && j >= 0 {
+		c.m.AddAt(i, j, v)
+	}
+}
+
+// addG stamps a conductance g between nodes a and b (ground = -1).
+func (c *stampCtx) addG(a, b int, g float64) {
+	c.addM(a, a, g)
+	c.addM(b, b, g)
+	c.addM(a, b, -g)
+	c.addM(b, a, -g)
+}
+
+// addI stamps a current source of i amps flowing from node a into node b.
+func (c *stampCtx) addI(a, b int, i float64) {
+	if a >= 0 {
+		c.rhs[a] -= i
+	}
+	if b >= 0 {
+		c.rhs[b] += i
+	}
+}
+
+// device is the element interface: contribute companion-model stamps for
+// the current Newton iterate.
+type device interface {
+	stamp(c *stampCtx)
+	nodes() []int // for bandwidth computation
+	linear() bool
+}
+
+// Circuit is a netlist under construction and the engine that simulates it.
+type Circuit struct {
+	names   map[string]int
+	nodeOf  []string
+	devices []device
+	caps    []*capacitor
+	ic      map[int]float64
+	hasNL   bool
+	method  Method
+}
+
+// New returns an empty circuit. The node name "0" (and "gnd") is ground.
+func New() *Circuit {
+	return &Circuit{names: map[string]int{}, ic: map[int]float64{}}
+}
+
+// Node interns a node name and returns its index; "0" and "gnd" return -1
+// (ground).
+func (ckt *Circuit) Node(name string) int {
+	if name == "0" || name == "gnd" {
+		return -1
+	}
+	if n, ok := ckt.names[name]; ok {
+		return n
+	}
+	n := len(ckt.nodeOf)
+	ckt.names[name] = n
+	ckt.nodeOf = append(ckt.nodeOf, name)
+	return n
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (ckt *Circuit) NumNodes() int { return len(ckt.nodeOf) }
+
+// SetIC sets the initial (t=0) voltage of a node; unset nodes start at 0 V.
+func (ckt *Circuit) SetIC(name string, v float64) {
+	n := ckt.Node(name)
+	if n >= 0 {
+		ckt.ic[n] = v
+	}
+}
+
+func (ckt *Circuit) add(d device) {
+	ckt.devices = append(ckt.devices, d)
+	if c, ok := d.(*capacitor); ok {
+		ckt.caps = append(ckt.caps, c)
+	}
+	if !d.linear() {
+		ckt.hasNL = true
+	}
+}
+
+// Result holds a transient waveform set.
+type Result struct {
+	Times  []float64
+	Probes map[string][]float64
+}
+
+// At returns the probed voltage of a node at the sample nearest to time t.
+func (r *Result) At(probe string, t float64) (float64, error) {
+	vs, ok := r.Probes[probe]
+	if !ok {
+		return 0, fmt.Errorf("spice: no probe %q", probe)
+	}
+	if len(r.Times) == 0 {
+		return 0, errors.New("spice: empty result")
+	}
+	best, bd := 0, math.Inf(1)
+	for i, tt := range r.Times {
+		if d := math.Abs(tt - t); d < bd {
+			best, bd = i, d
+		}
+	}
+	return vs[best], nil
+}
+
+// FirstCrossing returns the earliest time the probed voltage satisfies
+// rising ? v >= level : v <= level, or an error if it never does.
+func (r *Result) FirstCrossing(probe string, level float64, rising bool) (float64, error) {
+	vs, ok := r.Probes[probe]
+	if !ok {
+		return 0, fmt.Errorf("spice: no probe %q", probe)
+	}
+	for i, v := range vs {
+		if (rising && v >= level) || (!rising && v <= level) {
+			return r.Times[i], nil
+		}
+	}
+	return 0, fmt.Errorf("spice: probe %q never crosses %.4g", probe, level)
+}
+
+// Final returns the last sample of a probe.
+func (r *Result) Final(probe string) (float64, error) {
+	vs, ok := r.Probes[probe]
+	if !ok || len(vs) == 0 {
+		return 0, fmt.Errorf("spice: no probe %q", probe)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// TransientOpts tunes the simulation loop.
+type TransientOpts struct {
+	TStop   float64 // end time (s)
+	H       float64 // step (s)
+	Probes  []string
+	MaxIter int     // Newton iterations per step (default 60)
+	AbsTol  float64 // Newton voltage convergence (default 1 uV)
+}
+
+// Transient runs backward-Euler transient analysis from the configured
+// initial conditions ("UIC" mode: no DC operating-point solve; the DRAM
+// netlists always specify consistent initial states).
+func (ckt *Circuit) Transient(opts TransientOpts) (*Result, error) {
+	if opts.TStop <= 0 || opts.H <= 0 {
+		return nil, fmt.Errorf("spice: TStop and H must be positive (got %g, %g)", opts.TStop, opts.H)
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 60
+	}
+	if opts.AbsTol == 0 {
+		opts.AbsTol = 1e-6
+	}
+	n := ckt.NumNodes()
+	if n == 0 {
+		return nil, errors.New("spice: circuit has no nodes")
+	}
+
+	useDense := n <= denseCutoff
+	var band int
+	if !useDense {
+		for _, d := range ckt.devices {
+			ns := d.nodes()
+			for i := 0; i < len(ns); i++ {
+				for j := i + 1; j < len(ns); j++ {
+					if ns[i] >= 0 && ns[j] >= 0 {
+						if w := absInt(ns[i] - ns[j]); w > band {
+							band = w
+						}
+					}
+				}
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	for node, v := range ckt.ic {
+		x[node] = v
+	}
+	xPrev := append([]float64(nil), x...)
+
+	probeIdx := make(map[string]int, len(opts.Probes))
+	for _, p := range opts.Probes {
+		idx, ok := ckt.names[p]
+		if !ok {
+			return nil, fmt.Errorf("spice: probe %q names an unknown node", p)
+		}
+		probeIdx[p] = idx
+	}
+
+	steps := int(math.Ceil(opts.TStop/opts.H - 1e-9))
+	res := &Result{Probes: make(map[string][]float64, len(opts.Probes))}
+	record := func(t float64) {
+		res.Times = append(res.Times, t)
+		for p, idx := range probeIdx {
+			res.Probes[p] = append(res.Probes[p], x[idx])
+		}
+	}
+	record(0)
+
+	capI := make(map[*capacitor]float64, len(ckt.caps))
+
+	var dm *linalg.Dense
+	var bm *linalg.Banded
+	var mat matrix
+	if useDense {
+		dm = linalg.NewDense(n)
+		mat = dm
+	} else {
+		bm = linalg.NewBanded(n, band)
+		mat = bm
+	}
+	rhs := make([]float64, n)
+
+	solve := func() ([]float64, error) {
+		if useDense {
+			return linalg.SolveDense(dm, rhs)
+		}
+		return linalg.SolveBandedNoPivot(bm, rhs)
+	}
+
+	tPrev := 0.0
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * opts.H
+		if t > opts.TStop {
+			t = opts.TStop
+		}
+		h := t - tPrev
+		if h <= 0 {
+			break
+		}
+		converged := false
+		for it := 0; it < opts.MaxIter; it++ {
+			mat.Zero()
+			for i := range rhs {
+				rhs[i] = 0
+			}
+			// The trapezoidal rule needs a current history; the first step
+			// runs backward Euler and seeds it.
+			method := ckt.method
+			if s == 1 {
+				method = BackwardEuler
+			}
+			c := &stampCtx{m: mat, rhs: rhs, x: x, xPrev: xPrev, t: t, h: h, method: method, capI: capI}
+			for i := 0; i < n; i++ {
+				mat.AddAt(i, i, Gmin)
+			}
+			for _, d := range ckt.devices {
+				d.stamp(c)
+			}
+			xNew, err := solve()
+			if err != nil {
+				return nil, fmt.Errorf("spice: t=%.4g s: %w", t, err)
+			}
+			// Damp large Newton steps for the nonlinear devices.
+			var delta float64
+			for i := range xNew {
+				d := xNew[i] - x[i]
+				if d > 0.5 {
+					d = 0.5
+				} else if d < -0.5 {
+					d = -0.5
+				}
+				x[i] += d
+				if a := math.Abs(d); a > delta {
+					delta = a
+				}
+			}
+			if !ckt.hasNL || delta < opts.AbsTol {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("spice: Newton failed to converge at t=%.4g s", t)
+		}
+		if ckt.method == Trapezoidal {
+			for _, cp := range ckt.caps {
+				vd := voltOf(x, cp.a) - voltOf(x, cp.b)
+				vdPrev := voltOf(xPrev, cp.a) - voltOf(xPrev, cp.b)
+				if s == 1 {
+					// Seed the current memory from the backward-Euler step:
+					// i_1 = C (vd_1 - vd_0) / h.
+					capI[cp] = cp.cap / h * (vd - vdPrev)
+				} else {
+					// i_n = (2C/h)(vd_n - vd_(n-1)) - i_(n-1).
+					capI[cp] = 2*cp.cap/h*(vd-vdPrev) - capI[cp]
+				}
+			}
+		}
+		copy(xPrev, x)
+		tPrev = t
+		record(t)
+	}
+	return res, nil
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// voltOf reads a node voltage from a solution vector (ground = -1 reads 0).
+func voltOf(x []float64, n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return x[n]
+}

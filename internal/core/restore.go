@@ -1,0 +1,159 @@
+// Package core implements the paper's primary contribution: the VRL-DRAM
+// mechanism (Section 3). It computes, per DRAM row, the number of
+// low-latency partial refreshes the row can reliably sustain between two
+// full refreshes (MPRSF - mean partial refreshes to sensing failure), and
+// implements the refresh scheduling policies the paper evaluates:
+//
+//   - the JEDEC baseline (every row fully refreshed every 64 ms),
+//   - RAIDR (Liu et al., ISCA 2012): retention-binned full refreshes,
+//   - VRL (Algorithm 1): RAIDR's binning plus MPRSF-scheduled partial
+//     refreshes,
+//   - VRL-Access: VRL plus counter resets on row activations, which fully
+//     restore charge for free.
+package core
+
+import (
+	"fmt"
+
+	"vrldram/internal/circuit/analytic"
+	"vrldram/internal/device"
+	"vrldram/internal/retention"
+)
+
+// RestoreModel captures what the memory controller needs to know about the
+// two refresh operation types: their scheduled latency in DRAM cycles and
+// the normalized restore coefficient each delivers (the alpha of
+// v' = v + (1-v)*alpha).
+type RestoreModel struct {
+	PartialCycles int     // scheduled latency of a partial refresh
+	FullCycles    int     // scheduled latency of a full refresh
+	AlphaPartial  float64 // restore coefficient of a partial refresh
+	AlphaFull     float64 // restore coefficient of a full refresh
+}
+
+// Validate reports the first unusable field.
+func (m RestoreModel) Validate() error {
+	switch {
+	case m.PartialCycles <= 0:
+		return fmt.Errorf("core: PartialCycles must be positive, got %d", m.PartialCycles)
+	case m.FullCycles < m.PartialCycles:
+		return fmt.Errorf("core: FullCycles %d must be >= PartialCycles %d", m.FullCycles, m.PartialCycles)
+	case m.AlphaPartial <= 0 || m.AlphaPartial > 1:
+		return fmt.Errorf("core: AlphaPartial %g outside (0,1]", m.AlphaPartial)
+	case m.AlphaFull < m.AlphaPartial || m.AlphaFull > 1:
+		return fmt.Errorf("core: AlphaFull %g must lie in [AlphaPartial,1]", m.AlphaFull)
+	}
+	return nil
+}
+
+// PaperRestoreModel returns the paper's Section 3.1 operating point
+// (tau_partial = 11 cycles, tau_full = 19 cycles) with restore coefficients
+// derived from the analytical model at the corresponding post-sensing
+// windows (4 and 12 cycles).
+func PaperRestoreModel(p device.Params, geom device.BankGeometry) (RestoreModel, error) {
+	m, err := analytic.New(p, geom)
+	if err != nil {
+		return RestoreModel{}, err
+	}
+	dv, err := m.DefaultDvbl()
+	if err != nil {
+		return RestoreModel{}, err
+	}
+	rm := RestoreModel{
+		PartialCycles: analytic.TauPartialCycles,
+		FullCycles:    analytic.TauFullCycles,
+		AlphaPartial:  m.RestoreAlpha(float64(analytic.TauPostPartialCycles)*p.TCK, dv),
+		AlphaFull:     m.RestoreAlpha(float64(analytic.TauPostFullCycles)*p.TCK, dv),
+	}
+	if err := rm.Validate(); err != nil {
+		return RestoreModel{}, err
+	}
+	return rm, nil
+}
+
+// RestoreModelFor derives a restore model for an arbitrary partial-refresh
+// latency (in total cycles, >= the non-post overhead), keeping the full
+// refresh at the paper's operating point. This powers the Section 3.1
+// tau_partial trade-off sweep.
+func RestoreModelFor(p device.Params, geom device.BankGeometry, partialCycles int) (RestoreModel, error) {
+	m, err := analytic.New(p, geom)
+	if err != nil {
+		return RestoreModel{}, err
+	}
+	dv, err := m.DefaultDvbl()
+	if err != nil {
+		return RestoreModel{}, err
+	}
+	overhead := analytic.TauFullCycles - analytic.TauPostFullCycles // eq + pre + fixed
+	postCycles := partialCycles - overhead
+	if postCycles < 0 {
+		postCycles = 0
+	}
+	rm := RestoreModel{
+		PartialCycles: partialCycles,
+		FullCycles:    analytic.TauFullCycles,
+		AlphaPartial:  m.RestoreAlpha(float64(postCycles)*p.TCK, dv),
+		AlphaFull:     m.RestoreAlpha(float64(analytic.TauPostFullCycles)*p.TCK, dv),
+	}
+	// A degenerate partial refresh (alpha = 0) is representable: MPRSF will
+	// come out 0 and the sweep will show no benefit, which is the point of
+	// the trade-off plot. Only validate structure, not usefulness.
+	if rm.AlphaPartial <= 0 {
+		rm.AlphaPartial = 1e-9
+	}
+	if err := rm.Validate(); err != nil {
+		return RestoreModel{}, err
+	}
+	return rm, nil
+}
+
+// ChargeGuardband is the default minimum normalized charge the MPRSF
+// computation keeps every scheduled sensing above. It is deliberately far
+// above the raw 50% sensing limit: the margin absorbs data-pattern
+// dependence, sneak-path leakage, bitline coupling noise and
+// variable-retention-time drift - the effects the paper's Section 2 model
+// and its cited profiling works (REAPER, AVATAR) account for.
+const ChargeGuardband = 0.86
+
+// ComputeMPRSF returns the number of consecutive partial refreshes a row can
+// sustain after a full refresh, such that the charge at every scheduled
+// sensing instant (including the closing full refresh) stays at or above the
+// guardband threshold. The result is capped at maxPartials (the counter
+// range, 2^nbits - 1).
+//
+// tret is the PROFILED (derated) retention time; period is the row's binned
+// refresh period; decay is the leakage law.
+func ComputeMPRSF(tret, period float64, rm RestoreModel, decay retention.DecayModel, guardband float64, maxPartials int) int {
+	if maxPartials <= 0 {
+		return 0
+	}
+	if tret <= 0 || period <= 0 {
+		return 0
+	}
+	// Invariant: at the top of iteration m, v is the charge right after
+	// refresh #m (refresh #0 being the initial full refresh), with refreshes
+	// 1..m scheduled partial. sensed is then the charge refresh #(m+1) reads.
+	// Scheduling p partials requires the sensing at refreshes 1..p+1 (the
+	// last one full) to stay above the guardband, so the first failing index
+	// m+1 caps p at m-1.
+	d := decay.Factor(period, tret)
+	v := 1.0
+	for m := 0; m <= maxPartials; m++ {
+		sensed := v * d
+		if sensed < guardband {
+			if m == 0 {
+				// Even an all-full schedule dips below the guardband; the
+				// binning still keeps it above the raw sensing limit, so the
+				// row simply gets no partial refreshes.
+				return 0
+			}
+			return m - 1
+		}
+		if m == maxPartials {
+			break
+		}
+		// Refresh m+1 is a partial refresh.
+		v = sensed + (1-sensed)*rm.AlphaPartial
+	}
+	return maxPartials
+}

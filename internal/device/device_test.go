@@ -1,0 +1,173 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefault90nmValidates(t *testing.T) {
+	if err := Default90nm().Validate(); err != nil {
+		t.Fatalf("default parameter set invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"vdd", func(p *Params) { p.Vdd = p.Vss }, "Vdd"},
+		{"vtn", func(p *Params) { p.Vtn = 0 }, "Vtn"},
+		{"vtp", func(p *Params) { p.Vtp = 2 }, "Vtp"},
+		{"vg", func(p *Params) { p.Vg = p.Vdd }, "Vg"},
+		{"cs", func(p *Params) { p.Cs = 0 }, "Cs"},
+		{"segrows", func(p *Params) { p.SegRows = 0 }, "SegRows"},
+		{"cblperrow", func(p *Params) { p.CblPerRow = -1 }, "CblPerRow"},
+		{"cbl0", func(p *Params) { p.Cbl0 = -1 }, "Cbl0"},
+		{"cbb", func(p *Params) { p.Cbb = -1 }, "Cbb"},
+		{"cbw", func(p *Params) { p.Cbw = -1 }, "Cbw"},
+		{"rbl", func(p *Params) { p.Rbl = 0 }, "Rbl"},
+		{"rglobal", func(p *Params) { p.RGlobalPerRow = -1 }, "RGlobalPerRow"},
+		{"cglobal", func(p *Params) { p.CGlobalPerRow = -1 }, "CGlobalPerRow"},
+		{"ronaccess", func(p *Params) { p.RonAccess = 0 }, "RonAccess"},
+		{"idsat", func(p *Params) { p.AccessIdsat = 0 }, "AccessIdsat"},
+		{"roneq", func(p *Params) { p.RonEq = 0 }, "RonEq"},
+		{"ronrestore", func(p *Params) { p.RonRestore = 0 }, "RonRestore"},
+		{"rwl", func(p *Params) { p.RwlPerCol = -1 }, "RwlPerCol"},
+		{"cwl", func(p *Params) { p.CwlPerCol = -1 }, "CwlPerCol"},
+		{"betan", func(p *Params) { p.BetaN = 0 }, "BetaN"},
+		{"betap", func(p *Params) { p.BetaP = 0 }, "BetaP"},
+		{"gme", func(p *Params) { p.Gme = 0 }, "Gme"},
+		{"vresidue", func(p *Params) { p.Vresidue = 0 }, "Vresidue"},
+		{"tck", func(p *Params) { p.TCK = 0 }, "TCK"},
+		{"trefi", func(p *Params) { p.TREFI = 0 }, "TREFI"},
+		{"tretnom", func(p *Params) { p.TRetNom = 0 }, "TRetNom"},
+		{"tfixed", func(p *Params) { p.TFixedCycles = -1 }, "TFixedCycles"},
+		{"threshold", func(p *Params) { p.SenseThreshold = 0.4 }, "SenseThreshold"},
+	}
+	for _, m := range mutations {
+		p := Default90nm()
+		m.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: mutation not caught", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestVeq(t *testing.T) {
+	p := Default90nm()
+	if got, want := p.Veq(), p.Vdd/2; got != want {
+		t.Fatalf("Veq = %v, want %v", got, want)
+	}
+}
+
+func TestCblSegAndRatio(t *testing.T) {
+	p := Default90nm()
+	cbl := p.CblSeg()
+	if cbl <= p.Cbl0 {
+		t.Fatalf("CblSeg %v should exceed the fixed part %v", cbl, p.Cbl0)
+	}
+	r := p.ChargeTransferRatio()
+	if r <= 0 || r >= 1 {
+		t.Fatalf("charge transfer ratio %v outside (0,1)", r)
+	}
+	if want := p.Cs / (p.Cs + cbl); r != want {
+		t.Fatalf("ratio = %v, want %v", r, want)
+	}
+}
+
+func TestGlobalRoutingScalesWithRows(t *testing.T) {
+	p := Default90nm()
+	if p.RGlobal(2048) >= p.RGlobal(16384) {
+		t.Fatal("global resistance must grow with rows")
+	}
+	if p.CGlobal(2048) >= p.CGlobal(16384) {
+		t.Fatal("global capacitance must grow with rows")
+	}
+	if p.Rpre(2048) >= p.Rpre(16384) {
+		t.Fatal("Rpre must grow with rows")
+	}
+}
+
+func TestWordlineDelayScalesWithCols(t *testing.T) {
+	p := Default90nm()
+	d32, d128 := p.WordlineDelay(32), p.WordlineDelay(128)
+	if d128 <= d32 {
+		t.Fatalf("wordline delay must grow with columns: %v vs %v", d32, d128)
+	}
+	// Distributed RC: quadratic in length.
+	if ratio := d128 / d32; ratio < 15.9 || ratio > 16.1 {
+		t.Fatalf("4x columns should give ~16x delay, got %vx", ratio)
+	}
+}
+
+func TestCyclesRounding(t *testing.T) {
+	p := Default90nm()
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{0, 0},
+		{-1, 0},
+		{p.TCK, 1},
+		{p.TCK * 0.5, 1},
+		{p.TCK * 1.0001, 2},
+		{p.TCK * 19, 19},
+	}
+	for _, c := range cases {
+		if got := p.Cycles(c.d); got != c.want {
+			t.Errorf("Cycles(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBankGeometry(t *testing.T) {
+	g := BankGeometry{Rows: 8192, Cols: 32}
+	if g.String() != "8192x32" {
+		t.Fatalf("String = %q", g.String())
+	}
+	if g.Cells() != 8192*32 {
+		t.Fatalf("Cells = %d", g.Cells())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (BankGeometry{Rows: 0, Cols: 32}).Validate(); err == nil {
+		t.Fatal("zero rows must fail validation")
+	}
+	if err := (BankGeometry{Rows: 32, Cols: -1}).Validate(); err == nil {
+		t.Fatal("negative cols must fail validation")
+	}
+}
+
+func TestTable1BanksMatchPaper(t *testing.T) {
+	want := []string{"2048x32", "2048x128", "8192x32", "8192x128", "16384x32", "16384x128"}
+	if len(Table1Banks) != len(want) {
+		t.Fatalf("got %d banks, want %d", len(Table1Banks), len(want))
+	}
+	for i, g := range Table1Banks {
+		if g.String() != want[i] {
+			t.Errorf("bank %d = %s, want %s", i, g, want[i])
+		}
+	}
+	if PaperBank.String() != "8192x32" {
+		t.Fatalf("paper bank = %s", PaperBank)
+	}
+}
+
+func TestCpostIncludesCouplings(t *testing.T) {
+	p := Default90nm()
+	want := p.Cs + p.CblSeg() + 2*p.Cbb + p.Cbw
+	if got := p.Cpost(); got != want {
+		t.Fatalf("Cpost = %v, want %v", got, want)
+	}
+	if got, want := p.Rpost(), p.Rbl+p.RonRestore; got != want {
+		t.Fatalf("Rpost = %v, want %v", got, want)
+	}
+}

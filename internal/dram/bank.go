@@ -1,0 +1,174 @@
+// Package dram models a DRAM bank at the granularity the VRL-DRAM mechanism
+// cares about: the normalized charge of each row's weakest cell, decaying
+// according to the row's true retention time and the stored data pattern,
+// restored by refresh operations and row activations.
+//
+// The bank is the mechanism's safety net: every refresh and access first
+// senses the row, and a row whose weakest cell has fallen below the sensing
+// limit records a data-integrity violation. A correctly computed MPRSF must
+// never produce one; the failure-injection tests show that an unsafe
+// configuration does.
+package dram
+
+import (
+	"fmt"
+
+	"vrldram/internal/device"
+	"vrldram/internal/retention"
+)
+
+// Violation records a data-integrity failure: a row was sensed while its
+// weakest cell was below the sensing limit.
+type Violation struct {
+	Row    int
+	Time   float64 // seconds
+	Charge float64 // normalized charge at sensing
+}
+
+// Bank tracks per-row weakest-cell charge lazily: each row stores its charge
+// at the time of its last restore, and decay is applied on demand.
+type Bank struct {
+	Geom    device.BankGeometry
+	Profile *retention.BankProfile
+	Decay   retention.DecayModel
+	Pattern retention.Pattern
+
+	// VRT, when non-nil, modulates per-row retention with the
+	// random-telegraph process of retention.VRT. Static profiles do not see
+	// it - that is the point of the VRT experiments.
+	VRT *retention.VRT
+
+	charge []float64 // normalized charge at lastT
+	lastT  []float64 // time the charge was last set (s)
+
+	violations []Violation
+}
+
+// NewBank returns a bank with every row fully charged at t = 0.
+func NewBank(profile *retention.BankProfile, decay retention.DecayModel, pattern retention.Pattern) (*Bank, error) {
+	if profile == nil {
+		return nil, fmt.Errorf("dram: nil profile")
+	}
+	if decay == nil {
+		decay = retention.ExpDecay{}
+	}
+	if len(profile.True) != profile.Geom.Rows {
+		return nil, fmt.Errorf("dram: profile has %d rows, geometry says %d", len(profile.True), profile.Geom.Rows)
+	}
+	b := &Bank{
+		Geom:    profile.Geom,
+		Profile: profile,
+		Decay:   decay,
+		Pattern: pattern,
+		charge:  make([]float64, profile.Geom.Rows),
+		lastT:   make([]float64, profile.Geom.Rows),
+	}
+	for r := range b.charge {
+		b.charge[r] = 1
+	}
+	return b, nil
+}
+
+// effectiveRetention is the row's true retention under the stored pattern.
+func (b *Bank) effectiveRetention(row int) float64 {
+	return b.Profile.True[row] * retention.PatternFactor(b.Pattern)
+}
+
+// SetVRT attaches a variable-retention-time process to the bank; pass nil
+// to detach. Returns an error for invalid parameters.
+func (b *Bank) SetVRT(v *retention.VRT) error {
+	if v != nil {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	b.VRT = v
+	return nil
+}
+
+// ChargeAt returns the row's normalized weakest-cell charge at time t
+// (t must not precede the row's last restore).
+func (b *Bank) ChargeAt(row int, t float64) (float64, error) {
+	if row < 0 || row >= b.Geom.Rows {
+		return 0, fmt.Errorf("dram: row %d out of range [0,%d)", row, b.Geom.Rows)
+	}
+	dt := t - b.lastT[row]
+	if dt < 0 {
+		return 0, fmt.Errorf("dram: time went backwards for row %d: %.6g < %.6g", row, t, b.lastT[row])
+	}
+	tret := b.effectiveRetention(row)
+	if b.VRT != nil {
+		return b.charge[row] * b.VRT.DecayFactor(row, tret, b.lastT[row], t, b.Decay), nil
+	}
+	return b.charge[row] * b.Decay.Factor(dt, tret), nil
+}
+
+// sense reads the row's charge at t, recording a violation if it is below
+// the sensing limit.
+func (b *Bank) sense(row int, t float64) (float64, error) {
+	v, err := b.ChargeAt(row, t)
+	if err != nil {
+		return 0, err
+	}
+	if v < retention.SenseLimit {
+		b.violations = append(b.violations, Violation{Row: row, Time: t, Charge: v})
+	}
+	return v, nil
+}
+
+// RefreshResult reports what one refresh operation did.
+type RefreshResult struct {
+	ChargeBefore   float64
+	ChargeAfter    float64
+	ChargeRestored float64 // normalized charge delivered (after - before)
+}
+
+// Refresh senses the row at time t and restores its charge by the refresh
+// restore coefficient alpha: v' = v + (1-v)*alpha (paper Eq. 12 in
+// normalized form). A full refresh has alpha ~ 1; a partial refresh the
+// alpha of its truncated post-sensing window.
+func (b *Bank) Refresh(row int, t, alpha float64) (RefreshResult, error) {
+	if alpha < 0 || alpha > 1 {
+		return RefreshResult{}, fmt.Errorf("dram: restore alpha %g outside [0,1]", alpha)
+	}
+	v, err := b.sense(row, t)
+	if err != nil {
+		return RefreshResult{}, err
+	}
+	after := v + (1-v)*alpha
+	b.charge[row] = after
+	b.lastT[row] = t
+	return RefreshResult{ChargeBefore: v, ChargeAfter: after, ChargeRestored: after - v}, nil
+}
+
+// Access senses and activates the row at time t; an activation fully
+// restores the row's charge (the property VRL-Access exploits).
+func (b *Bank) Access(row int, t float64) (RefreshResult, error) {
+	v, err := b.sense(row, t)
+	if err != nil {
+		return RefreshResult{}, err
+	}
+	b.charge[row] = 1
+	b.lastT[row] = t
+	return RefreshResult{ChargeBefore: v, ChargeAfter: 1, ChargeRestored: 1 - v}, nil
+}
+
+// Violations returns the integrity violations recorded so far.
+func (b *Bank) Violations() []Violation { return b.violations }
+
+// CheckAll senses every row at time t and returns the number of rows below
+// the sensing limit (recording violations for each). Useful as an
+// end-of-simulation integrity sweep.
+func (b *Bank) CheckAll(t float64) (int, error) {
+	bad := 0
+	for r := 0; r < b.Geom.Rows; r++ {
+		v, err := b.sense(r, t)
+		if err != nil {
+			return bad, err
+		}
+		if v < retention.SenseLimit {
+			bad++
+		}
+	}
+	return bad, nil
+}

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/circuit/analytic"
+	"vrldram/internal/circuit/netlists"
+	"vrldram/internal/circuit/spice"
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/retention"
+	"vrldram/internal/singlecell"
+)
+
+// Figure1a reproduces the paper's Figure 1a: the fraction of full charge on
+// a cell capacitor versus the fraction of tRFC elapsed during a full refresh
+// operation, for a cell starting at the 50% sensing limit. The paper's
+// Observation 1: ~60% of tRFC is spent reaching 95% of charge; the last 5%
+// of charge costs the remaining ~40%.
+func Figure1a(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := analytic.New(cfg.Params, cfg.Geom)
+	if err != nil {
+		return nil, err
+	}
+	const start = 0.5
+	pts, err := m.RestoreCurve(start, 21)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:      "fig1a",
+		Title:   "Charge restoration vs fraction of tRFC",
+		Headers: []string{"% of tRFC", "% of full charge"},
+	}
+	for _, p := range pts {
+		r.AddRow(fmt.Sprintf("%.0f", 100*p.FracTRFC), fmt.Sprintf("%.1f", 100*p.FracCharge))
+	}
+	t95, err := m.TimeToChargeFraction(start, 0.95)
+	if err != nil {
+		return nil, err
+	}
+	r.AddNote("time to 95%% of charge: %.0f%% of tRFC (paper: ~60%%)", 100*t95)
+	r.AddNote("the last 5%% of charge takes the remaining %.0f%% of tRFC (paper: ~40%%)", 100*(1-t95))
+	return r, nil
+}
+
+// Figure1b reproduces the paper's Figure 1b: the charge of an example cell
+// over three 64 ms refresh periods, refreshed (a) fully every period and
+// (b) with partial refreshes after the initial full refresh. The example
+// cell is chosen, as in the paper, so that it survives one partial refresh
+// but not two back-to-back ones.
+func Figure1b(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rm, err := core.PaperRestoreModel(cfg.Params, cfg.Geom)
+	if err != nil {
+		return nil, err
+	}
+	period := cfg.Params.TRetNom
+	decay := retention.ExpDecay{}
+
+	// Find a retention time whose MPRSF at the raw sensing limit is exactly
+	// 1: one partial refresh is safe, two back-to-back are not.
+	tret := math.NaN()
+	for t := period; t < 4*period; t += period / 2048 {
+		if core.ComputeMPRSF(t, period, rm, decay, retention.SenseLimit, 8) == 1 {
+			tret = t
+			break
+		}
+	}
+	if math.IsNaN(tret) {
+		return nil, fmt.Errorf("exp: no retention time with MPRSF=1 at the raw sensing limit")
+	}
+
+	r := &Result{
+		ID:      "fig1b",
+		Title:   "Refreshing a DRAM cell with full and partial refresh operations",
+		Headers: []string{"time (ms)", "% charge (full refresh)", "% charge (partial refresh)"},
+	}
+
+	// Trajectory sampling: full-refresh schedule restores with AlphaFull at
+	// 64/128 ms; partial-refresh schedule restores with AlphaPartial.
+	sample := func(alpha float64, t float64) float64 {
+		// Charge at absolute time t under refreshes at 64 and 128 ms.
+		v := 1.0
+		last := 0.0
+		for _, rt := range []float64{period, 2 * period} {
+			if t < rt {
+				break
+			}
+			v = v * decay.Factor(rt-last, tret)
+			v = v + (1-v)*alpha
+			last = rt
+		}
+		return v * decay.Factor(t-last, tret)
+	}
+	const stepMS = 8
+	for ms := 0; ms <= 192; ms += stepMS {
+		t := float64(ms) / 1000
+		r.AddRow(
+			fmt.Sprintf("%d", ms),
+			fmt.Sprintf("%.1f", 100*sample(rm.AlphaFull, t)),
+			fmt.Sprintf("%.1f", 100*sample(rm.AlphaPartial, t)),
+		)
+	}
+	minPartial := 1.0
+	for ms := 0; ms <= 192; ms++ {
+		if v := sample(rm.AlphaPartial, float64(ms)/1000); v < minPartial {
+			minPartial = v
+		}
+	}
+	r.AddNote("example cell retention time: %.1f ms (MPRSF = 1 at the raw 50%% limit)", tret*1000)
+	r.AddNote("after two back-to-back partial refreshes the charge reaches %.1f%%, below the 50%% sensing limit (paper: cell loses its value)", 100*minPartial)
+	r.AddNote("with a full refresh every period the charge never drops below %.1f%%", 100*decay.Factor(period, tret))
+	return r, nil
+}
+
+// Figure5 reproduces the paper's Figure 5: the equalization voltage response
+// of the bitline pair under (1) the paper's two-phase analytical model,
+// (2) the single-cell capacitor model of Li et al., and (3) transient SPICE
+// simulation of the Figure 2a circuit.
+func Figure5(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	am, err := analytic.New(cfg.Params, cfg.Geom)
+	if err != nil {
+		return nil, err
+	}
+	sc := singlecell.New(cfg.Params)
+
+	ckt := netlists.Equalization(cfg.Params)
+	const tstop, h = 1.0e-9, 1.0e-12
+	res, err := ckt.Transient(spice.TransientOpts{TStop: tstop, H: h, Probes: []string{"bl", "blb"}})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		ID:    "fig5",
+		Title: "Voltage response during the equalization stage",
+		Headers: []string{"t (ns)", "Bi 2-phase (V)", "Bi Li et al. (V)", "Bi SPICE (V)",
+			"B~i 2-phase (V)", "B~i SPICE (V)"},
+	}
+	var errOurs, errLi float64
+	n := 0
+	for i := 0; i <= 20; i++ {
+		t := tstop * float64(i) / 20
+		vSpiceHi, err := res.At("bl", t)
+		if err != nil {
+			return nil, err
+		}
+		vSpiceLo, err := res.At("blb", t)
+		if err != nil {
+			return nil, err
+		}
+		vOurs := am.EqBitlineVoltage(t, true)
+		vLi := sc.EqBitlineVoltage(t, true)
+		vOursLo := am.EqBitlineVoltage(t, false)
+		r.AddRow(
+			fmt.Sprintf("%.2f", t*1e9),
+			fmt.Sprintf("%.4f", vOurs),
+			fmt.Sprintf("%.4f", vLi),
+			fmt.Sprintf("%.4f", vSpiceHi),
+			fmt.Sprintf("%.4f", vOursLo),
+			fmt.Sprintf("%.4f", vSpiceLo),
+		)
+		errOurs += (vOurs - vSpiceHi) * (vOurs - vSpiceHi)
+		errLi += (vLi - vSpiceHi) * (vLi - vSpiceHi)
+		n++
+	}
+	rmsOurs := math.Sqrt(errOurs / float64(n))
+	rmsLi := math.Sqrt(errLi / float64(n))
+	r.AddNote("RMS error vs SPICE on bitline Bi: 2-phase model %.1f mV, Li et al. single-cell model %.1f mV", rmsOurs*1e3, rmsLi*1e3)
+	if rmsOurs < rmsLi {
+		r.AddNote("the 2-phase model tracks SPICE more closely than the single-cell model (paper's claim)")
+	} else {
+		r.AddNote("WARNING: the single-cell model came out closer to SPICE than the 2-phase model; check calibration")
+	}
+	return r, nil
+}
+
+// Table1 reproduces the paper's Table 1: the pre-sensing time (in DRAM
+// cycles) needed to develop 95% of the sense signal, for six bank
+// geometries, under SPICE simulation, the single-cell model, and the
+// paper's analytical model - plus the wall-clock time of each method.
+func Table1(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:    "tab1",
+		Title: "Accuracy trade-offs of the analytical model",
+		Headers: []string{"Bank", "SPICE (cyc)", "Single cell (cyc)", "Our model (cyc)",
+			"SPICE time", "Single cell time", "Our model time"},
+	}
+	sc := singlecell.New(cfg.Params)
+	for _, g := range device.Table1Banks {
+		meas, err := netlists.MeasurePreSense(cfg.Params, g, "ones", analytic.PreSenseTargetDefault)
+		if err != nil {
+			return nil, fmt.Errorf("exp: SPICE pre-sense for %s: %w", g, err)
+		}
+		scStart := nowNanotime()
+		scT := sc.TauPre(analytic.PreSenseTargetDefault)
+		scElapsed := nowNanotime() - scStart
+
+		am, err := analytic.New(cfg.Params, g)
+		if err != nil {
+			return nil, err
+		}
+		amStart := nowNanotime()
+		amT := am.TauPre(analytic.PreSenseTargetDefault)
+		amElapsed := nowNanotime() - amStart
+
+		r.AddRow(
+			g.String(),
+			fmt.Sprintf("%d", meas.Cycles),
+			fmt.Sprintf("%d", cfg.Params.Cycles(scT)),
+			fmt.Sprintf("%d", cfg.Params.Cycles(amT)),
+			meas.WallClock.String(),
+			fmtNanos(scElapsed),
+			fmtNanos(amElapsed),
+		)
+	}
+	r.AddNote("paper (90nm testbed): SPICE 7/8/9/11/14/16, single cell 6/6/6/6/6/6, model 7/8/9/10/12/14 cycles")
+	r.AddNote("the single-cell model is geometry-blind; SPICE and the analytical model grow with bank size")
+	r.AddNote("wall-clock substitutes the paper's hours-vs-seconds scale: our transient engine is ~10^3-10^4x slower than the closed-form model, preserving the ordering")
+	return r, nil
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/circuit/analytic"
+	"vrldram/internal/device"
+)
+
+// SenseMarginSweep reports the worst-case developed sense signal per data
+// pattern across Table 1's bank geometries: the quantity the paper's
+// Eq. 7/8 coupling model exists to compute. A design is sensible only if
+// the weakest bitline under the most hostile pattern still develops enough
+// differential for the latch amplifier - and the table shows why the
+// alternating pattern is the one the profiler must derate for.
+func SenseMarginSweep(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:    "abl-margin",
+		Title: "Worst-case developed sense signal by data pattern (Eq. 8 coupling solve)",
+		Headers: []string{"Bank", "ideal (mV)", "all-0/1 (mV)", "alternating (mV)",
+			"random (mV)", "worst attenuation"},
+	}
+	for _, g := range device.Table1Banks {
+		m, err := analytic.New(cfg.Params, g)
+		if err != nil {
+			return nil, err
+		}
+		ideal := m.VsenseIdeal(cfg.Params.Vdd - cfg.Params.Veq())
+		minFor := func(pattern string) (float64, error) {
+			lself, err := m.PatternLself(pattern, g.Cols)
+			if err != nil {
+				return 0, err
+			}
+			vs, err := m.VsenseVector(lself)
+			if err != nil {
+				return 0, err
+			}
+			min := math.Inf(1)
+			for _, v := range vs {
+				if a := math.Abs(v); a < min {
+					min = a
+				}
+			}
+			return min, nil
+		}
+		ones, err := minFor("ones")
+		if err != nil {
+			return nil, err
+		}
+		alt, err := minFor("alt")
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := minFor("random")
+		if err != nil {
+			return nil, err
+		}
+		att, err := m.WorstCaseAttenuation(g.Cols)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(g.String(),
+			fmt.Sprintf("%.1f", ideal*1e3),
+			fmt.Sprintf("%.1f", ones*1e3),
+			fmt.Sprintf("%.1f", alt*1e3),
+			fmt.Sprintf("%.1f", rnd*1e3),
+			fmt.Sprintf("%.3f", att))
+	}
+	r.AddNote("uniform patterns lose only the wordline-coupling share; anti-correlated neighbours fight the signal directly")
+	r.AddNote("the random pattern's worst local spot dips slightly below even the alternating pattern: supportive second neighbours strengthen the opposing lines (the cyclic dependency of Eq. 7) - this is why profiling sweeps all four patterns")
+	r.AddNote("the attenuation is geometry-stable because the charge-transfer ratio is fixed per bitline segment; the latency geometry dependence lives in the time domain (Table 1), not the signal domain")
+	return r, nil
+}

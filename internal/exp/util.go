@@ -1,0 +1,16 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+)
+
+// nowNanotime returns a monotonic nanosecond timestamp for micro-timing the
+// closed-form models in Table 1.
+func nowNanotime() int64 { return time.Now().UnixNano() }
+
+// fmtNanos renders a nanosecond interval compactly (the closed-form models
+// finish in microseconds).
+func fmtNanos(ns int64) string {
+	return fmt.Sprintf("%v", time.Duration(ns))
+}

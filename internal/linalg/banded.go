@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Banded is a square matrix with equal lower and upper bandwidth K, stored
+// diagonally: element (i, j) with |i-j| <= K lives at Data[i*(2K+1)+(j-i+K)].
+// The mini-SPICE engine uses it because RC-array conductance matrices couple
+// only physically adjacent nodes, making transient solves O(N*K^2) instead
+// of O(N^3).
+type Banded struct {
+	N, K int
+	Data []float64
+}
+
+// NewBanded returns a zero n x n matrix with bandwidth k (0 <= k < n).
+func NewBanded(n, k int) *Banded {
+	if k >= n {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return &Banded{N: n, K: k, Data: make([]float64, n*(2*k+1))}
+}
+
+// InBand reports whether (i, j) is representable.
+func (m *Banded) InBand(i, j int) bool {
+	d := j - i
+	return d >= -m.K && d <= m.K
+}
+
+// At returns element (i, j); out-of-band elements are zero.
+func (m *Banded) At(i, j int) float64 {
+	if !m.InBand(i, j) {
+		return 0
+	}
+	return m.Data[i*(2*m.K+1)+(j-i+m.K)]
+}
+
+// AddAt accumulates v into element (i, j). It panics if (i, j) is out of
+// band: the caller (the circuit assembler) must have sized the bandwidth to
+// cover every device stamp.
+func (m *Banded) AddAt(i, j int, v float64) {
+	if !m.InBand(i, j) {
+		panic(fmt.Sprintf("linalg: banded stamp (%d,%d) outside bandwidth %d", i, j, m.K))
+	}
+	m.Data[i*(2*m.K+1)+(j-i+m.K)] += v
+}
+
+// Zero clears the matrix in place.
+func (m *Banded) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// SolveBandedNoPivot factors and solves m*x = b in place using banded
+// Gaussian elimination WITHOUT pivoting. The caller must guarantee the
+// matrix is safely factorable without pivoting - circuit conductance
+// matrices with a gmin on every diagonal are. The matrix is destroyed. It
+// returns ErrSingular if a pivot underflows working precision.
+func SolveBandedNoPivot(m *Banded, b []float64) ([]float64, error) {
+	n, k := m.N, m.K
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: banded solve size mismatch: matrix %d, rhs %d", n, len(b))
+	}
+	w := 2*k + 1
+	x := make([]float64, n)
+	copy(x, b)
+	var scale float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return nil, ErrSingular
+	}
+	eps := scale * 1e-15
+	// Forward elimination.
+	for col := 0; col < n; col++ {
+		pivot := m.Data[col*w+k]
+		if math.Abs(pivot) <= eps {
+			return nil, ErrSingular
+		}
+		last := col + k
+		if last >= n {
+			last = n - 1
+		}
+		for row := col + 1; row <= last; row++ {
+			l := m.Data[row*w+(col-row+k)] / pivot
+			if l == 0 {
+				continue
+			}
+			m.Data[row*w+(col-row+k)] = 0
+			for j := col + 1; j <= col+k && j < n; j++ {
+				if j-row >= -k && j-row <= k {
+					m.Data[row*w+(j-row+k)] -= l * m.Data[col*w+(j-col+k)]
+				}
+			}
+			x[row] -= l * x[col]
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		s := x[row]
+		for j := row + 1; j <= row+k && j < n; j++ {
+			s -= m.Data[row*w+(j-row+k)] * x[j]
+		}
+		x[row] = s / m.Data[row*w+k]
+	}
+	return x, nil
+}

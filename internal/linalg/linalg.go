@@ -1,0 +1,226 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// VRL-DRAM models need: a Thomas (tridiagonal) solver for the bitline
+// coupling system of paper Eq. 8, and an LU solver with partial pivoting for
+// the modified-nodal-analysis matrices of the mini-SPICE engine.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a system has no unique solution at working
+// precision.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveTridiagonal solves the n x n tridiagonal system
+//
+//	lower[i]*x[i-1] + diag[i]*x[i] + upper[i]*x[i+1] = rhs[i]
+//
+// using the Thomas algorithm. lower[0] and upper[n-1] are ignored. The
+// inputs are not modified. It returns ErrSingular if elimination encounters
+// a zero pivot.
+func SolveTridiagonal(lower, diag, upper, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(lower) != n || len(upper) != n || len(rhs) != n {
+		return nil, fmt.Errorf("linalg: tridiagonal size mismatch: lower=%d diag=%d upper=%d rhs=%d",
+			len(lower), n, len(upper), len(rhs))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	cp := make([]float64, n) // modified upper diagonal
+	dp := make([]float64, n) // modified rhs
+	if diag[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = upper[0] / diag[0]
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - lower[i]*cp[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		cp[i] = upper[i] / den
+		dp[i] = (rhs[i] - lower[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// Dense is a square matrix stored in row-major order.
+type Dense struct {
+	N    int
+	Data []float64 // len N*N
+}
+
+// NewDense returns a zero n x n matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j); the stamping primitive MNA uses.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// AddAt is Add under the name the circuit assembler's matrix interface
+// shares with Banded.
+func (m *Dense) AddAt(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Zero clears the matrix in place, preserving its storage.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m * x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.N {
+		return nil, fmt.Errorf("linalg: MulVec size mismatch: matrix %d, vector %d", m.N, len(x))
+	}
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// LU holds an LU factorization with partial pivoting, reusable across
+// multiple right-hand sides.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of m with partial pivoting. m is not
+// modified. It returns ErrSingular when a pivot vanishes at working
+// precision relative to the matrix scale.
+func Factor(m *Dense) (*LU, error) {
+	n := m.N
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, m.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	// Scale reference for the singularity test.
+	var scale float64
+	for _, v := range f.lu {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return nil, ErrSingular
+	}
+	eps := scale * 1e-14
+	for k := 0; k < n; k++ {
+		// Pivot search.
+		p, pmax := k, math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(f.lu[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax <= eps {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[p*n+j], f.lu[k*n+j] = f.lu[k*n+j], f.lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= l * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with A*x = b for the factored matrix A.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: LU solve size mismatch: matrix %d, rhs %d", f.n, len(b))
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu[i*n+i]
+	}
+	return x, nil
+}
+
+// SolveDense factors m and solves m*x = b in one step.
+func SolveDense(m *Dense, b []float64) ([]float64, error) {
+	f, err := Factor(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// equal-length vectors; it is the convergence metric of the Newton loop and
+// of several tests.
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("linalg: MaxAbsDiff length mismatch: %d vs %d", len(a), len(b))
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}

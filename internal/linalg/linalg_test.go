@@ -1,0 +1,287 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSolveTridiagonalKnown(t *testing.T) {
+	// 2x2 system: [2 1; 1 2] x = [3; 3] -> x = [1; 1].
+	x, err := SolveTridiagonal([]float64{0, 1}, []float64{2, 2}, []float64{1, 0}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if !almostEqual(v, 1, 1e-12) {
+			t.Errorf("x[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestSolveTridiagonalSizeMismatch(t *testing.T) {
+	if _, err := SolveTridiagonal([]float64{0}, []float64{1, 1}, []float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+}
+
+func TestSolveTridiagonalEmpty(t *testing.T) {
+	x, err := SolveTridiagonal(nil, nil, nil, nil)
+	if err != nil || x != nil {
+		t.Fatalf("empty system: got %v, %v", x, err)
+	}
+}
+
+func TestSolveTridiagonalSingular(t *testing.T) {
+	if _, err := SolveTridiagonal([]float64{0}, []float64{0}, []float64{0}, []float64{1}); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+// Property: the tridiagonal solver agrees with the dense LU solver on random
+// diagonally dominant tridiagonal systems.
+func TestTridiagonalMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		lower := make([]float64, n)
+		diag := make([]float64, n)
+		upper := make([]float64, n)
+		rhs := make([]float64, n)
+		m := NewDense(n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				lower[i] = rng.Float64() - 0.5
+				m.Set(i, i-1, lower[i])
+			}
+			if i < n-1 {
+				upper[i] = rng.Float64() - 0.5
+				m.Set(i, i+1, upper[i])
+			}
+			diag[i] = 2 + rng.Float64() // dominant
+			m.Set(i, i, diag[i])
+			rhs[i] = rng.Float64()*2 - 1
+		}
+		x1, err := SolveTridiagonal(lower, diag, upper, rhs)
+		if err != nil {
+			return false
+		}
+		x2, err := SolveDense(m, rhs)
+		if err != nil {
+			return false
+		}
+		d, err := MaxAbsDiff(x1, x2)
+		return err == nil && d < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseLUKnown(t *testing.T) {
+	m := NewDense(3)
+	vals := [][]float64{{4, 2, 1}, {2, 5, 2}, {1, 2, 6}}
+	for i := range vals {
+		for j := range vals[i] {
+			m.Set(i, j, vals[i][j])
+		}
+	}
+	want := []float64{1, -2, 3}
+	b, err := m.MulVec(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveDense(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDenseLUNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a pivot swap.
+	m := NewDense(2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := SolveDense(m, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("got %v, want [7 3]", x)
+	}
+}
+
+func TestDenseLUSingular(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := SolveDense(m, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	if _, err := SolveDense(NewDense(2), []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("zero matrix: want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUReusableFactorization(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 4)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := f.Solve([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := f.Solve([]float64{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x1[0], 1, 1e-12) || !almostEqual(x2[0], 2, 1e-12) {
+		t.Fatalf("got %v then %v", x1, x2)
+	}
+}
+
+func TestLUSolveSizeMismatch(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+}
+
+func TestDenseHelpers(t *testing.T) {
+	m := NewDense(2)
+	m.Add(0, 1, 3)
+	m.AddAt(0, 1, 2)
+	if m.At(0, 1) != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+	c := m.Clone()
+	m.Zero()
+	if c.At(0, 1) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("Clone/Zero interaction broken")
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Fatal("want MulVec size error")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	d, err := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 2})
+	if err != nil || d != 0.5 {
+		t.Fatalf("got %v, %v", d, err)
+	}
+	if _, err := MaxAbsDiff([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+}
+
+func TestBandedBasics(t *testing.T) {
+	m := NewBanded(4, 1)
+	if m.InBand(0, 2) {
+		t.Fatal("(0,2) should be out of band for k=1")
+	}
+	m.AddAt(1, 2, 3)
+	if m.At(1, 2) != 3 || m.At(0, 2) != 0 {
+		t.Fatal("AddAt/At broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-band AddAt should panic")
+		}
+	}()
+	m.AddAt(0, 3, 1)
+}
+
+func TestBandedClampsBandwidth(t *testing.T) {
+	m := NewBanded(3, 10)
+	if m.K != 2 {
+		t.Fatalf("K = %d, want clamp to 2", m.K)
+	}
+	m = NewBanded(3, -1)
+	if m.K != 0 {
+		t.Fatalf("K = %d, want clamp to 0", m.K)
+	}
+}
+
+// Property: the banded no-pivot solver agrees with the dense solver on
+// random diagonally dominant banded systems.
+func TestBandedMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		k := 1 + rng.Intn(3)
+		if k >= n {
+			k = n - 1
+		}
+		bm := NewBanded(n, k)
+		dm := NewDense(n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := i - k; j <= i+k; j++ {
+				if j < 0 || j >= n || j == i {
+					continue
+				}
+				v := rng.Float64() - 0.5
+				bm.AddAt(i, j, v)
+				dm.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			d := rowSum + 1 + rng.Float64()
+			bm.AddAt(i, i, d)
+			dm.Set(i, i, d)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.Float64()*2 - 1
+		}
+		xd, err := SolveDense(dm, rhs)
+		if err != nil {
+			return false
+		}
+		xb, err := SolveBandedNoPivot(bm, rhs) // destroys bm
+		if err != nil {
+			return false
+		}
+		d, err := MaxAbsDiff(xd, xb)
+		return err == nil && d < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedSolveErrors(t *testing.T) {
+	m := NewBanded(2, 1)
+	if _, err := SolveBandedNoPivot(m, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("zero matrix: want ErrSingular, got %v", err)
+	}
+	m = NewBanded(2, 1)
+	m.AddAt(0, 0, 1)
+	m.AddAt(1, 1, 1)
+	if _, err := SolveBandedNoPivot(m, []float64{1}); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+}

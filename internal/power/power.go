@@ -1,0 +1,99 @@
+// Package power estimates DRAM refresh energy in the style of the DRAMPower
+// tool the paper uses (Chandrasekar et al., DAC 2013), at the granularity
+// the VRL-DRAM evaluation needs: refresh energy splits into
+//
+//   - a peripheral component proportional to how long the bank is busy
+//     refreshing (row decoders, wordline drivers, sense-amp bias - the
+//     IDD5 current above background for the duration of tRFC), and
+//   - an array restore component proportional to the charge delivered back
+//     into the cell capacitors.
+//
+// A partial refresh shortens the peripheral window but still delivers most
+// of the charge a full refresh would (the last few percent of charge are
+// slow but small), which is why the paper's refresh POWER saving (12%) is
+// smaller than its refresh TIME saving (34%).
+package power
+
+import (
+	"fmt"
+
+	"vrldram/internal/device"
+	"vrldram/internal/sim"
+)
+
+// Model holds the energy coefficients.
+type Model struct {
+	// ActivationEnergy is the per-operation energy of opening and precharging
+	// the refreshed row - wordline drive and full bitline swing (J/op). It is
+	// paid by full and partial refreshes alike, which is why the power saving
+	// of VRL-DRAM is smaller than its time saving.
+	ActivationEnergy float64
+	// PeripheralPower is the extra power drawn while a refresh operation is
+	// in flight (W).
+	PeripheralPower float64
+	// RestoreEnergyPerRow is the array energy to restore one row's worth of
+	// cells from empty to full charge (J); actual operations scale it by the
+	// normalized charge delivered.
+	RestoreEnergyPerRow float64
+}
+
+// Default90nm returns coefficients consistent with the 90 nm device set:
+// the peripheral component is sized from typical IDD5-minus-IDD3N refresh
+// current at Vdd, and the restore component from the bank's cell charge
+// (cols * Cs * Vdd^2 per row, doubled for bitline swing losses).
+func Default90nm(p device.Params, geom device.BankGeometry) Model {
+	// ~55 mA of refresh-active current at Vdd=1.2 V for the device
+	// (single-bank share), on the order of DDR3 datasheet IDD5 deltas.
+	periph := 0.055 * p.Vdd
+	// Energy to recharge one row: cols cells, each Cs*Vdd^2, with a factor 2
+	// for the bitline/SA swing burned per restored cell.
+	restore := 2 * float64(geom.Cols) * p.Cs * p.Vdd * p.Vdd
+	// Row open/precharge energy, sized so the duration-dependent component
+	// is ~45% of a full refresh's energy, consistent with DRAMPower-style
+	// IDD5 decompositions.
+	act := 1.3e-9
+	return Model{ActivationEnergy: act, PeripheralPower: periph, RestoreEnergyPerRow: restore}
+}
+
+// Validate reports the first unusable coefficient.
+func (m Model) Validate() error {
+	if m.ActivationEnergy <= 0 {
+		return fmt.Errorf("power: ActivationEnergy must be positive, got %g", m.ActivationEnergy)
+	}
+	if m.PeripheralPower <= 0 {
+		return fmt.Errorf("power: PeripheralPower must be positive, got %g", m.PeripheralPower)
+	}
+	if m.RestoreEnergyPerRow <= 0 {
+		return fmt.Errorf("power: RestoreEnergyPerRow must be positive, got %g", m.RestoreEnergyPerRow)
+	}
+	return nil
+}
+
+// Breakdown is the refresh energy of one simulation run.
+type Breakdown struct {
+	Scheduler  string
+	Activation float64 // J
+	Peripheral float64 // J
+	Restore    float64 // J
+	Total      float64 // J
+	AvgPower   float64 // W (refresh energy / simulated time)
+}
+
+// RefreshEnergy computes the refresh energy of a run from its statistics.
+func (m Model) RefreshEnergy(st sim.Stats, tck float64) (Breakdown, error) {
+	if err := m.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if tck <= 0 {
+		return Breakdown{}, fmt.Errorf("power: tck must be positive, got %g", tck)
+	}
+	b := Breakdown{Scheduler: st.Scheduler}
+	b.Activation = m.ActivationEnergy * float64(st.Refreshes())
+	b.Peripheral = m.PeripheralPower * float64(st.BusyCycles) * tck
+	b.Restore = m.RestoreEnergyPerRow * st.ChargeRestored
+	b.Total = b.Activation + b.Peripheral + b.Restore
+	if st.Duration > 0 {
+		b.AvgPower = b.Total / st.Duration
+	}
+	return b, nil
+}

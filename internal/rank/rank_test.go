@@ -1,0 +1,188 @@
+package rank
+
+import (
+	"testing"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/retention"
+)
+
+const (
+	testRows = 1024
+	testCols = 32
+)
+
+func buildRank(t *testing.T, n int, mk func(*retention.BankProfile) (core.Scheduler, error)) ([]*dram.Bank, []core.Scheduler) {
+	t.Helper()
+	banks, scheds, err := NewRank(n, retention.DefaultCellDistribution(), testRows, testCols, 11, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return banks, scheds
+}
+
+func mkRAIDR(t *testing.T) func(*retention.BankProfile) (core.Scheduler, error) {
+	t.Helper()
+	rm := restoreModel(t)
+	return func(p *retention.BankProfile) (core.Scheduler, error) {
+		return core.NewRAIDR(p, core.Config{Restore: rm})
+	}
+}
+
+func mkVRL(t *testing.T) func(*retention.BankProfile) (core.Scheduler, error) {
+	t.Helper()
+	rm := restoreModel(t)
+	return func(p *retention.BankProfile) (core.Scheduler, error) {
+		return core.NewVRL(p, core.Config{Restore: rm})
+	}
+}
+
+func restoreModel(t *testing.T) core.RestoreModel {
+	t.Helper()
+	rm, err := core.PaperRestoreModel(device.Default90nm(), device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func opts(mode Mode) Options {
+	return Options{Mode: mode, Duration: 0.256, TCK: device.Default90nm().TCK}
+}
+
+func TestModeString(t *testing.T) {
+	if PerBank.String() != "per-bank" || AllBank.String() != "all-bank" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must stringify")
+	}
+}
+
+func TestNewRankValidation(t *testing.T) {
+	if _, _, err := NewRank(0, retention.DefaultCellDistribution(), testRows, testCols, 1, mkRAIDR(t)); err == nil {
+		t.Fatal("zero banks must be rejected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	banks, scheds := buildRank(t, 2, mkRAIDR(t))
+	if _, err := Run(nil, nil, opts(PerBank)); err == nil {
+		t.Fatal("empty rank must be rejected")
+	}
+	if _, err := Run(banks, scheds[:1], opts(PerBank)); err == nil {
+		t.Fatal("mismatched lengths must be rejected")
+	}
+	bad := opts(PerBank)
+	bad.Duration = 0
+	if _, err := Run(banks, scheds, bad); err == nil {
+		t.Fatal("zero duration must be rejected")
+	}
+	weird := opts(PerBank)
+	weird.Mode = Mode(9)
+	if _, err := Run(banks, scheds, weird); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+}
+
+func TestPerBankSumsIndependentBanks(t *testing.T) {
+	banks, scheds := buildRank(t, 4, mkRAIDR(t))
+	st, err := Run(banks, scheds, opts(PerBank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Banks != 4 || st.Mode != "per-bank" {
+		t.Fatalf("%+v", st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("violations: %d", st.Violations)
+	}
+	if st.RefreshCommands == 0 || st.BankBusyCycles == 0 {
+		t.Fatal("no refresh accounted")
+	}
+	if st.RankBlockedCycles != 0 {
+		t.Fatal("staggered per-bank refresh must not block the whole rank")
+	}
+	if st.PartialCommands != 0 {
+		t.Fatal("RAIDR issues no partials")
+	}
+}
+
+func TestAllBankBlocksRank(t *testing.T) {
+	banks, scheds := buildRank(t, 4, mkRAIDR(t))
+	st, err := Run(banks, scheds, opts(AllBank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("violations: %d", st.Violations)
+	}
+	if st.RankBlockedCycles == 0 {
+		t.Fatal("all-bank commands must block the rank")
+	}
+	if st.BankBusyCycles != st.RankBlockedCycles*int64(st.Banks) {
+		t.Fatal("all-bank busy accounting inconsistent")
+	}
+}
+
+func TestAllBankBinningDilution(t *testing.T) {
+	// All-bank refresh must issue at the weakest bank's rate, so it costs
+	// more bank-busy cycles than per-bank refresh under the same policy.
+	banksA, schedsA := buildRank(t, 4, mkRAIDR(t))
+	per, err := Run(banksA, schedsA, opts(PerBank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	banksB, schedsB := buildRank(t, 4, mkRAIDR(t))
+	all, err := Run(banksB, schedsB, opts(AllBank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.BankBusyCycles <= per.BankBusyCycles {
+		t.Fatalf("all-bank (%d) should cost more than per-bank (%d)", all.BankBusyCycles, per.BankBusyCycles)
+	}
+}
+
+func TestAllBankDilutesVRL(t *testing.T) {
+	// Per-bank: VRL/RAIDR keeps its calibrated saving. All-bank: a command
+	// is full if ANY bank needs full, so the saving shrinks.
+	ratio := func(mode Mode) float64 {
+		banksR, schedsR := buildRank(t, 4, mkRAIDR(t))
+		raidr, err := Run(banksR, schedsR, opts(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		banksV, schedsV := buildRank(t, 4, mkVRL(t))
+		vrl, err := Run(banksV, schedsV, opts(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raidr.Violations+vrl.Violations != 0 {
+			t.Fatal("violations in safe configurations")
+		}
+		return float64(vrl.BankBusyCycles) / float64(raidr.BankBusyCycles)
+	}
+	perRatio := ratio(PerBank)
+	allRatio := ratio(AllBank)
+	if perRatio >= 1 {
+		t.Fatalf("per-bank VRL must beat RAIDR, ratio %v", perRatio)
+	}
+	if allRatio <= perRatio {
+		t.Fatalf("all-bank refresh should dilute VRL's saving: per-bank %v, all-bank %v", perRatio, allRatio)
+	}
+}
+
+func TestAllBankRejectsMismatchedGeometry(t *testing.T) {
+	banks, scheds := buildRank(t, 2, mkRAIDR(t))
+	small, smallScheds, err := NewRank(1, retention.DefaultCellDistribution(), testRows/2, testCols, 3, mkRAIDR(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append(banks[:1], small[0])
+	mixedScheds := append(scheds[:1], smallScheds[0])
+	if _, err := Run(mixed, mixedScheds, opts(AllBank)); err == nil {
+		t.Fatal("mismatched bank geometry must be rejected in all-bank mode")
+	}
+}

@@ -1,0 +1,60 @@
+package retention
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RAIDRBins are the refresh periods (seconds) the paper bins rows into
+// (Figure 3b): a row is refreshed at the largest bin period that does not
+// exceed its (profiled, derated) retention time.
+var RAIDRBins = []float64{0.064, 0.128, 0.192, 0.256}
+
+// BinPeriod returns the refresh period for a row with the given profiled
+// retention time: the largest bin not exceeding it. Rows weaker than the
+// smallest bin are unusable at any supported refresh rate; BinPeriod
+// returns an error for them (a real chip would remap such rows).
+func BinPeriod(tret float64, bins []float64) (float64, error) {
+	if len(bins) == 0 {
+		return 0, fmt.Errorf("retention: no bins")
+	}
+	if tret < bins[0] {
+		return 0, fmt.Errorf("retention: row retention %.4gs below the minimum bin %.4gs", tret, bins[0])
+	}
+	best := bins[0]
+	for _, b := range bins[1:] {
+		if b <= tret {
+			best = b
+		}
+	}
+	return best, nil
+}
+
+// BinCounts returns, for each bin period, how many rows of the profile land
+// in it - the paper's Figure 3b table.
+func BinCounts(rowRetention []float64, bins []float64) (map[float64]int, error) {
+	counts := make(map[float64]int, len(bins))
+	for _, b := range bins {
+		counts[b] = 0
+	}
+	for r, t := range rowRetention {
+		p, err := BinPeriod(t, bins)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", r, err)
+		}
+		counts[p]++
+	}
+	return counts, nil
+}
+
+// SortedBins returns the bins in increasing period order (a copy).
+func SortedBins(bins []float64) []float64 {
+	out := append([]float64(nil), bins...)
+	sort.Float64s(out)
+	return out
+}
+
+// PaperBinCounts are the Figure 3b row counts for an 8192-row bank, in
+// RAIDRBins order: 68 rows at 64 ms, 101 at 128 ms, 145 at 192 ms and 7878
+// at 256 ms.
+var PaperBinCounts = []int{68, 101, 145, 7878}

@@ -1,0 +1,161 @@
+package retention
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vrldram/internal/device"
+)
+
+// BankProfile holds the per-row retention data of one DRAM bank:
+//
+//   - True is the physical weakest-cell retention time of each row under the
+//     benign all-zeros pattern (what the silicon does);
+//   - Profiled is what a REAPER/Liu-style profiler reports: the true value
+//     derated by the worst-case data-pattern factor and the profiler's
+//     guardband, which is what binning and MPRSF computation must consume.
+//
+// Keeping both lets the failure-injection tests demonstrate that consuming
+// un-derated values loses data.
+type BankProfile struct {
+	Geom     device.BankGeometry
+	True     []float64 // per-row true retention (s)
+	Profiled []float64 // per-row profiled (derated) retention (s)
+}
+
+// ProfilerGuardband is the extra multiplicative margin a profiler applies on
+// top of worst-pattern derating, absorbing temperature and VRT drift (the
+// paper cites AVATAR and REAPER for these effects).
+const ProfilerGuardband = 0.95
+
+// Profile derates a true retention time the way the simulated profiler does.
+func ProfileRetention(trueRet float64) float64 {
+	return trueRet * WorstPatternFactor() * ProfilerGuardband
+}
+
+// NewSampledProfile draws a bank profile from the cell distribution: each
+// row's true retention is the minimum over its cells, and the profiled value
+// applies worst-pattern derating and the profiler guardband. The result is
+// deterministic for a given seed.
+func NewSampledProfile(geom device.BankGeometry, dist CellDistribution, seed int64) (*BankProfile, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &BankProfile{
+		Geom:     geom,
+		True:     make([]float64, geom.Rows),
+		Profiled: make([]float64, geom.Rows),
+	}
+	floor := RAIDRBins[0]
+	for r := 0; r < geom.Rows; r++ {
+		t := dist.SampleRow(rng, geom.Cols)
+		// Rows whose derated retention falls below the lowest supported
+		// refresh period are unusable at any rate; real chips replace them
+		// with spare rows, which we model by resampling.
+		for ProfileRetention(t) < floor {
+			t = dist.SampleRow(rng, geom.Cols)
+		}
+		p.True[r] = t
+		p.Profiled[r] = ProfileRetention(t)
+	}
+	return p, nil
+}
+
+// NewPaperProfile constructs the exact Figure 3b bank: an 8192-row profile
+// whose PROFILED retention lands exactly 68 / 101 / 145 / 7878 rows in the
+// 64 / 128 / 192 / 256 ms bins. Within-bin values are sampled
+// deterministically from the seed: uniformly inside the three finite bins,
+// and from the truncated bulk log-normal inside the open 256 ms bin. Row
+// positions are shuffled so weak rows scatter across the bank as they do on
+// real chips.
+func NewPaperProfile(dist CellDistribution, seed int64) (*BankProfile, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	geom := device.PaperBank
+	rng := rand.New(rand.NewSource(seed))
+
+	total := 0
+	for _, c := range PaperBinCounts {
+		total += c
+	}
+	if total != geom.Rows {
+		return nil, fmt.Errorf("retention: paper bin counts sum to %d, want %d", total, geom.Rows)
+	}
+
+	profiled := make([]float64, 0, geom.Rows)
+	// Finite bins: uniform within [bin, nextBin).
+	for i := 0; i < len(RAIDRBins)-1; i++ {
+		lo, hi := RAIDRBins[i], RAIDRBins[i+1]
+		// Keep a hair inside the bin so derating round-trips stay stable.
+		lo += 0.001
+		for k := 0; k < PaperBinCounts[i]; k++ {
+			profiled = append(profiled, lo+(hi-lo-0.002)*rng.Float64())
+		}
+	}
+	// Open top bin: truncated bulk log-normal at or above 256 ms.
+	top := RAIDRBins[len(RAIDRBins)-1]
+	for k := 0; k < PaperBinCounts[len(PaperBinCounts)-1]; k++ {
+		var t float64
+		for {
+			t = dist.BulkMedian * math.Exp(dist.BulkSigma*rng.NormFloat64())
+			if t > dist.Max {
+				t = dist.Max
+			}
+			// Profiled value must stay in the top bin after derating.
+			if t*WorstPatternFactor()*ProfilerGuardband >= top {
+				break
+			}
+		}
+		profiled = append(profiled, t*WorstPatternFactor()*ProfilerGuardband)
+	}
+	rng.Shuffle(len(profiled), func(i, j int) {
+		profiled[i], profiled[j] = profiled[j], profiled[i]
+	})
+
+	p := &BankProfile{
+		Geom:     geom,
+		True:     make([]float64, geom.Rows),
+		Profiled: profiled,
+	}
+	derate := WorstPatternFactor() * ProfilerGuardband
+	for r := range p.True {
+		p.True[r] = profiled[r] / derate
+	}
+	return p, nil
+}
+
+// BinCounts returns the profile's Figure 3b table over the given bins, using
+// the profiled retention values as a real controller would.
+func (p *BankProfile) BinCounts(bins []float64) (map[float64]int, error) {
+	return BinCounts(p.Profiled, bins)
+}
+
+// Periods returns the per-row refresh period assignment over the given bins.
+func (p *BankProfile) Periods(bins []float64) ([]float64, error) {
+	out := make([]float64, len(p.Profiled))
+	for r, t := range p.Profiled {
+		period, err := BinPeriod(t, bins)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", r, err)
+		}
+		out[r] = period
+	}
+	return out, nil
+}
+
+// MinRetention returns the weakest profiled retention in the bank.
+func (p *BankProfile) MinRetention() float64 {
+	min := math.Inf(1)
+	for _, t := range p.Profiled {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}

@@ -1,0 +1,216 @@
+// Package retention models DRAM retention behaviour: the cell retention-time
+// distribution (calibrated to the distribution of Liu et al. that the paper
+// reproduces in Figure 3a), per-row weakest-cell profiles, data-pattern
+// dependence, the RAIDR refresh-period binning of Figure 3b, and the charge
+// leakage law that connects retention time to normalized cell charge.
+//
+// Conventions: times are in seconds; normalized charge v is the fraction of
+// full charge, with v = 1 fully charged and v = 0.5 the raw sensing limit.
+// A cell's retention time tRET is the time for its charge to decay from full
+// to the sensing limit, so every decay model satisfies Factor(tRET) = 0.5.
+package retention
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SenseLimit is the raw normalized charge below which a cell's stored value
+// can no longer be sensed (the 50% threshold of the paper's Figure 1b).
+const SenseLimit = 0.5
+
+// Pattern identifies a stored data pattern; retention depends on it (data
+// pattern dependence, DPD).
+type Pattern int
+
+// The four data patterns of the paper's Section 3.1 evaluation.
+const (
+	PatternAllZeros Pattern = iota
+	PatternAllOnes
+	PatternAlternating
+	PatternRandom
+)
+
+// String returns the pattern's conventional name.
+func (p Pattern) String() string {
+	switch p {
+	case PatternAllZeros:
+		return "all-0"
+	case PatternAllOnes:
+		return "all-1"
+	case PatternAlternating:
+		return "alternating"
+	case PatternRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Patterns lists all supported data patterns.
+var Patterns = []Pattern{PatternAllZeros, PatternAllOnes, PatternAlternating, PatternRandom}
+
+// PatternFactor returns the multiplicative derating of a cell's retention
+// time when the array stores the given pattern, relative to the benign
+// all-zeros case. Alternating neighbours maximize bitline coupling and
+// sneak-path loss, so they are the worst case, consistent with the DPD
+// characterization studies the paper cites (Khan et al., Liu et al.).
+func PatternFactor(p Pattern) float64 {
+	switch p {
+	case PatternAllZeros:
+		return 1.00
+	case PatternAllOnes:
+		return 0.97
+	case PatternAlternating:
+		return 0.85
+	case PatternRandom:
+		return 0.90
+	default:
+		return 0.85
+	}
+}
+
+// WorstPatternFactor is the derating a profiler must assume when the stored
+// data is unknown: the minimum over all patterns.
+func WorstPatternFactor() float64 {
+	worst := math.Inf(1)
+	for _, p := range Patterns {
+		if f := PatternFactor(p); f < worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// CellDistribution is the parametric cell retention-time distribution
+// calibrated to the shape of Figure 3a: a log-normal bulk (most cells retain
+// for seconds) plus a rare polynomial-tail "weak cell" component that
+// produces the short-retention rows of Figure 3b's low bins.
+type CellDistribution struct {
+	// Bulk log-normal component.
+	BulkMedian float64 // median retention of normal cells (s)
+	BulkSigma  float64 // log-space standard deviation
+	BulkFloor  float64 // minimum bulk retention (s)
+
+	// Weak-cell component: P(weak) = WeakProb; conditional CDF
+	// ((t-WeakMin)/(WeakMax-WeakMin))^WeakShape on [WeakMin, WeakMax].
+	WeakProb  float64
+	WeakMin   float64 // s
+	WeakMax   float64 // s
+	WeakShape float64
+
+	// Upper clamp matching the top of the paper's Figure 3a x-axis.
+	Max float64 // s
+}
+
+// DefaultCellDistribution returns the distribution calibrated so that an
+// 8192x32 bank reproduces the paper's Figure 3b bin counts in expectation
+// (68 / 101 / 145 / 7878 rows at 64 / 128 / 192 / 256 ms) and the Figure 3a
+// histogram's 65 ms - 4.7 s support with a single broad mode near 2 s.
+func DefaultCellDistribution() CellDistribution {
+	return CellDistribution{
+		BulkMedian: 2.0,
+		BulkSigma:  0.40,
+		BulkFloor:  0.300,
+		WeakProb:   0.0128,
+		WeakMin:    0.065,
+		WeakMax:    1.000,
+		WeakShape:  1.5,
+		Max:        4.681,
+	}
+}
+
+// Validate reports the first unusable parameter.
+func (d CellDistribution) Validate() error {
+	switch {
+	case d.BulkMedian <= 0:
+		return fmt.Errorf("retention: BulkMedian must be positive, got %g", d.BulkMedian)
+	case d.BulkSigma <= 0:
+		return fmt.Errorf("retention: BulkSigma must be positive, got %g", d.BulkSigma)
+	case d.BulkFloor <= 0:
+		return fmt.Errorf("retention: BulkFloor must be positive, got %g", d.BulkFloor)
+	case d.WeakProb < 0 || d.WeakProb > 1:
+		return fmt.Errorf("retention: WeakProb must lie in [0,1], got %g", d.WeakProb)
+	case d.WeakMin <= 0 || d.WeakMax <= d.WeakMin:
+		return fmt.Errorf("retention: weak range [%g,%g] invalid", d.WeakMin, d.WeakMax)
+	case d.WeakShape <= 0:
+		return fmt.Errorf("retention: WeakShape must be positive, got %g", d.WeakShape)
+	case d.Max <= d.BulkFloor:
+		return fmt.Errorf("retention: Max %g must exceed BulkFloor %g", d.Max, d.BulkFloor)
+	}
+	return nil
+}
+
+// SampleCell draws one cell retention time (seconds).
+func (d CellDistribution) SampleCell(rng *rand.Rand) float64 {
+	if rng.Float64() < d.WeakProb {
+		return d.sampleWeak(rng)
+	}
+	return d.sampleBulk(rng)
+}
+
+func (d CellDistribution) sampleWeak(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	return d.WeakMin + (d.WeakMax-d.WeakMin)*math.Pow(u, 1/d.WeakShape)
+}
+
+func (d CellDistribution) sampleBulk(rng *rand.Rand) float64 {
+	t := d.BulkMedian * math.Exp(d.BulkSigma*rng.NormFloat64())
+	if t < d.BulkFloor {
+		t = d.BulkFloor
+	}
+	if t > d.Max {
+		t = d.Max
+	}
+	return t
+}
+
+// SampleRow draws the weakest-cell retention time of a row of cols cells.
+//
+// The bulk body is modeled at ROW granularity: one bulk draw represents the
+// weakest of the row's strong cells (the bulk parameters are calibrated
+// against the paper's row-level binning, Figure 3b). Weak-cell events occur
+// independently per cell and pull the row down when they land. Taking a
+// per-cell minimum over the bulk instead would compound the min over the
+// already-row-calibrated body and systematically underestimate retention.
+func (d CellDistribution) SampleRow(rng *rand.Rand, cols int) float64 {
+	if cols <= 0 {
+		cols = 1
+	}
+	min := d.sampleBulk(rng)
+	for i := 0; i < cols; i++ {
+		if rng.Float64() < d.WeakProb {
+			if t := d.sampleWeak(rng); t < min {
+				min = t
+			}
+		}
+	}
+	return min
+}
+
+// Histogram bins values into n equal-width bins over [lo, hi]; values
+// outside the range clamp into the edge bins. It returns the bin counts and
+// the bin centers, the form of the paper's Figure 3a.
+func Histogram(values []float64, lo, hi float64, n int) (counts []int, centers []float64, err error) {
+	if n <= 0 || hi <= lo {
+		return nil, nil, fmt.Errorf("retention: bad histogram spec lo=%g hi=%g n=%d", lo, hi, n)
+	}
+	counts = make([]int, n)
+	centers = make([]float64, n)
+	w := (hi - lo) / float64(n)
+	for i := range centers {
+		centers[i] = lo + w*(float64(i)+0.5)
+	}
+	for _, v := range values {
+		i := int((v - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts, centers, nil
+}

@@ -1,0 +1,164 @@
+package retention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVRTValidate(t *testing.T) {
+	if err := DefaultVRT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*VRT){
+		func(v *VRT) { v.AffectedFrac = -1 },
+		func(v *VRT) { v.AffectedFrac = 2 },
+		func(v *VRT) { v.LowFactor = 0 },
+		func(v *VRT) { v.LowFactor = 1 },
+		func(v *VRT) { v.MeanDwell = 0 },
+		func(v *VRT) { v.MinRetention = -1 },
+	}
+	for i, mut := range bad {
+		v := DefaultVRT()
+		mut(&v)
+		if err := v.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestVRTAffectedFraction(t *testing.T) {
+	v := DefaultVRT()
+	const rows = 100000
+	n := 0
+	for r := 0; r < rows; r++ {
+		if v.Affected(r, 1.0) {
+			n++
+		}
+	}
+	frac := float64(n) / rows
+	if frac < 0.006 || frac > 0.015 {
+		t.Fatalf("affected fraction %v, want ~%v", frac, v.AffectedFrac)
+	}
+	// Rows below MinRetention are never affected.
+	for r := 0; r < 1000; r++ {
+		if v.Affected(r, v.MinRetention/2) {
+			t.Fatal("defect-limited row must not be VRT-modulated")
+		}
+	}
+}
+
+func TestVRTStateFactorTelegraph(t *testing.T) {
+	v := DefaultVRT()
+	// Find an affected row.
+	row := -1
+	for r := 0; r < 10000; r++ {
+		if v.Affected(r, 1.0) {
+			row = r
+			break
+		}
+	}
+	if row < 0 {
+		t.Fatal("no affected row found")
+	}
+	sawHigh, sawLow := false, false
+	for i := 0; i < 200; i++ {
+		f := v.StateFactor(row, 1.0, float64(i)*0.05)
+		switch f {
+		case 1:
+			sawHigh = true
+		case v.LowFactor:
+			sawLow = true
+		default:
+			t.Fatalf("state factor %v is neither 1 nor LowFactor", f)
+		}
+	}
+	if !sawHigh || !sawLow {
+		t.Fatal("telegraph process must visit both states over many dwells")
+	}
+	// Unaffected rows are always in the high state.
+	for r := 0; r < 100; r++ {
+		if !v.Affected(r, 1.0) {
+			if v.StateFactor(r, 1.0, 0.123) != 1 {
+				t.Fatal("unaffected row left the high state")
+			}
+			break
+		}
+	}
+}
+
+func TestVRTDecayFactorConsistency(t *testing.T) {
+	v := DefaultVRT()
+	base := ExpDecay{}
+	// Unaffected rows: identical to the base law.
+	row := -1
+	for r := 0; r < 1000; r++ {
+		if !v.Affected(r, 1.0) {
+			row = r
+			break
+		}
+	}
+	got := v.DecayFactor(row, 1.0, 0.1, 0.35, base)
+	want := base.Factor(0.25, 1.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("unaffected decay %v, want %v", got, want)
+	}
+	// Degenerate interval.
+	if v.DecayFactor(row, 1.0, 0.5, 0.5, base) != 1 {
+		t.Fatal("empty interval must not decay")
+	}
+}
+
+// Property: for the exponential law, the piecewise integration is
+// multiplicative across any split point (the Chapman-Kolmogorov property of
+// the decay process).
+func TestVRTDecayComposition(t *testing.T) {
+	v := DefaultVRT()
+	base := ExpDecay{}
+	f := func(rowRaw uint16, aRaw, bRaw, cRaw float64) bool {
+		row := int(rowRaw)
+		a := math.Mod(math.Abs(aRaw), 1)
+		b := a + math.Mod(math.Abs(bRaw), 1)
+		c := b + math.Mod(math.Abs(cRaw), 1)
+		whole := v.DecayFactor(row, 1.5, a, c, base)
+		split := v.DecayFactor(row, 1.5, a, b, base) * v.DecayFactor(row, 1.5, b, c, base)
+		return math.Abs(whole-split) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VRT decay is never SLOWER than the base law (the low state only
+// leaks faster).
+func TestVRTDecayNeverGainsCharge(t *testing.T) {
+	v := DefaultVRT()
+	base := ExpDecay{}
+	f := func(rowRaw uint16, dtRaw float64) bool {
+		row := int(rowRaw)
+		dt := math.Mod(math.Abs(dtRaw), 2)
+		got := v.DecayFactor(row, 1.0, 0, dt, base)
+		return got <= base.Factor(dt, 1.0)+1e-12 && got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVRTDeterministicAcrossSeeds(t *testing.T) {
+	a, b := DefaultVRT(), DefaultVRT()
+	if a.StateFactor(123, 1.0, 0.5) != b.StateFactor(123, 1.0, 0.5) {
+		t.Fatal("same parameters must give the same process")
+	}
+	b.Seed = 99
+	same := true
+	for r := 0; r < 2000; r++ {
+		if a.Affected(r, 1.0) != b.Affected(r, 1.0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should affect different rows")
+	}
+}

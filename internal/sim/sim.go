@@ -1,0 +1,207 @@
+// Package sim is the event-driven refresh simulator: it replays a memory
+// trace against a DRAM bank under a refresh scheduling policy, issuing each
+// row's refreshes at its binned period and accounting the cycles the bank
+// spends busy refreshing - the paper's Figure 4 metric.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+
+	"vrldram/internal/core"
+	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
+	"vrldram/internal/retention"
+	"vrldram/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	Duration float64 // simulated time (s); the Figure 4 runs use the 768 ms bin hyperperiod
+	TCK      float64 // DRAM clock period (s), for the overhead fraction
+
+	// ECC, when set, classifies every sub-limit sensing event into
+	// correctable (single-bit) and uncorrectable errors instead of leaving
+	// them as raw violations only.
+	ECC *ecc.ChargeClassifier
+	// UpgradeOnCorrect applies the AVATAR policy: when ECC corrects an error
+	// in a row and the scheduler supports core.Upgrader, the row is demoted
+	// to the fastest bin on the spot.
+	UpgradeOnCorrect bool
+}
+
+// Stats is the outcome of one run.
+type Stats struct {
+	Scheduler string
+	Duration  float64
+
+	FullRefreshes    int64
+	PartialRefreshes int64
+	BusyCycles       int64 // cycles the bank was unavailable due to refresh
+	Accesses         int64
+
+	// ChargeRestored accumulates the normalized weakest-cell charge
+	// delivered by refresh operations; the power model scales it to array
+	// restore energy.
+	ChargeRestored float64
+
+	Violations int // raw sub-limit sensing events (must be 0 for a safe policy)
+
+	// ECC classification of the violations (populated when Options.ECC is
+	// set): corrected + uncorrectable = violations attributable to sensing.
+	CorrectedErrors     int64
+	UncorrectableErrors int64
+	RowsUpgraded        int64
+}
+
+// Refreshes returns the total refresh operation count.
+func (s Stats) Refreshes() int64 { return s.FullRefreshes + s.PartialRefreshes }
+
+// OverheadFraction returns the fraction of time the bank was refreshing.
+func (s Stats) OverheadFraction(tck float64) float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) * tck / s.Duration
+}
+
+// refresh event queue -------------------------------------------------------
+
+type event struct {
+	t   float64
+	row int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].row < h[j].row
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// staggerFrac spreads row refresh phases deterministically across their
+// periods (real controllers spread refreshes across tREFI slots); the
+// golden-ratio sequence avoids aligning rows that share a period.
+func staggerFrac(row int) float64 {
+	const phi = 0.6180339887498949
+	f := math.Mod(float64(row)*phi, 1)
+	return f
+}
+
+// Run simulates the bank under the scheduler while replaying the trace
+// source. Trace records and refreshes interleave in time order; accesses
+// notify the scheduler (for VRL-Access) and fully restore the accessed row.
+func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
+	if opts.Duration <= 0 {
+		return Stats{}, fmt.Errorf("sim: duration must be positive, got %g", opts.Duration)
+	}
+	if opts.TCK <= 0 {
+		return Stats{}, fmt.Errorf("sim: TCK must be positive, got %g", opts.TCK)
+	}
+	if src == nil {
+		src = trace.Empty{}
+	}
+	st := Stats{Scheduler: sched.Name(), Duration: opts.Duration}
+
+	rows := bank.Geom.Rows
+	h := make(eventHeap, 0, rows)
+	for r := 0; r < rows; r++ {
+		p := sched.Period(r)
+		if p <= 0 {
+			return Stats{}, fmt.Errorf("sim: scheduler period for row %d is %g", r, p)
+		}
+		h = append(h, event{t: staggerFrac(r) * p, row: r})
+	}
+	heap.Init(&h)
+
+	// Trace look-ahead record.
+	next, err := src.Next()
+	havePending := err == nil
+	if err != nil && err != io.EOF {
+		return Stats{}, err
+	}
+
+	drainTrace := func(until float64) error {
+		for havePending && next.Time <= until {
+			if next.Time >= opts.Duration {
+				havePending = false
+				break
+			}
+			if next.Row >= 0 && next.Row < rows {
+				if _, err := bank.Access(next.Row, next.Time); err != nil {
+					return err
+				}
+				sched.OnAccess(next.Row, next.Time)
+				st.Accesses++
+			}
+			var err error
+			next, err = src.Next()
+			if err == io.EOF {
+				havePending = false
+			} else if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		if ev.t >= opts.Duration {
+			continue
+		}
+		if err := drainTrace(ev.t); err != nil {
+			return Stats{}, err
+		}
+		op := sched.RefreshOp(ev.row, ev.t)
+		res, err := bank.Refresh(ev.row, ev.t, op.Alpha)
+		if err != nil {
+			return Stats{}, err
+		}
+		if opts.ECC != nil && res.ChargeBefore < retention.SenseLimit {
+			switch opts.ECC.Classify(res.ChargeBefore) {
+			case ecc.Corrected:
+				st.CorrectedErrors++
+				if opts.UpgradeOnCorrect {
+					if up, ok := sched.(core.Upgrader); ok {
+						up.Upgrade(ev.row)
+						st.RowsUpgraded++
+					}
+				}
+			case ecc.Uncorrectable:
+				st.UncorrectableErrors++
+			}
+		}
+		if op.Full {
+			st.FullRefreshes++
+		} else {
+			st.PartialRefreshes++
+		}
+		st.BusyCycles += int64(op.Cycles)
+		st.ChargeRestored += res.ChargeRestored
+		heap.Push(&h, event{t: ev.t + sched.Period(ev.row), row: ev.row})
+	}
+	if err := drainTrace(opts.Duration); err != nil {
+		return Stats{}, err
+	}
+	// Closing integrity sweep: every row must still be sensable.
+	if _, err := bank.CheckAll(opts.Duration); err != nil {
+		return Stats{}, err
+	}
+	st.Violations = len(bank.Violations())
+	return st, nil
+}

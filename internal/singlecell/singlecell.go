@@ -1,0 +1,121 @@
+// Package singlecell implements the single-cell capacitor model of
+// Li et al. ("DRAM Yield Analysis and Optimization by a Statistical Design
+// Approach", TCAS-I 2011), the prior-work baseline the paper compares its
+// analytical model against in Figure 5 and Table 1.
+//
+// The single-cell model treats every stage of the refresh operation as a
+// single first-order RC response of one isolated cell and one nominal
+// bitline. It ignores three effects the paper's model captures:
+//
+//   - the saturation (constant-current) phase of the equalization devices,
+//     so its equalization waveform is a pure exponential from t = 0;
+//   - bitline-to-bitline and bitline-to-wordline parasitic coupling, and the
+//     cyclic dependence of the developed sense signal on neighboring
+//     bitlines (paper Eq. 7);
+//   - bank geometry: it uses one nominal bitline segment, so its pre-sensing
+//     estimate is the same 6 cycles for every bank size in Table 1.
+package singlecell
+
+import (
+	"math"
+
+	"vrldram/internal/device"
+)
+
+// Model evaluates the Li et al. single-cell capacitor model for a device
+// parameter set. The model has no bank geometry input by construction.
+type Model struct {
+	P device.Params
+}
+
+// New returns a single-cell model over the given parameters.
+func New(p device.Params) *Model { return &Model{P: p} }
+
+// EqBitlineVoltage returns the single-RC equalization waveform at time t.
+// Unlike the paper's two-phase model, the equalization device is treated as
+// a fixed linear resistance from t = 0, so the waveform is
+// Veq + (V0 - Veq) * exp(-t / (Req*Cbl)).
+func (m *Model) EqBitlineVoltage(t float64, high bool) float64 {
+	p := m.P
+	veq := p.Veq()
+	v0 := p.Vss
+	if high {
+		v0 = p.Vdd
+	}
+	if t <= 0 {
+		return v0
+	}
+	tau := m.eqTau()
+	return veq + (v0-veq)*math.Exp(-t/tau)
+}
+
+func (m *Model) eqTau() float64 {
+	// Fixed linear-region resistance; the single-cell model has no notion of
+	// the saturation phase.
+	ov := m.P.Vg - m.P.Veq() - m.P.Vtn
+	ron := math.Inf(1)
+	if ov > 0 {
+		ron = 1 / (m.P.BetaN * ov)
+	}
+	return (m.P.Rbl + ron) * m.P.CblSeg()
+}
+
+// TauEq returns the single-RC equalization settling time to within tol
+// volts of Veq.
+func (m *Model) TauEq(tol float64) float64 {
+	gap := m.P.Vdd - m.P.Veq()
+	if gap <= tol {
+		return 0
+	}
+	return m.eqTau() * math.Log(gap/tol)
+}
+
+// U returns the coupling-free charge-sharing settling function using the
+// nominal segment bitline only (no global routing: the single-cell model
+// does not know the bank size).
+func (m *Model) U(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	cs, cbl := m.P.Cs, m.P.CblSeg()
+	rpre := m.P.RonAccess + m.P.Rbl
+	num := cs*math.Exp(-t/(rpre*cbl)) + cbl*math.Exp(-t/(rpre*cs))
+	return num / (cs + cbl)
+}
+
+// TauPre returns the single-cell pre-sensing estimate: the time for the
+// developed bitline voltage to reach targetFrac of its asymptote, ignoring
+// wordline delay, global routing, and coupling. In Table 1 this evaluates
+// to the same value for all six bank configurations.
+func (m *Model) TauPre(targetFrac float64) float64 {
+	if targetFrac <= 0 {
+		return 0
+	}
+	if targetFrac >= 1 {
+		return math.Inf(1)
+	}
+	resid := 1 - targetFrac
+	cs, cbl := m.P.Cs, m.P.CblSeg()
+	rpre := m.P.RonAccess + m.P.Rbl
+	lo, hi := 0.0, rpre*math.Max(cs, cbl)*math.Log(1/resid)*4
+	for hi-lo > 1e-15 {
+		mid := (lo + hi) / 2
+		if m.U(mid) > resid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RestoreVoltage returns the single-RC restore response: the cell charges
+// toward Vdd with time constant Rpost*(Cs+Cbl) from t = 0, with no sensing
+// phase offset.
+func (m *Model) RestoreVoltage(vPre, tauPost float64) float64 {
+	if tauPost <= 0 {
+		return vPre
+	}
+	tau := m.P.Rpost() * (m.P.Cs + m.P.CblSeg())
+	return vPre + (m.P.Vdd-vPre)*(1-math.Exp(-tauPost/tau))
+}

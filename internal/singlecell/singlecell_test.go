@@ -1,0 +1,113 @@
+package singlecell
+
+import (
+	"math"
+	"testing"
+
+	"vrldram/internal/circuit/analytic"
+	"vrldram/internal/device"
+)
+
+func TestEqWaveformEndpoints(t *testing.T) {
+	p := device.Default90nm()
+	m := New(p)
+	if v := m.EqBitlineVoltage(0, true); v != p.Vdd {
+		t.Fatalf("t=0 high: %v", v)
+	}
+	if v := m.EqBitlineVoltage(0, false); v != p.Vss {
+		t.Fatalf("t=0 low: %v", v)
+	}
+	if v := m.EqBitlineVoltage(20e-9, true); math.Abs(v-p.Veq()) > 1e-4 {
+		t.Fatalf("high bitline does not settle: %v", v)
+	}
+}
+
+func TestEqWaveformIsPureExponential(t *testing.T) {
+	// The single-cell model has no saturation phase: the log-residual is
+	// linear in time from t = 0.
+	p := device.Default90nm()
+	m := New(p)
+	veq := p.Veq()
+	r1 := math.Log(m.EqBitlineVoltage(0.1e-9, true) - veq)
+	r2 := math.Log(m.EqBitlineVoltage(0.2e-9, true) - veq)
+	r3 := math.Log(m.EqBitlineVoltage(0.3e-9, true) - veq)
+	if math.Abs((r2-r1)-(r3-r2)) > 1e-9 {
+		t.Fatal("waveform is not a single exponential")
+	}
+}
+
+func TestTauEq(t *testing.T) {
+	p := device.Default90nm()
+	m := New(p)
+	tol := 5e-3
+	tau := m.TauEq(tol)
+	if v := m.EqBitlineVoltage(tau, true); math.Abs(v-p.Veq()) > tol*1.01 {
+		t.Fatalf("residual at TauEq: %v", math.Abs(v-p.Veq()))
+	}
+}
+
+func TestUAndTauPre(t *testing.T) {
+	p := device.Default90nm()
+	m := New(p)
+	if m.U(0) != 1 {
+		t.Fatal("U(0) != 1")
+	}
+	tp := m.TauPre(0.95)
+	if got := 1 - m.U(tp); got < 0.95-1e-6 {
+		t.Fatalf("development at TauPre: %v", got)
+	}
+	if m.TauPre(0) != 0 {
+		t.Fatal("TauPre(0) != 0")
+	}
+	if !math.IsInf(m.TauPre(1), 1) {
+		t.Fatal("TauPre(1) must be +Inf")
+	}
+}
+
+func TestGeometryBlindness(t *testing.T) {
+	// Table 1's defining property of the single-cell model: its pre-sensing
+	// estimate does not depend on the bank geometry (it has no geometry
+	// input at all), while the paper's model grows with it.
+	p := device.Default90nm()
+	sc := New(p)
+	scEstimate := sc.TauPre(0.95)
+	for _, g := range device.Table1Banks {
+		am := analytic.MustNew(p, g)
+		if am.TauPre(analytic.PreSenseTargetDefault) < scEstimate {
+			t.Errorf("%s: full model should not be faster than the coupling-free single-cell estimate", g)
+		}
+	}
+}
+
+func TestSingleCellUnderestimatesPaperModel(t *testing.T) {
+	// The paper's Table 1: single cell reports 6 cycles flat; the full model
+	// 7-14. Ours must quantize below the full model for the paper bank.
+	p := device.Default90nm()
+	sc := New(p)
+	am := analytic.MustNew(p, device.PaperBank)
+	scCyc := p.Cycles(sc.TauPre(0.95))
+	amCyc := p.Cycles(am.TauPre(analytic.PreSenseTargetDefault))
+	if scCyc >= amCyc {
+		t.Fatalf("single cell %d cycles, full model %d; want strictly below", scCyc, amCyc)
+	}
+	if scCyc < 4 || scCyc > 8 {
+		t.Fatalf("single-cell estimate %d cycles; paper reports 6", scCyc)
+	}
+}
+
+func TestRestoreVoltage(t *testing.T) {
+	p := device.Default90nm()
+	m := New(p)
+	vPre := 0.6 * p.Vdd
+	if v := m.RestoreVoltage(vPre, 0); v != vPre {
+		t.Fatal("zero window must not move charge")
+	}
+	prev := vPre
+	for i := 1; i <= 40; i++ {
+		v := m.RestoreVoltage(vPre, 50e-9*float64(i)/40)
+		if v < prev || v > p.Vdd {
+			t.Fatalf("restore not monotone toward Vdd: %v", v)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader: arbitrary text must never panic the parser; every successfully
+// parsed record must validate and be time-ordered.
+func FuzzReader(f *testing.F) {
+	f.Add("0.1 R 1\n0.2 W 2\n")
+	f.Add("# comment\n\n0.0 R 0\n")
+	f.Add("garbage")
+	f.Add("0.1 R 1\n0.05 R 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadAll(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		last := -1.0
+		for _, r := range recs {
+			if r.Validate() != nil {
+				t.Fatalf("parsed invalid record %+v", r)
+			}
+			if r.Time < last {
+				t.Fatal("parsed out-of-order records without error")
+			}
+			last = r.Time
+		}
+	})
+}
+
+// FuzzBinaryReader: arbitrary bytes must never panic; valid parses must
+// yield valid records.
+func FuzzBinaryReader(f *testing.F) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	_ = bw.Write(Record{Time: 0.1, Op: Read, Row: 1})
+	_ = bw.Write(Record{Time: 0.2, Op: Write, Row: 2})
+	_ = bw.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("VRLT\x01"))
+	f.Add([]byte("nope"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		br := NewBinaryReader(bytes.NewReader(input))
+		for i := 0; i < 1000; i++ {
+			r, err := br.Next()
+			if err != nil {
+				return
+			}
+			if r.Validate() != nil {
+				t.Fatalf("binary reader produced invalid record %+v", r)
+			}
+		}
+	})
+}

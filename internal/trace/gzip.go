@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Format auto-detection and compression: traces in the wild arrive as plain
+// text, the binary VRLT encoding, or either of those gzip-compressed.
+// OpenSource sniffs the header and returns the right Source.
+
+// gzip magic bytes.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// OpenSource wraps a reader with format auto-detection: gzip is unwrapped
+// first, then the VRLT magic selects the binary reader, otherwise the text
+// reader parses. The returned Source reads lazily; the caller keeps
+// ownership of closing the underlying reader.
+func OpenSource(r io.Reader) (Source, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(head) == 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad gzip stream: %w", err)
+		}
+		inner := bufio.NewReader(zr)
+		return sniffUncompressed(inner)
+	}
+	return sniffUncompressed(br)
+}
+
+func sniffUncompressed(br *bufio.Reader) (Source, error) {
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(head) == 4 && [4]byte{head[0], head[1], head[2], head[3]} == binMagic {
+		return NewBinaryReader(br), nil
+	}
+	return NewReader(br), nil
+}
+
+// CompressedWriter wraps a Writer-compatible sink in gzip; Close flushes
+// both layers.
+type CompressedWriter struct {
+	*BinaryWriter
+	zw *gzip.Writer
+}
+
+// NewCompressedWriter emits the binary format gzip-compressed.
+func NewCompressedWriter(w io.Writer) *CompressedWriter {
+	zw := gzip.NewWriter(w)
+	return &CompressedWriter{BinaryWriter: NewBinaryWriter(zw), zw: zw}
+}
+
+// Close flushes the trace and the compressor.
+func (cw *CompressedWriter) Close() error {
+	if err := cw.BinaryWriter.Flush(); err != nil {
+		return err
+	}
+	return cw.zw.Close()
+}

@@ -1,0 +1,207 @@
+// Package trace provides the memory-trace substrate of the paper's
+// evaluation (Section 4.1): a Ramulator-style text trace format with reader
+// and writer, plus deterministic synthetic generators standing in for the
+// PARSEC-3.0 and bgsave traces the paper feeds its simulator.
+//
+// Substitution note (see DESIGN.md): the paper generates its traces by
+// running PARSEC under Ramulator. The property Figure 4 actually exercises
+// is per-benchmark ROW COVERAGE - which rows get activated at least once per
+// refresh window - because VRL-Access resets a row's partial-refresh counter
+// on activation. The generators here are therefore parameterized by each
+// benchmark's footprint, access intensity and locality skew, calibrated to
+// span the realistic range from compute-bound (swaptions) to
+// streaming/memory-resident (streamcluster, bgsave).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind byte
+
+// Trace operation kinds.
+const (
+	Read  OpKind = 'R'
+	Write OpKind = 'W'
+)
+
+// Record is one memory access: the DRAM row it activates and the time it
+// occurs, in seconds from the start of the trace. Traces are row-granular
+// because refresh scheduling is row-granular; column/byte addressing adds
+// nothing to the experiments.
+type Record struct {
+	Time float64 // seconds
+	Op   OpKind
+	Row  int
+}
+
+// Validate reports the first malformed field.
+func (r Record) Validate() error {
+	if r.Time < 0 {
+		return fmt.Errorf("trace: negative time %g", r.Time)
+	}
+	if r.Op != Read && r.Op != Write {
+		return fmt.Errorf("trace: bad op %q", r.Op)
+	}
+	if r.Row < 0 {
+		return fmt.Errorf("trace: negative row %d", r.Row)
+	}
+	return nil
+}
+
+// Writer emits records in the text format:
+//
+//	<time_seconds> <R|W> <row>
+//
+// one per line, with '#' comment lines allowed.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Comment writes a '#' comment line.
+func (tw *Writer) Comment(text string) {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = fmt.Fprintf(tw.w, "# %s\n", text)
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := r.Validate(); err != nil {
+		tw.err = err
+		return err
+	}
+	_, tw.err = fmt.Fprintf(tw.w, "%.9f %c %d\n", r.Time, r.Op, r.Row)
+	if tw.err == nil {
+		tw.n++
+	}
+	return tw.err
+}
+
+// Flush flushes buffered output and returns the first error seen.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() int { return tw.n }
+
+// Reader parses the text format. Records must be in non-decreasing time
+// order; Reader enforces it because the simulator merges traces with refresh
+// events by time.
+type Reader struct {
+	s        *bufio.Scanner
+	line     int
+	lastTime float64
+}
+
+// NewReader wraps an io.Reader.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{s: s}
+}
+
+// Next returns the next record, io.EOF at end of input, or a parse error.
+func (tr *Reader) Next() (Record, error) {
+	for tr.s.Scan() {
+		tr.line++
+		text := strings.TrimSpace(tr.s.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return Record{}, fmt.Errorf("trace: line %d: want 3 fields, got %d", tr.line, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: bad time: %v", tr.line, err)
+		}
+		if len(fields[1]) != 1 {
+			return Record{}, fmt.Errorf("trace: line %d: bad op %q", tr.line, fields[1])
+		}
+		row, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: bad row: %v", tr.line, err)
+		}
+		rec := Record{Time: t, Op: OpKind(fields[1][0]), Row: row}
+		if err := rec.Validate(); err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: %v", tr.line, err)
+		}
+		if rec.Time < tr.lastTime {
+			return Record{}, fmt.Errorf("trace: line %d: time went backwards (%.9f < %.9f)", tr.line, rec.Time, tr.lastTime)
+		}
+		tr.lastTime = rec.Time
+		return rec, nil
+	}
+	if err := tr.s.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll drains the reader into a slice.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr := NewReader(r)
+	var out []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Source streams records in time order; the simulator consumes this
+// interface so traces can come from files, generators, or slices.
+type Source interface {
+	// Next returns the next record or io.EOF.
+	Next() (Record, error)
+}
+
+// SliceSource adapts an in-memory record slice to Source.
+type SliceSource struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceSource wraps records (which must already be time-ordered).
+func NewSliceSource(recs []Record) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// Empty is a Source with no records (refresh-only simulation).
+type Empty struct{}
+
+// Next implements Source.
+func (Empty) Next() (Record, error) { return Record{}, io.EOF }
