@@ -1,0 +1,28 @@
+#!/bin/sh
+# Pre-merge gate: vet, build, race-enabled tests, and short fuzz budgets on
+# the two input parsers (trace files and SPICE decks). Run from the repo
+# root; any failure aborts the merge.
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+# Short-budget fuzz passes: regression corpora plus a few seconds of new
+# coverage-guided inputs per target. 'go test -fuzz' accepts one target per
+# invocation, hence the loops.
+for target in FuzzReader FuzzBinaryReader; do
+    echo "== fuzz $target (internal/trace) =="
+    go test -run='^$' -fuzz="^${target}\$" -fuzztime=3s ./internal/trace
+done
+for target in FuzzParseDeck FuzzParseValue; do
+    echo "== fuzz $target (internal/circuit/spice) =="
+    go test -run='^$' -fuzz="^${target}\$" -fuzztime=3s ./internal/circuit/spice
+done
+
+echo "== all checks passed =="

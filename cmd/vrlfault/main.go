@@ -1,0 +1,171 @@
+// Command vrlfault runs seeded fault-injection campaigns against the
+// refresh policies and reports the violation/overhead frontier, guarded and
+// unguarded.
+//
+// Usage:
+//
+//	vrlfault                      # full resilience sweep (all injectors x all policies)
+//	vrlfault -injector profile    # one injector, raw VRL vs guarded VRL
+//	vrlfault -injector refresh -rate 0.1 -seed 7
+//	vrlfault -injector bank -rate 0.2 -duration 0.256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/exp"
+	"vrldram/internal/fault"
+	"vrldram/internal/guard"
+	"vrldram/internal/retention"
+	"vrldram/internal/sim"
+)
+
+func main() {
+	var (
+		injector = flag.String("injector", "all", "fault injector: all, profile, bank, temp, refresh")
+		rate     = flag.Float64("rate", 0, "injector rate/fraction (0 = injector default)")
+		dtemp    = flag.Float64("dtemp", 5, "temperature excursion above the profiling point (degC, injector temp)")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		duration = flag.Float64("duration", 0.768, "simulated seconds")
+	)
+	flag.Parse()
+
+	if err := run(*injector, *rate, *dtemp, *seed, *duration); err != nil {
+		fmt.Fprintf(os.Stderr, "vrlfault: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(injector string, rate, dtemp float64, seed int64, duration float64) error {
+	if injector == "all" {
+		cfg := exp.Default()
+		cfg.Seed = seed
+		cfg.Duration = duration
+		r, err := exp.Resilience(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(os.Stdout)
+	}
+
+	params := device.Default90nm()
+	profile, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), seed)
+	if err != nil {
+		return err
+	}
+	rm, err := core.PaperRestoreModel(params, device.PaperBank)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{Duration: duration, TCK: params.TCK}
+
+	// Resolve the injector into the three places a fault can enter: the
+	// profile the scheduler trusts, the bank's true retention, or the refresh
+	// operations themselves.
+	schedProf, bankProf := profile, profile
+	var vrt *retention.VRT
+	var refreshFaults *fault.RefreshFaults
+	switch injector {
+	case "profile":
+		frac := rate
+		if frac == 0 {
+			frac = 0.05
+		}
+		bad, n, err := fault.MisBinProfile(profile, frac, retention.RAIDRBins, seed+1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mis-binned %d rows one bin slower than they sustain\n\n", n)
+		schedProf, bankProf = bad, bad
+	case "bank":
+		frac := rate
+		if frac == 0 {
+			frac = 0.05
+		}
+		vrt, err = fault.TransientWeakCells(frac, 0.55, 10, seed+2)
+		if err != nil {
+			return err
+		}
+	case "temp":
+		m := retention.DefaultTempModel()
+		hot, err := fault.TemperatureExcursion(profile, m, m.RefC+dtemp)
+		if err != nil {
+			return err
+		}
+		bankProf = hot
+	case "refresh":
+		f := fault.DefaultRefreshFaults(seed + 3)
+		if rate != 0 {
+			f.Rate = rate
+		}
+		refreshFaults = &f
+	default:
+		return fmt.Errorf("unknown injector %q (want all, profile, bank, temp or refresh)", injector)
+	}
+
+	campaign := func(guarded bool) (sim.Stats, error) {
+		var sched core.Scheduler
+		sched, err := core.NewVRL(schedProf, core.Config{Restore: rm})
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		if guarded {
+			sched, err = guard.New(sched, schedProf.Geom.Rows, guard.Config{Restore: rm})
+			if err != nil {
+				return sim.Stats{}, err
+			}
+		}
+		if refreshFaults != nil {
+			sched, err = fault.InjectRefreshFaults(sched, *refreshFaults)
+			if err != nil {
+				return sim.Stats{}, err
+			}
+		}
+		bank, err := dram.NewBank(bankProf, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		if vrt != nil {
+			if err := bank.SetVRT(vrt); err != nil {
+				return sim.Stats{}, err
+			}
+		}
+		return sim.Run(bank, sched, nil, opts)
+	}
+
+	r := &exp.Result{
+		ID:      "vrlfault",
+		Title:   fmt.Sprintf("injector %q over %.0f ms", injector, 1000*duration),
+		Headers: []string{"policy", "violations", "overhead %", "faults inj.", "alarms", "demotions", "escalations", "breaker trips", "degraded ms"},
+	}
+	for _, guarded := range []bool{false, true} {
+		st, err := campaign(guarded)
+		if err != nil {
+			return err
+		}
+		name := "VRL"
+		cells := []string{"-", "-", "-", "-", "-"}
+		if guarded {
+			name = "VRL+guard"
+			cells = []string{
+				fmt.Sprintf("%d", st.Guard.Alarms),
+				fmt.Sprintf("%d", st.Guard.Demotions),
+				fmt.Sprintf("%d", st.Guard.Escalations),
+				fmt.Sprintf("%d", st.Guard.BreakerTrips),
+				fmt.Sprintf("%.1f", 1000*st.Guard.TimeDegraded),
+			}
+		}
+		r.AddRow(append([]string{
+			name,
+			fmt.Sprintf("%d", st.Violations),
+			fmt.Sprintf("%.3f", 100*st.OverheadFraction(params.TCK)),
+			fmt.Sprintf("%d", st.FaultsInjected),
+		}, cells...)...)
+	}
+	return r.Fprint(os.Stdout)
+}

@@ -1,0 +1,49 @@
+package core
+
+// Optional capabilities a refresh scheduler (or a wrapper around one) can
+// implement to participate in online safety monitoring. The simulator and
+// the command-level controller probe for these with type assertions, so a
+// plain scheduler pays nothing.
+
+// SenseMonitor receives the sensed weakest-cell charge of every refresh
+// operation, before restoration. A safety controller uses the stream to
+// detect eroding margins while the charge is still above the sensing limit.
+type SenseMonitor interface {
+	// OnSense reports that the row was sensed at time now (seconds) with the
+	// given normalized charge.
+	OnSense(row int, now, charge float64)
+}
+
+// Demoter generalizes the one-shot Upgrader: instead of pinning a row to
+// the fastest bin immediately, a Demoter steps the row one rung down a
+// degradation ladder, so a single ECC correction costs one bin of overhead
+// rather than all of them.
+type Demoter interface {
+	// Demote moves the row one step toward a faster refresh schedule.
+	Demote(row int)
+}
+
+// GuardStats aggregates what a graceful-degradation controller did during a
+// run. The zero value means "no guard in the scheduler stack".
+type GuardStats struct {
+	Alarms       int64 // margin alarms (sense below the warn threshold)
+	Demotions    int64 // one-rung demotions to a faster bin
+	Promotions   int64 // one-rung promotions back toward the nominal bin
+	Escalations  int64 // rows pinned to the floor period after repeated alarms
+	BreakerTrips int64 // global circuit-breaker trips
+	// TimeDegraded is the total simulated time (seconds) spent with the
+	// circuit breaker tripped (whole bank at the floor period).
+	TimeDegraded float64
+}
+
+// GuardReporter exposes a guard's counters; now is the end-of-run time used
+// to close any still-open degraded interval.
+type GuardReporter interface {
+	GuardSnapshot(now float64) GuardStats
+}
+
+// FaultCounter is implemented by fault injectors (scheduler wrappers and
+// trace corruptors) so the harness can report how many faults a run saw.
+type FaultCounter interface {
+	FaultsInjected() int64
+}

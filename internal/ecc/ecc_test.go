@@ -1,6 +1,7 @@
 package ecc
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -110,7 +111,14 @@ func TestChargeClassifier(t *testing.T) {
 		charge float64
 		want   DecodeResult
 	}{
-		{0.9, OK}, {0.5, OK}, {0.49, Corrected}, {0.35, Corrected}, {0.34, Uncorrectable}, {0.0, Uncorrectable},
+		{0.9, OK},
+		{0.5, OK}, // exactly at the sensing limit: a correct read, not an error
+		{math.Nextafter(0.5, 0), Corrected}, // first representable charge below the limit
+		{0.49, Corrected},
+		{0.35, Corrected}, // exactly at the correctable floor: still single-bit
+		{math.Nextafter(0.35, 0), Uncorrectable},
+		{0.34, Uncorrectable},
+		{0.0, Uncorrectable},
 	}
 	for _, tc := range cases {
 		if got := c.Classify(tc.charge); got != tc.want {

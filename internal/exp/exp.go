@@ -191,6 +191,7 @@ var Registry = []struct {
 	{"abl-margin", "Ablation: worst-case sense signal by data pattern", SenseMarginSweep},
 	{"abl-salp", "Ablation: subarray-level parallelism x refresh policy", SALPSweep},
 	{"abl-coverage", "Ablation: trace row coverage vs VRL-Access benefit", CoverageSweep},
+	{"resilience", "Fault injection vs policy: guarded and unguarded violation/overhead frontier", Resilience},
 }
 
 // Find returns the runner with the given ID.

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestResilience(t *testing.T) {
+	r, err := Resilience(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const policies = 3
+	if len(r.Rows) != 5*policies {
+		t.Fatalf("rows = %d, want 5 faults x %d policies", len(r.Rows), policies)
+	}
+	viol := func(row []string) int {
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("violations cell %q: %v", row[2], err)
+		}
+		return n
+	}
+	for _, row := range r.Rows {
+		fault, policy := row[0], row[1]
+		switch {
+		case fault == "none":
+			if viol(row) != 0 {
+				t.Errorf("%s violates with no fault injected: %d", policy, viol(row))
+			}
+		case policy == "VRL":
+			if viol(row) == 0 {
+				t.Errorf("unguarded VRL survived %q; the campaign demonstrates nothing", fault)
+			}
+		case policy == "VRL+guard":
+			if viol(row) != 0 {
+				t.Errorf("guarded VRL lost data under %q: %d violations", fault, viol(row))
+			}
+		}
+	}
+}

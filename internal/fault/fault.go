@@ -1,0 +1,45 @@
+// Package fault provides deterministic, seedable fault injectors for the
+// refresh simulator: wrappers and profile transformations that model the
+// ways retention-aware refresh goes wrong in the field. VRL-DRAM's safety
+// rests on the retention profile being right; the literature the paper
+// builds on (AVATAR, REAPER) exists precisely because profiles drift under
+// VRT and temperature and because hardware itself degrades. Each injector
+// here models one such failure class:
+//
+//   - CorruptTrace: a trace.Source wrapper emitting out-of-order, garbage
+//     and out-of-range records, or truncating the stream mid-run (a broken
+//     trace capture or transport),
+//   - MisBinProfile: a stale or optimistic retention profile that places a
+//     fraction of rows one bin slower than they can sustain,
+//   - TransientWeakCells / TemperatureExcursion: bank-level retention loss
+//     (metastable cells toggling low, or operation hotter than profiling
+//     assumed),
+//   - InjectRefreshFaults: a core.Scheduler wrapper that truncates or drops
+//     a fraction of refresh operations (a marginal charge pump delivering
+//     partial restores).
+//
+// All injectors are deterministic for a given seed, so every failure a test
+// observes is reproducible.
+package fault
+
+import "math/rand"
+
+// splitmix64 is the avalanche hash shared by the stateless injectors; it
+// decorrelates (seed, counter) pairs into uniform 64-bit values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unit maps (seed, counter) to [0, 1).
+func unit(seed int64, counter uint64) float64 {
+	return float64(splitmix64(uint64(seed)^splitmix64(counter))>>11) / float64(1<<53)
+}
+
+// newRNG returns the seeded generator the stream-shaped injectors use.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+
+	"vrldram/internal/trace"
+)
+
+// TraceFaults configures the trace corruptor. Rates are per-record
+// probabilities; a record suffers at most one corruption.
+type TraceFaults struct {
+	// ReorderRate steps a record's timestamp backwards past its predecessor,
+	// violating the time-ordering contract custom Sources are trusted with.
+	ReorderRate float64
+	// GarbageRate replaces the record's op with an invalid byte.
+	GarbageRate float64
+	// OutOfRangeRate replaces the row with one far outside the bank.
+	OutOfRangeRate float64
+	// TruncateAfter, when positive, ends the stream (io.EOF) after this many
+	// records have been delivered, modeling a capture cut off mid-run.
+	TruncateAfter int64
+	Seed          int64
+}
+
+// DefaultTraceFaults corrupts ~3% of records and truncates nothing.
+func DefaultTraceFaults(seed int64) TraceFaults {
+	return TraceFaults{ReorderRate: 0.01, GarbageRate: 0.01, OutOfRangeRate: 0.01, Seed: seed}
+}
+
+// Validate reports the first unusable rate.
+func (f TraceFaults) Validate() error {
+	for _, r := range []float64{f.ReorderRate, f.GarbageRate, f.OutOfRangeRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("fault: trace fault rate %g outside [0,1]", r)
+		}
+	}
+	if f.TruncateAfter < 0 {
+		return fmt.Errorf("fault: TruncateAfter must be non-negative, got %d", f.TruncateAfter)
+	}
+	return nil
+}
+
+// TraceCorruptor wraps a trace.Source and corrupts its stream.
+type TraceCorruptor struct {
+	src      trace.Source
+	f        TraceFaults
+	rngState int64
+	n        int64 // records delivered
+	faults   int64
+	lastTime float64
+}
+
+// CorruptTrace wraps src with the given fault model.
+func CorruptTrace(src trace.Source, f TraceFaults) (*TraceCorruptor, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceCorruptor{src: src, f: f}, nil
+}
+
+// Next implements trace.Source.
+func (c *TraceCorruptor) Next() (trace.Record, error) {
+	if c.f.TruncateAfter > 0 && c.n >= c.f.TruncateAfter {
+		return trace.Record{}, io.EOF
+	}
+	rec, err := c.src.Next()
+	if err != nil {
+		return rec, err
+	}
+	c.n++
+	u := unit(c.f.Seed, uint64(c.n))
+	switch {
+	case u < c.f.ReorderRate:
+		// Step the timestamp behind the previous record.
+		rec.Time = c.lastTime - 1e-3
+		if rec.Time < 0 {
+			rec.Time = 0 // still mis-ordered relative to a later lastTime
+		}
+		c.faults++
+	case u < c.f.ReorderRate+c.f.GarbageRate:
+		rec.Op = '?'
+		c.faults++
+	case u < c.f.ReorderRate+c.f.GarbageRate+c.f.OutOfRangeRate:
+		rec.Row = rec.Row + 1<<28
+		c.faults++
+	default:
+		c.lastTime = rec.Time
+	}
+	return rec, nil
+}
+
+// FaultsInjected implements core.FaultCounter.
+func (c *TraceCorruptor) FaultsInjected() int64 { return c.faults }

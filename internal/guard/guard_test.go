@@ -1,0 +1,311 @@
+package guard
+
+import (
+	"testing"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/fault"
+	"vrldram/internal/retention"
+	"vrldram/internal/sim"
+)
+
+type fixture struct {
+	params  device.Params
+	profile *retention.BankProfile
+	rm      core.RestoreModel
+	opts    sim.Options
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	p := device.Default90nm()
+	prof, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		params:  p,
+		profile: prof,
+		rm:      rm,
+		opts:    sim.Options{Duration: 0.768, TCK: p.TCK},
+	}
+}
+
+func (f *fixture) vrl(t *testing.T, prof *retention.BankProfile) core.Scheduler {
+	t.Helper()
+	s, err := core.NewVRL(prof, core.Config{Restore: f.rm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func (f *fixture) guarded(t *testing.T, inner core.Scheduler) *Guard {
+	t.Helper()
+	g, err := New(inner, f.profile.Geom.Rows, Config{Restore: f.rm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func (f *fixture) bank(t *testing.T, prof *retention.BankProfile, vrt *retention.VRT) *dram.Bank {
+	t.Helper()
+	b, err := dram.NewBank(prof, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vrt != nil {
+		if err := b.SetVRT(vrt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// TestGuardContainsInjectedFaults is the headline acceptance test: with any
+// single injector active at its default rate, unguarded VRL loses data
+// (Violations > 0) while the same faults under the guard end the run with
+// Violations == 0. Everything is seeded, so the failures are reproducible.
+func TestGuardContainsInjectedFaults(t *testing.T) {
+	f := setup(t)
+	cases := []struct {
+		name string
+		// run returns the stats of one simulation, guarded or not.
+		run func(t *testing.T, guarded bool) sim.Stats
+	}{
+		{
+			name: "misbinned-profile",
+			run: func(t *testing.T, guarded bool) sim.Stats {
+				prof, n, err := fault.MisBinProfile(f.profile, 0.05, retention.RAIDRBins, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					t.Fatal("injector selected no rows")
+				}
+				var sched core.Scheduler = f.vrl(t, prof)
+				if guarded {
+					sched = f.guarded(t, sched)
+				}
+				st, err := sim.Run(f.bank(t, prof, nil), sched, nil, f.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+		},
+		{
+			name: "transient-weak-cells",
+			run: func(t *testing.T, guarded bool) sim.Stats {
+				vrt := fault.DefaultTransientWeakCells(5)
+				var sched core.Scheduler = f.vrl(t, f.profile)
+				if guarded {
+					sched = f.guarded(t, sched)
+				}
+				st, err := sim.Run(f.bank(t, f.profile, vrt), sched, nil, f.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+		},
+		{
+			name: "refresh-faults",
+			run: func(t *testing.T, guarded bool) sim.Stats {
+				var sched core.Scheduler = f.vrl(t, f.profile)
+				if guarded {
+					sched = f.guarded(t, sched)
+				}
+				// The injector wraps the guard so its faults hit the guard's
+				// probation refreshes too, as a failing charge pump would.
+				inj, err := fault.InjectRefreshFaults(sched, fault.DefaultRefreshFaults(9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := sim.Run(f.bank(t, f.profile, nil), inj, nil, f.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			unguarded := tc.run(t, false)
+			if unguarded.Violations == 0 {
+				t.Fatalf("unguarded VRL survived the %s injector; the fault rate is too benign to demonstrate anything", tc.name)
+			}
+			guarded := tc.run(t, true)
+			if guarded.Violations != 0 {
+				t.Fatalf("guarded VRL lost data under %s: %d violations (unguarded: %d)",
+					tc.name, guarded.Violations, unguarded.Violations)
+			}
+			if guarded.Guard.Alarms == 0 {
+				t.Fatalf("guard reported no alarms under %s; it was not exercised", tc.name)
+			}
+		})
+	}
+}
+
+// TestGuardPromotesHealthyRows: with no faults at all, the guard must not
+// stay pinned at the floor forever - rows earn their way back toward the
+// nominal schedule, and the run stays violation-free.
+func TestGuardPromotesHealthyRows(t *testing.T) {
+	f := setup(t)
+	g := f.guarded(t, f.vrl(t, f.profile))
+	st, err := sim.Run(f.bank(t, f.profile, nil), g, nil, f.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("clean guarded run violated integrity: %d", st.Violations)
+	}
+	if st.Guard.Promotions == 0 {
+		t.Fatal("no promotions in a clean run: probation never ends")
+	}
+	// The probation tax is real but bounded: more busy cycles than raw VRL,
+	// fewer than a JEDEC bank refreshed fully at the floor period would pay.
+	vrlStats, err := sim.Run(f.bank(t, f.profile, nil), f.vrl(t, f.profile), nil, f.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BusyCycles <= vrlStats.BusyCycles {
+		t.Fatalf("guarded busy cycles %d should exceed raw VRL's %d (probation is not free)",
+			st.BusyCycles, vrlStats.BusyCycles)
+	}
+	floorRefreshes := int64(f.opts.Duration/0.032) * int64(f.profile.Geom.Rows)
+	if st.BusyCycles >= floorRefreshes*int64(f.rm.FullCycles) {
+		t.Fatalf("guarded busy cycles %d never left the floor", st.BusyCycles)
+	}
+}
+
+// TestBreakerHysteresis drives OnSense directly: the breaker trips at the
+// configured sub-limit count, holds through clean senses for the hold time,
+// and recovers only after hold + a clean window - then can trip again.
+func TestBreakerHysteresis(t *testing.T) {
+	f := setup(t)
+	inner, err := core.NewJEDEC(0.064, f.rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(inner, 8, Config{
+		Restore:       f.rm,
+		BreakerTrip:   3,
+		BreakerWindow: 0.010,
+		BreakerHold:   0.050,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad, clean := 0.40, 0.95
+	g.OnSense(0, 0.001, bad)
+	g.OnSense(1, 0.002, bad)
+	if g.Tripped() {
+		t.Fatal("tripped below the threshold")
+	}
+	g.OnSense(2, 0.003, bad)
+	if !g.Tripped() {
+		t.Fatal("did not trip at the threshold")
+	}
+	if got := g.Period(5); got != 0.032 {
+		t.Fatalf("tripped period = %g, want the 0.032 floor", got)
+	}
+
+	// Clean senses before the hold expires: must stay tripped (hysteresis).
+	g.OnSense(3, 0.020, clean)
+	g.OnSense(3, 0.040, clean)
+	if !g.Tripped() {
+		t.Fatal("recovered before the hold expired")
+	}
+
+	// Past the hold with a clean window: recovers.
+	g.OnSense(3, 0.055, clean)
+	if g.Tripped() {
+		t.Fatal("did not recover after hold + clean window")
+	}
+	st := g.GuardSnapshot(0.055)
+	if st.BreakerTrips != 1 {
+		t.Fatalf("trips = %d, want 1", st.BreakerTrips)
+	}
+	if st.TimeDegraded < 0.050 || st.TimeDegraded > 0.055 {
+		t.Fatalf("time degraded = %g, want ~[0.050, 0.055]", st.TimeDegraded)
+	}
+
+	// A second excursion trips again.
+	g.OnSense(0, 0.060, bad)
+	g.OnSense(1, 0.061, bad)
+	g.OnSense(2, 0.062, bad)
+	if !g.Tripped() {
+		t.Fatal("second excursion did not trip")
+	}
+	if got := g.GuardSnapshot(0.100).BreakerTrips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// A still-open degraded interval is closed by the snapshot.
+	if got := g.GuardSnapshot(0.100).TimeDegraded; got <= st.TimeDegraded {
+		t.Fatalf("open degraded interval not accounted: %g", got)
+	}
+}
+
+// TestGuardDelegatesAtNominal: once a row reaches its nominal rung the
+// wrapped scheduler's schedule (period, MPRSF, op mix) is used verbatim.
+func TestGuardDelegatesAtNominal(t *testing.T) {
+	f := setup(t)
+	vrl := f.vrl(t, f.profile)
+	g := f.guarded(t, vrl)
+	// Find a strong row and walk it up the ladder with clean senses.
+	row := 0
+	for r := 0; r < f.profile.Geom.Rows; r++ {
+		if vrl.Period(r) == 0.256 && vrl.MPRSF(r) > 0 {
+			row = r
+			break
+		}
+	}
+	if g.Period(row) != 0.032 {
+		t.Fatalf("probation period = %g, want 0.032", g.Period(row))
+	}
+	if g.MPRSF(row) != 0 {
+		t.Fatal("partial refreshes must be disabled during probation")
+	}
+	now := 0.0
+	for i := 0; i < 64 && g.Period(row) < vrl.Period(row); i++ {
+		now += g.Period(row)
+		g.OnSense(row, now, 0.97)
+	}
+	if g.Period(row) != vrl.Period(row) {
+		t.Fatalf("row never promoted to nominal: period %g want %g", g.Period(row), vrl.Period(row))
+	}
+	if g.MPRSF(row) != vrl.MPRSF(row) {
+		t.Fatalf("MPRSF not delegated at nominal: %d want %d", g.MPRSF(row), vrl.MPRSF(row))
+	}
+	// Demote steps exactly one rung down.
+	g.Demote(row)
+	if g.Period(row) != 0.192 {
+		t.Fatalf("after Demote period = %g, want 0.192", g.Period(row))
+	}
+	if op := g.RefreshOp(row, now); !op.Full {
+		t.Fatal("off-nominal refresh must be full-latency")
+	}
+	// Upgrade (the AVATAR hook) escalates: floor period, full ops, no
+	// promotion ever again.
+	g.Upgrade(row)
+	if p, esc := g.RowRung(row); p != 0.032 || !esc {
+		t.Fatalf("after Upgrade: period %g escalated %v, want 0.032 true", p, esc)
+	}
+	for i := 0; i < 8; i++ {
+		now += 0.032
+		g.OnSense(row, now, 0.99)
+	}
+	if p, _ := g.RowRung(row); p != 0.032 {
+		t.Fatalf("escalated row was promoted to %g", p)
+	}
+}

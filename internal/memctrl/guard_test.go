@@ -1,0 +1,75 @@
+package memctrl
+
+import (
+	"testing"
+
+	"vrldram/internal/core"
+	"vrldram/internal/fault"
+	"vrldram/internal/guard"
+)
+
+// TestGuardedStackAtCommandLevel wires the fault injector and the
+// degradation controller through the command-level controller: the guard's
+// counters and the injector's fault count must surface in memctrl.Stats,
+// and the guarded run must stay violation-free while serving requests.
+func TestGuardedStackAtCommandLevel(t *testing.T) {
+	f := setup(t)
+	build := func(guarded bool) core.Scheduler {
+		var sched core.Scheduler = f.sched(t, func() (core.Scheduler, error) {
+			return core.NewVRL(f.profile, core.Config{Restore: f.rm})
+		})
+		if guarded {
+			g, err := guard.New(sched, f.profile.Geom.Rows, guard.Config{Restore: f.rm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched = g
+		}
+		// A rate above the default compensates for the short 256 ms window:
+		// the vulnerable bin-edge rows need enough exposure to demonstrate
+		// the unguarded failure.
+		inj, err := fault.InjectRefreshFaults(sched, fault.RefreshFaults{Rate: 0.1, AlphaFactor: 0.5, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	reqs := make([]Request, 0, 200)
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs, Request{Arrival: int64(i) * 997, Row: (i * 37) % f.profile.Geom.Rows})
+	}
+
+	unguarded, _, err := Run(f.bank(t), build(false), reqs, f.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unguarded.Violations == 0 {
+		t.Fatal("unguarded VRL survived the refresh-fault campaign; nothing demonstrated")
+	}
+	if unguarded.FaultsInjected == 0 {
+		t.Fatal("injector faults not surfaced in memctrl.Stats")
+	}
+
+	st, _, err := Run(f.bank(t), build(true), reqs, f.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("guarded stack lost data at the command level: %d violations", st.Violations)
+	}
+	if st.FaultsInjected == 0 {
+		t.Fatal("injector faults not surfaced in the guarded run")
+	}
+	if st.Guard.Alarms == 0 || st.Guard.Demotions == 0 {
+		t.Fatalf("guard counters not surfaced: %+v", st.Guard)
+	}
+	if st.Requests == 0 || st.RefreshOps == 0 {
+		t.Fatal("controller did not actually serve the workload")
+	}
+	// The guard's probation refreshes make the bank busier: the latency cost
+	// of degradation shows up at the command level.
+	if st.RefreshBusyCycles <= unguarded.RefreshBusyCycles {
+		t.Fatalf("guarded refresh busy cycles %d should exceed unguarded %d",
+			st.RefreshBusyCycles, unguarded.RefreshBusyCycles)
+	}
+}

@@ -25,6 +25,8 @@ import (
 
 	"vrldram/internal/core"
 	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
+	"vrldram/internal/retention"
 	"vrldram/internal/trace"
 )
 
@@ -109,6 +111,17 @@ type Stats struct {
 	StalledByRefresh int64
 
 	Violations int
+
+	// ECC classification of sub-limit refresh senses (populated when
+	// Options.ECC is set).
+	CorrectedErrors     int64
+	UncorrectableErrors int64
+	// FaultsInjected counts faults delivered by any core.FaultCounter in the
+	// scheduler stack (internal/fault injectors).
+	FaultsInjected int64
+	// Guard carries the degradation controller's counters when a
+	// core.GuardReporter (internal/guard) is in the scheduler stack.
+	Guard core.GuardStats
 }
 
 // Options configures a run.
@@ -125,6 +138,13 @@ type Options struct {
 	// from the original due time, so debt does not accumulate. The charge
 	// guardband absorbs the extra decay; the bank model verifies it.
 	ElasticSlack float64
+
+	// ECC, when set, classifies sub-limit refresh senses into corrected and
+	// uncorrectable errors (same convention as sim.Options.ECC).
+	ECC *ecc.ChargeClassifier
+	// DemoteOnCorrect steps the row one rung down the degradation ladder on
+	// an ECC-corrected error, when the scheduler supports core.Demoter.
+	DemoteOnCorrect bool
 }
 
 // event types for the unified timeline.
@@ -179,8 +199,14 @@ func Run(bank *dram.Bank, sched core.Scheduler, reqs []Request, opts Options) (S
 	if opts.ElasticSlack < 0 || opts.ElasticSlack > 0.5 {
 		return Stats{}, nil, fmt.Errorf("memctrl: ElasticSlack %g outside [0, 0.5]", opts.ElasticSlack)
 	}
+	if opts.ECC != nil {
+		if err := opts.ECC.Validate(); err != nil {
+			return Stats{}, nil, err
+		}
+	}
 	horizon := int64(opts.Duration / opts.TCK)
 	st := Stats{Scheduler: sched.Name()}
+	monitor, _ := sched.(core.SenseMonitor)
 
 	// Seed the refresh timeline (same golden-ratio stagger as internal/sim).
 	h := make(eventHeap, 0, bank.Geom.Rows+len(reqs))
@@ -361,8 +387,26 @@ func Run(bank *dram.Bank, sched core.Scheduler, reqs []Request, opts Options) (S
 				start += int64(t.TRP)
 				openRow = -1
 			}
-			if _, err := bank.Refresh(ev.row, float64(start)*opts.TCK, op.Alpha); err != nil {
+			when := float64(start) * opts.TCK
+			res, err := bank.Refresh(ev.row, when, op.Alpha)
+			if err != nil {
 				return Stats{}, nil, err
+			}
+			if monitor != nil {
+				monitor.OnSense(ev.row, when, res.ChargeBefore)
+			}
+			if opts.ECC != nil && res.ChargeBefore < retention.SenseLimit {
+				switch opts.ECC.Classify(res.ChargeBefore) {
+				case ecc.Corrected:
+					st.CorrectedErrors++
+					if opts.DemoteOnCorrect {
+						if dm, ok := sched.(core.Demoter); ok {
+							dm.Demote(ev.row)
+						}
+					}
+				case ecc.Uncorrectable:
+					st.UncorrectableErrors++
+				}
 			}
 			bankFree = start + int64(op.Cycles)
 			lastRefreshEnd = bankFree
@@ -425,6 +469,12 @@ func Run(bank *dram.Bank, sched core.Scheduler, reqs []Request, opts Options) (S
 		st.AvgReadLatency = float64(sumRead) / float64(st.Reads)
 	}
 	st.Violations = len(bank.Violations())
+	if fc, ok := sched.(core.FaultCounter); ok {
+		st.FaultsInjected = fc.FaultsInjected()
+	}
+	if gr, ok := sched.(core.GuardReporter); ok {
+		st.Guard = gr.GuardSnapshot(opts.Duration)
+	}
 	return st, out, nil
 }
 

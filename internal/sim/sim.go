@@ -30,6 +30,11 @@ type Options struct {
 	// in a row and the scheduler supports core.Upgrader, the row is demoted
 	// to the fastest bin on the spot.
 	UpgradeOnCorrect bool
+	// DemoteOnCorrect generalizes UpgradeOnCorrect: when ECC corrects an
+	// error and the scheduler supports core.Demoter (e.g. a guard.Guard in
+	// the stack), the row steps one rung down the degradation ladder instead
+	// of losing all of its slack at once.
+	DemoteOnCorrect bool
 }
 
 // Stats is the outcome of one run.
@@ -54,6 +59,13 @@ type Stats struct {
 	CorrectedErrors     int64
 	UncorrectableErrors int64
 	RowsUpgraded        int64
+
+	// FaultsInjected counts the faults delivered by any core.FaultCounter in
+	// the scheduler stack or the trace source (internal/fault injectors).
+	FaultsInjected int64
+	// Guard carries the degradation controller's counters when a
+	// core.GuardReporter (internal/guard) is in the scheduler stack.
+	Guard core.GuardStats
 }
 
 // Refreshes returns the total refresh operation count.
@@ -105,6 +117,9 @@ func staggerFrac(row int) float64 {
 // Run simulates the bank under the scheduler while replaying the trace
 // source. Trace records and refreshes interleave in time order; accesses
 // notify the scheduler (for VRL-Access) and fully restore the accessed row.
+//
+// On a mid-run error Run returns the partially-populated Stats accumulated
+// so far alongside the error, so a failing run is still debuggable.
 func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
 	if opts.Duration <= 0 {
 		return Stats{}, fmt.Errorf("sim: duration must be positive, got %g", opts.Duration)
@@ -117,6 +132,23 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 	}
 	st := Stats{Scheduler: sched.Name(), Duration: opts.Duration}
 
+	monitor, hasMonitor := sched.(core.SenseMonitor)
+	// finalize fills the diagnostics that remain meaningful even when the
+	// run aborts partway: the violations recorded so far, injected-fault
+	// counts, and the guard's counters at time now.
+	finalize := func(now float64) {
+		st.Violations = len(bank.Violations())
+		if fc, ok := sched.(core.FaultCounter); ok {
+			st.FaultsInjected += fc.FaultsInjected()
+		}
+		if fc, ok := src.(core.FaultCounter); ok {
+			st.FaultsInjected += fc.FaultsInjected()
+		}
+		if gr, ok := sched.(core.GuardReporter); ok {
+			st.Guard = gr.GuardSnapshot(now)
+		}
+	}
+
 	rows := bank.Geom.Rows
 	h := make(eventHeap, 0, rows)
 	for r := 0; r < rows; r++ {
@@ -128,15 +160,24 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 	}
 	heap.Init(&h)
 
-	// Trace look-ahead record.
+	// Trace look-ahead record. The readers in internal/trace enforce time
+	// ordering themselves, but a custom Source is only trusted as far as the
+	// check below: a record whose timestamp precedes its predecessor's would
+	// silently mis-interleave with the refresh events, so it is an error.
 	next, err := src.Next()
 	havePending := err == nil
 	if err != nil && err != io.EOF {
-		return Stats{}, err
+		finalize(0)
+		return st, err
 	}
+	lastTraceTime := math.Inf(-1)
 
 	drainTrace := func(until float64) error {
 		for havePending && next.Time <= until {
+			if next.Time < lastTraceTime {
+				return fmt.Errorf("sim: trace source out of order: record at t=%.9g after t=%.9g", next.Time, lastTraceTime)
+			}
+			lastTraceTime = next.Time
 			if next.Time >= opts.Duration {
 				havePending = false
 				break
@@ -165,18 +206,29 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 			continue
 		}
 		if err := drainTrace(ev.t); err != nil {
-			return Stats{}, err
+			finalize(ev.t)
+			return st, err
 		}
 		op := sched.RefreshOp(ev.row, ev.t)
 		res, err := bank.Refresh(ev.row, ev.t, op.Alpha)
 		if err != nil {
-			return Stats{}, err
+			finalize(ev.t)
+			return st, err
+		}
+		if hasMonitor {
+			// Report before rescheduling so a demotion or promotion decided
+			// here shapes the row's very next refresh interval.
+			monitor.OnSense(ev.row, ev.t, res.ChargeBefore)
 		}
 		if opts.ECC != nil && res.ChargeBefore < retention.SenseLimit {
 			switch opts.ECC.Classify(res.ChargeBefore) {
 			case ecc.Corrected:
 				st.CorrectedErrors++
-				if opts.UpgradeOnCorrect {
+				if opts.DemoteOnCorrect {
+					if dm, ok := sched.(core.Demoter); ok {
+						dm.Demote(ev.row)
+					}
+				} else if opts.UpgradeOnCorrect {
 					if up, ok := sched.(core.Upgrader); ok {
 						up.Upgrade(ev.row)
 						st.RowsUpgraded++
@@ -196,12 +248,15 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 		heap.Push(&h, event{t: ev.t + sched.Period(ev.row), row: ev.row})
 	}
 	if err := drainTrace(opts.Duration); err != nil {
-		return Stats{}, err
+		finalize(opts.Duration)
+		return st, err
 	}
-	// Closing integrity sweep: every row must still be sensable.
+	// Closing integrity sweep: every row must still be sensable. A failed
+	// sweep still returns the diagnostics accumulated so far.
 	if _, err := bank.CheckAll(opts.Duration); err != nil {
-		return Stats{}, err
+		finalize(opts.Duration)
+		return st, err
 	}
-	st.Violations = len(bank.Violations())
+	finalize(opts.Duration)
 	return st, nil
 }
