@@ -1,7 +1,7 @@
 #!/bin/sh
 # Pre-merge gate: vet, build, race-enabled tests, and short fuzz budgets on
-# the two input parsers (trace files and SPICE decks). Run from the repo
-# root; any failure aborts the merge.
+# the input parsers (trace files, SPICE decks) and the checkpoint container
+# decoder. Run from the repo root; any failure aborts the merge.
 set -eu
 
 echo "== go vet =="
@@ -10,8 +10,10 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+# Explicit -timeout: a deadlocked test (e.g. a campaign-harness goroutine
+# leak) must fail the gate in minutes, not hang it for the default 10.
 echo "== go test -race =="
-go test -race ./...
+go test -race -timeout 5m ./...
 
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per
@@ -24,5 +26,7 @@ for target in FuzzParseDeck FuzzParseValue; do
     echo "== fuzz $target (internal/circuit/spice) =="
     go test -run='^$' -fuzz="^${target}\$" -fuzztime=3s ./internal/circuit/spice
 done
+echo "== fuzz FuzzCheckpointDecode (internal/checkpoint) =="
+go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=3s ./internal/checkpoint
 
 echo "== all checks passed =="

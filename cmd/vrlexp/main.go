@@ -1,18 +1,37 @@
 // Command vrlexp regenerates the tables and figures of the VRL-DRAM paper.
+// Experiments run as a crash-tolerant campaign: a panicking or erroring
+// experiment is recorded as a failure and the rest of the campaign
+// completes, -timeout bounds each experiment's wall-clock time, and
+// -checkpoint/-resume persist completed results across interruptions so a
+// killed campaign picks up where it left off.
 //
 // Usage:
 //
 //	vrlexp -list
 //	vrlexp -exp fig4
 //	vrlexp -exp all -seed 7 -duration 0.768
+//	vrlexp -exp all -timeout 2m -checkpoint campaign.ckpt
+//	vrlexp -exp all -checkpoint campaign.ckpt -resume
+//
+// Exit status: 0 on success, 1 on a usage or I/O error or an interrupted
+// campaign, 4 when the campaign finished but one or more experiments
+// failed (timed out, panicked, or errored).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vrldram"
+	"vrldram/internal/checkpoint"
+	"vrldram/internal/exp"
 )
 
 func main() {
@@ -22,6 +41,9 @@ func main() {
 		duration = flag.Float64("duration", 0, "override the simulation window in seconds (0 = paper default)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		format   = flag.String("format", "table", "output format: table or csv")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit per experiment (0 = none)")
+		ckptPath = flag.String("checkpoint", "", "persist completed results to this file (atomic, CRC-checked)")
+		resume   = flag.Bool("resume", false, "reuse completed results from -checkpoint instead of re-running them")
 	)
 	flag.Parse()
 
@@ -31,27 +53,99 @@ func main() {
 		}
 		return
 	}
+	if *format != "table" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	if *resume && *ckptPath == "" {
+		fatal(errors.New("-resume requires -checkpoint"))
+	}
 
-	ids := []string{*expID}
-	if *expID == "all" {
-		ids = ids[:0]
-		for _, e := range vrldram.Experiments() {
-			ids = append(ids, e.ID)
+	var ids []string // nil = whole registry, in the paper's order
+	if *expID != "all" {
+		ids = []string{*expID}
+	}
+
+	cfg := exp.Default()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *duration != 0 {
+		cfg.Duration = *duration
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := exp.CampaignOptions{IDs: ids, Timeout: *timeout}
+
+	// Campaign progress file: completed results accumulate and are
+	// re-persisted after every experiment, so a killed campaign loses at
+	// most the experiment in flight.
+	var completed []*exp.Result
+	if *ckptPath != "" {
+		mgr, err := checkpoint.NewManager(*ckptPath, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if *resume {
+			from, err := mgr.Load(func(r io.Reader) error {
+				var derr error
+				completed, derr = checkpoint.DecodeCampaign(r)
+				return derr
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vrlexp: no resumable campaign state (%v); starting fresh\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "vrlexp: resuming campaign from %s (%d experiment(s) already done)\n", from, len(completed))
+			}
+		}
+		restored := make(map[string]*exp.Result, len(completed))
+		for _, res := range completed {
+			restored[res.ID] = res
+		}
+		opts.Restore = func(id string) *exp.Result { return restored[id] }
+		opts.OnResult = func(res *exp.Result) error {
+			completed = append(completed, res)
+			return mgr.Save(func(w io.Writer) error { return checkpoint.EncodeCampaign(w, completed) })
 		}
 	}
-	for _, id := range ids {
-		var err error
+
+	start := time.Now()
+	results, err := exp.RunCampaign(ctx, cfg, opts)
+	for _, res := range results {
+		var perr error
 		switch *format {
 		case "table":
-			err = vrldram.RunExperimentSeeded(id, os.Stdout, *seed, *duration)
+			perr = res.Fprint(os.Stdout)
 		case "csv":
-			err = vrldram.RunExperimentCSV(id, os.Stdout, *seed, *duration)
-		default:
-			err = fmt.Errorf("unknown format %q", *format)
+			perr = res.FprintCSV(os.Stdout)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vrlexp: %s: %v\n", id, err)
-			os.Exit(1)
+		if perr != nil {
+			fatal(perr)
 		}
 	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "vrlexp: campaign interrupted after %d experiment(s) (%v elapsed)\n", len(results), time.Since(start).Round(time.Second))
+			if *ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "vrlexp: completed results saved to %s; rerun with -resume to continue\n", *ckptPath)
+			}
+		}
+		fatal(err)
+	}
+	failed := 0
+	for _, res := range results {
+		if res.Failed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "vrlexp: experiment %s failed (see its notes)\n", res.ID)
+		}
+	}
+	if failed > 0 {
+		os.Exit(4)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
+	os.Exit(1)
 }

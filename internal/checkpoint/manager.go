@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultGenerations is how many snapshot generations Manager retains in
+// total when the caller does not say.
+const DefaultGenerations = 3
+
+// Manager owns one checkpoint file and its retained generations. Save is
+// atomic (temp file + fsync + rename), and each Save first rotates the
+// current file into a numbered generation (<path>.1 is the previous
+// snapshot, up to <path>.<keep-1>), keeping at most keep files in total,
+// so a crash mid-write leaves every prior snapshot intact.
+// Load walks the generations newest-first and returns the first one that
+// decodes cleanly, skipping corrupt or truncated files.
+type Manager struct {
+	path string
+	keep int
+}
+
+// NewManager returns a manager for the given checkpoint path, retaining
+// keep generations in total (DefaultGenerations if keep <= 0).
+func NewManager(path string, keep int) (*Manager, error) {
+	if path == "" {
+		return nil, fmt.Errorf("checkpoint: empty path")
+	}
+	if keep <= 0 {
+		keep = DefaultGenerations
+	}
+	return &Manager{path: path, keep: keep}, nil
+}
+
+// Path returns the primary checkpoint file path.
+func (m *Manager) Path() string { return m.path }
+
+func (m *Manager) generation(i int) string {
+	if i == 0 {
+		return m.path
+	}
+	return fmt.Sprintf("%s.%d", m.path, i)
+}
+
+// Save atomically writes a new snapshot via the encode callback (e.g.
+// func(w io.Writer) error { return EncodeSim(w, cp) }), rotating existing
+// generations first. On any error the previous snapshot files are
+// untouched.
+func (m *Manager) Save(encode func(io.Writer) error) error {
+	tmp := m.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Rotate: drop the oldest generation, then <path>.<keep-2> ->
+	// <path>.<keep-1>, ..., <path> -> <path>.1, keeping at most keep files.
+	// A missing link in the chain is normal early in a run's life.
+	if err := os.Remove(m.generation(m.keep - 1)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	for i := m.keep - 2; i >= 0; i-- {
+		if err := os.Rename(m.generation(i), m.generation(i+1)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return os.Rename(tmp, m.path)
+}
+
+// Load opens the newest good generation and decodes it via the callback.
+// A generation that fails to open or decode (bad CRC, truncation, wrong
+// version) is skipped in favor of the one before it. It returns the path of
+// the generation that loaded, or an error describing the newest failure if
+// every generation is missing or corrupt.
+func (m *Manager) Load(decode func(io.Reader) error) (string, error) {
+	var firstErr error
+	tried := 0
+	for i := 0; i < m.keep; i++ {
+		name := m.generation(i)
+		f, err := os.Open(name)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			tried++
+			continue
+		}
+		err = decode(f)
+		f.Close()
+		if err == nil {
+			return name, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", name, err)
+		}
+		tried++
+	}
+	if firstErr != nil {
+		return "", fmt.Errorf("checkpoint: no loadable snapshot among %d candidate(s); newest failure: %w", tried, firstErr)
+	}
+	return "", fmt.Errorf("checkpoint: no snapshot found at %s", m.path)
+}

@@ -93,6 +93,21 @@ func NewJEDEC(nominalPeriod float64, rm RestoreModel) (Scheduler, error) {
 	return &jedec{period: nominalPeriod, rm: rm}, nil
 }
 
+// SnapshotState implements Snapshotter; JEDEC has no mutable state, so the
+// blob is the policy tag alone.
+func (s *jedec) SnapshotState() ([]byte, error) {
+	var e StateEncoder
+	e.Tag("jedec1")
+	return e.Data(), nil
+}
+
+// RestoreState implements Snapshotter.
+func (s *jedec) RestoreState(data []byte) error {
+	d := NewStateDecoder(data)
+	d.ExpectTag("jedec1")
+	return d.Finish()
+}
+
 func (s *jedec) Name() string          { return "JEDEC" }
 func (s *jedec) Period(int) float64    { return s.period }
 func (s *jedec) OnAccess(int, float64) {}
@@ -121,6 +136,30 @@ func NewRAIDR(profile *retention.BankProfile, cfg Config) (Scheduler, error) {
 		return nil, err
 	}
 	return &raidr{periods: periods, rm: cfg.Restore}, nil
+}
+
+// SnapshotState implements Snapshotter. RAIDR's binned periods are fixed at
+// construction, so only the row count is recorded (to verify shape at
+// restore time).
+func (s *raidr) SnapshotState() ([]byte, error) {
+	var e StateEncoder
+	e.Tag("raidr1")
+	e.Int(int64(len(s.periods)))
+	return e.Data(), nil
+}
+
+// RestoreState implements Snapshotter.
+func (s *raidr) RestoreState(data []byte) error {
+	d := NewStateDecoder(data)
+	d.ExpectTag("raidr1")
+	rows := d.Int()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if int(rows) != len(s.periods) {
+		return fmt.Errorf("core: RAIDR snapshot has %d rows, scheduler has %d", rows, len(s.periods))
+	}
+	return nil
 }
 
 func (s *raidr) Name() string           { return "RAIDR" }
@@ -190,6 +229,58 @@ func newVRL(profile *retention.BankProfile, cfg Config, resetOnAccess bool) (Sch
 		s.rcount[r] = int(uint32(r)*2654435761%uint32(s.mprsf[r]+1)) % (s.mprsf[r] + 1)
 	}
 	return s, nil
+}
+
+// SnapshotState implements Snapshotter: the per-row periods and MPRSF
+// values (both mutable through Upgrade) and the partial-refresh counters.
+func (s *vrl) SnapshotState() ([]byte, error) {
+	var e StateEncoder
+	e.Tag("vrl1")
+	e.Bool(s.resetOnAccess)
+	e.Floats(s.periods)
+	e.Ints(s.mprsf)
+	e.Ints(s.rcount)
+	return e.Data(), nil
+}
+
+// RestoreState implements Snapshotter.
+func (s *vrl) RestoreState(data []byte) error {
+	d := NewStateDecoder(data)
+	d.ExpectTag("vrl1")
+	resetOnAccess := d.Bool()
+	periods := d.Floats()
+	mprsf := d.Ints()
+	rcount := d.Ints()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if resetOnAccess != s.resetOnAccess {
+		return fmt.Errorf("core: VRL snapshot is for %s, scheduler is %s", vrlVariant(resetOnAccess), vrlVariant(s.resetOnAccess))
+	}
+	rows := len(s.periods)
+	if len(periods) != rows || len(mprsf) != rows || len(rcount) != rows {
+		return fmt.Errorf("core: VRL snapshot has %d/%d/%d rows, scheduler has %d",
+			len(periods), len(mprsf), len(rcount), rows)
+	}
+	for r := 0; r < rows; r++ {
+		if periods[r] <= 0 {
+			return fmt.Errorf("core: VRL snapshot period for row %d is %g", r, periods[r])
+		}
+		if mprsf[r] < 0 || rcount[r] < 0 || rcount[r] > mprsf[r] {
+			return fmt.Errorf("core: VRL snapshot counters for row %d invalid (rcount %d, mprsf %d)", r, rcount[r], mprsf[r])
+		}
+	}
+	copy(s.periods, periods)
+	copy(s.mprsf, mprsf)
+	copy(s.rcount, rcount)
+	return nil
+}
+
+func vrlVariant(resetOnAccess bool) string {
+	if resetOnAccess {
+		return "VRL-Access"
+	}
+	return "VRL"
 }
 
 func (s *vrl) Name() string           { return s.name }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshotter is the capability a checkpointable simulation requires of its
+// scheduler: export the policy's mutable counters as an opaque, versioned
+// blob, and restore them later into a fresh instance constructed with the
+// same configuration. A stateless policy still implements it (with a
+// tag-only blob) so the checkpoint layer can verify at restore time that the
+// snapshot and the scheduler agree about what policy is running.
+//
+// Wrappers (guards, injectors) that hold state of their own must nest their
+// inner scheduler's blob inside theirs, so a whole stack snapshots through
+// its top element.
+type Snapshotter interface {
+	// SnapshotState serializes the scheduler's mutable state.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the scheduler's mutable state with a previously
+	// snapshotted one. It must reject blobs from a different policy or an
+	// incompatibly-shaped configuration (e.g. a different row count).
+	RestoreState(data []byte) error
+}
+
+// StateEncoder builds the little-endian binary blobs Snapshotter
+// implementations exchange. The zero value is ready to use; encoding never
+// fails, so the methods return nothing.
+type StateEncoder struct {
+	buf []byte
+}
+
+// Tag writes a length-prefixed policy/version marker ("vrl1", ...); the
+// decoder's matching ExpectTag rejects blobs from a different implementation.
+func (e *StateEncoder) Tag(tag string) { e.Bytes([]byte(tag)) }
+
+// Uint64 appends a fixed-width unsigned integer.
+func (e *StateEncoder) Uint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Int appends a signed integer (as its 64-bit two's complement).
+func (e *StateEncoder) Int(v int64) { e.Uint64(uint64(v)) }
+
+// Bool appends a boolean byte.
+func (e *StateEncoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float appends a float64 bit-exactly.
+func (e *StateEncoder) Float(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Floats appends a length-prefixed float64 slice bit-exactly.
+func (e *StateEncoder) Floats(v []float64) {
+	e.Int(int64(len(v)))
+	for _, f := range v {
+		e.Float(f)
+	}
+}
+
+// Ints appends a length-prefixed int slice.
+func (e *StateEncoder) Ints(v []int) {
+	e.Int(int64(len(v)))
+	for _, x := range v {
+		e.Int(int64(x))
+	}
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *StateEncoder) Bytes(v []byte) {
+	e.Int(int64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Data returns the encoded blob.
+func (e *StateEncoder) Data() []byte { return e.buf }
+
+// StateDecoder reads blobs produced by StateEncoder. It is sticky: the
+// first malformed field latches an error, subsequent reads return zero
+// values, and Err (or Finish) reports what went wrong. Length-prefixed
+// fields are validated against the remaining input before any allocation,
+// so a corrupt length cannot force a huge allocation.
+type StateDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewStateDecoder wraps a blob.
+func NewStateDecoder(data []byte) *StateDecoder { return &StateDecoder{buf: data} }
+
+func (d *StateDecoder) fail(format string, args ...interface{}) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// need reserves n bytes of input, failing the decoder if they are missing.
+func (d *StateDecoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("core: state blob truncated at offset %d (need %d bytes, have %d)", d.off, n, len(d.buf)-d.off)
+		return false
+	}
+	return true
+}
+
+// Uint64 reads a fixed-width unsigned integer.
+func (d *StateDecoder) Uint64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// Int reads a signed integer.
+func (d *StateDecoder) Int() int64 { return int64(d.Uint64()) }
+
+// Bool reads a boolean byte.
+func (d *StateDecoder) Bool() bool {
+	if !d.need(1) {
+		return false
+	}
+	v := d.buf[d.off]
+	d.off++
+	if v > 1 {
+		d.fail("core: state blob has bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// Float reads a float64 bit-exactly.
+func (d *StateDecoder) Float() float64 { return math.Float64frombits(d.Uint64()) }
+
+// sliceLen validates a length prefix for elements of elemSize bytes.
+func (d *StateDecoder) sliceLen(elemSize int) int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(len(d.buf)-d.off)/int64(elemSize) {
+		d.fail("core: state blob slice length %d impossible with %d bytes left", n, len(d.buf)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+// Floats reads a length-prefixed float64 slice.
+func (d *StateDecoder) Floats() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Float()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice.
+func (d *StateDecoder) Ints() []int {
+	n := d.sliceLen(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.Int())
+	}
+	return out
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (d *StateDecoder) Bytes() []byte {
+	n := d.sliceLen(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
+	return out
+}
+
+// ExpectTag reads a tag and fails the decoder unless it matches.
+func (d *StateDecoder) ExpectTag(tag string) {
+	got := string(d.Bytes())
+	if d.err == nil && got != tag {
+		d.fail("core: state blob is %q, want %q", got, tag)
+	}
+}
+
+// Fail latches a caller-detected validation error (kept only if no earlier
+// error is pending), so layered decoders can reject semantically impossible
+// values through the same sticky-error path as framing failures.
+func (d *StateDecoder) Fail(format string, args ...interface{}) { d.fail(format, args...) }
+
+// Err returns the first decoding error.
+func (d *StateDecoder) Err() error { return d.err }
+
+// Finish returns the first decoding error, or an error if trailing bytes
+// remain unconsumed (a shape mismatch the per-field checks cannot see).
+func (d *StateDecoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("core: state blob has %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -156,6 +156,40 @@ func (b *Bank) Access(row int, t float64) (RefreshResult, error) {
 // Violations returns the integrity violations recorded so far.
 func (b *Bank) Violations() []Violation { return b.violations }
 
+// State is the bank's mutable simulation state: everything a checkpoint
+// must capture to resume a run bit-identically. All slices are deep copies.
+type State struct {
+	Charge     []float64 // normalized charge at LastT, per row
+	LastT      []float64 // time of each row's last restore (s)
+	Violations []Violation
+}
+
+// State snapshots the bank's mutable state.
+func (b *Bank) State() State {
+	return State{
+		Charge:     append([]float64(nil), b.charge...),
+		LastT:      append([]float64(nil), b.lastT...),
+		Violations: append([]Violation(nil), b.violations...),
+	}
+}
+
+// SetState replaces the bank's mutable state with a snapshot taken from a
+// bank of the same geometry. The snapshot is copied, not aliased.
+func (b *Bank) SetState(s State) error {
+	if len(s.Charge) != b.Geom.Rows || len(s.LastT) != b.Geom.Rows {
+		return fmt.Errorf("dram: state has %d/%d rows, bank has %d", len(s.Charge), len(s.LastT), b.Geom.Rows)
+	}
+	for r, c := range s.Charge {
+		if c < 0 || c > 1 {
+			return fmt.Errorf("dram: state charge %g for row %d outside [0,1]", c, r)
+		}
+	}
+	copy(b.charge, s.Charge)
+	copy(b.lastT, s.LastT)
+	b.violations = append(b.violations[:0], s.Violations...)
+	return nil
+}
+
 // CheckAll senses every row at time t and returns the number of rows below
 // the sensing limit (recording violations for each). Useful as an
 // end-of-simulation integrity sweep.

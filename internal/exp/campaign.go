@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ErrorNote prefixes the note a failed experiment's placeholder Result
+// carries, so renderers and exit-code logic can recognize failures even
+// after the result has round-tripped through a campaign checkpoint.
+const ErrorNote = "ERROR: "
+
+// CampaignOptions configures RunCampaign.
+type CampaignOptions struct {
+	// IDs selects a subset of the registry, in the given order; nil runs
+	// every registered experiment in the paper's order.
+	IDs []string
+	// Timeout is the per-experiment wall-clock budget (0 = unlimited). An
+	// experiment that exceeds it is abandoned: its goroutine is left to
+	// finish in the background (experiments have no cancellation hook) and
+	// its slot gets an error Result instead.
+	Timeout time.Duration
+	// Restore, when non-nil, is consulted before running each experiment; a
+	// non-nil Result is reused verbatim (and OnResult is not re-invoked for
+	// it). This is how a resumed campaign skips completed work.
+	Restore func(id string) *Result
+	// OnResult, when non-nil, observes each freshly produced Result as soon
+	// as the experiment finishes - the campaign checkpointing hook.
+	OnResult func(*Result) error
+}
+
+// RunCampaign runs a sequence of experiments as one crash-tolerant
+// campaign: each experiment runs with a wall-clock timeout and panic
+// isolation, and a failing, panicking, or timed-out experiment contributes
+// an error Result (ErrorNote-prefixed note) instead of killing the rest of
+// the campaign. Cancelling the context stops the campaign at the next
+// experiment boundary (or abandons the one in flight) and returns the
+// results so far with the context's error.
+func RunCampaign(ctx context.Context, cfg Config, opts CampaignOptions) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type entry struct {
+		id    string
+		title string
+		run   Runner
+	}
+	var plan []entry
+	if opts.IDs == nil {
+		for _, e := range Registry {
+			plan = append(plan, entry{e.ID, e.Title, e.Run})
+		}
+	} else {
+		for _, id := range opts.IDs {
+			run, err := Find(id)
+			if err != nil {
+				return nil, err
+			}
+			title := ""
+			for _, e := range Registry {
+				if e.ID == id {
+					title = e.Title
+				}
+			}
+			plan = append(plan, entry{id, title, run})
+		}
+	}
+
+	var results []*Result
+	for _, e := range plan {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		if opts.Restore != nil {
+			if res := opts.Restore(e.id); res != nil {
+				results = append(results, res)
+				continue
+			}
+		}
+		res, err := runIsolated(ctx, cfg, e.run, opts.Timeout)
+		if err != nil {
+			res = &Result{ID: e.id, Title: e.title}
+			res.AddNote("%s%v", ErrorNote, err)
+		}
+		if res.ID == "" {
+			res.ID = e.id
+		}
+		results = append(results, res)
+		if opts.OnResult != nil {
+			if err := opts.OnResult(res); err != nil {
+				return results, fmt.Errorf("exp: campaign progress hook for %s: %w", e.id, err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Failed reports whether the result records an experiment failure (an
+// ErrorNote-prefixed note), as produced by RunCampaign for an experiment
+// that errored, panicked, or timed out.
+func (r *Result) Failed() bool {
+	for _, n := range r.Notes {
+		if len(n) >= len(ErrorNote) && n[:len(ErrorNote)] == ErrorNote {
+			return true
+		}
+	}
+	return false
+}
+
+// runIsolated executes one experiment in its own goroutine so a panic or a
+// hang is contained: a panic becomes an error, and a run that outlives the
+// timeout (or the context) is abandoned.
+func runIsolated(ctx context.Context, cfg Config, run Runner, timeout time.Duration) (*Result, error) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1) // buffered: an abandoned run must not leak on send
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{nil, fmt.Errorf("experiment panicked: %v", r)}
+			}
+		}()
+		res, err := run(cfg)
+		done <- outcome{res, err}
+	}()
+
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.res == nil {
+			return nil, fmt.Errorf("experiment returned no result")
+		}
+		return o.res, nil
+	case <-timeoutC:
+		return nil, fmt.Errorf("experiment timed out after %v (abandoned)", timeout)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("campaign cancelled mid-experiment: %w", ctx.Err())
+	}
+}

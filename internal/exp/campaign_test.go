@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withTestExperiments temporarily extends the registry with synthetic
+// experiments so campaign behavior can be driven deterministically.
+func withTestExperiments(t *testing.T, entries ...struct {
+	ID    string
+	Title string
+	Run   Runner
+}) {
+	t.Helper()
+	saved := Registry
+	Registry = append(append([]struct {
+		ID    string
+		Title string
+		Run   Runner
+	}{}, saved...), entries...)
+	t.Cleanup(func() { Registry = saved })
+}
+
+func okRunner(id string) Runner {
+	return func(Config) (*Result, error) {
+		r := &Result{ID: id, Title: "synthetic"}
+		r.AddRow("ok")
+		return r, nil
+	}
+}
+
+func entry(id string, run Runner) struct {
+	ID    string
+	Title string
+	Run   Runner
+} {
+	return struct {
+		ID    string
+		Title string
+		Run   Runner
+	}{id, "synthetic " + id, run}
+}
+
+func TestCampaignIsolatesPanics(t *testing.T) {
+	withTestExperiments(t,
+		entry("t-ok", okRunner("t-ok")),
+		entry("t-panic", func(Config) (*Result, error) { panic("kaboom") }),
+		entry("t-ok2", okRunner("t-ok2")),
+	)
+	results, err := RunCampaign(context.Background(), Default(), CampaignOptions{
+		IDs: []string{"t-ok", "t-panic", "t-ok2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (panic must not kill the campaign)", len(results))
+	}
+	if results[0].Failed() || results[2].Failed() {
+		t.Error("healthy experiments marked failed")
+	}
+	if !results[1].Failed() {
+		t.Fatal("panicking experiment not marked failed")
+	}
+	if results[1].ID != "t-panic" {
+		t.Errorf("failure result has ID %q", results[1].ID)
+	}
+	if !strings.Contains(strings.Join(results[1].Notes, " "), "kaboom") {
+		t.Errorf("panic value not preserved in notes: %v", results[1].Notes)
+	}
+}
+
+func TestCampaignErrorBecomesResult(t *testing.T) {
+	withTestExperiments(t,
+		entry("t-err", func(Config) (*Result, error) { return nil, errors.New("sim exploded") }),
+	)
+	results, err := RunCampaign(context.Background(), Default(), CampaignOptions{IDs: []string{"t-err"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Failed() {
+		t.Fatalf("results = %+v, want one failed placeholder", results)
+	}
+	if !strings.Contains(strings.Join(results[0].Notes, " "), "sim exploded") {
+		t.Errorf("original error lost: %v", results[0].Notes)
+	}
+}
+
+func TestCampaignTimesOutSlowExperiment(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	withTestExperiments(t,
+		entry("t-slow", func(Config) (*Result, error) {
+			<-release // hangs until test cleanup
+			return &Result{ID: "t-slow"}, nil
+		}),
+		entry("t-after", okRunner("t-after")),
+	)
+	results, err := RunCampaign(context.Background(), Default(), CampaignOptions{
+		IDs:     []string{"t-slow", "t-after"},
+		Timeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (timeout must not kill the campaign)", len(results))
+	}
+	if !results[0].Failed() {
+		t.Fatal("hung experiment not marked failed")
+	}
+	if !strings.Contains(strings.Join(results[0].Notes, " "), "timed out") {
+		t.Errorf("timeout not recorded: %v", results[0].Notes)
+	}
+	if results[1].Failed() {
+		t.Error("experiment after the timeout marked failed")
+	}
+}
+
+func TestCampaignRestoreSkipsCompletedWork(t *testing.T) {
+	ran := 0
+	withTestExperiments(t,
+		entry("t-done", func(Config) (*Result, error) {
+			ran++ // must never run: its result is restored
+			return &Result{ID: "t-done"}, nil
+		}),
+		entry("t-fresh", okRunner("t-fresh")),
+	)
+	stored := &Result{ID: "t-done", Title: "from checkpoint", Notes: []string{"restored"}}
+	var observed []string
+	results, err := RunCampaign(context.Background(), Default(), CampaignOptions{
+		IDs: []string{"t-done", "t-fresh"},
+		Restore: func(id string) *Result {
+			if id == "t-done" {
+				return stored
+			}
+			return nil
+		},
+		OnResult: func(r *Result) error {
+			observed = append(observed, r.ID)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Error("restored experiment was re-run")
+	}
+	if results[0] != stored {
+		t.Error("restored result not reused verbatim")
+	}
+	// OnResult is the persistence hook: restored results are already
+	// persisted and must not be re-announced.
+	if len(observed) != 1 || observed[0] != "t-fresh" {
+		t.Errorf("OnResult saw %v, want only the fresh experiment", observed)
+	}
+}
+
+func TestCampaignOnResultErrorAborts(t *testing.T) {
+	withTestExperiments(t,
+		entry("t-a", okRunner("t-a")),
+		entry("t-b", okRunner("t-b")),
+	)
+	boom := errors.New("disk full")
+	results, err := RunCampaign(context.Background(), Default(), CampaignOptions{
+		IDs:      []string{"t-a", "t-b"},
+		OnResult: func(*Result) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results before abort, want 1", len(results))
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	withTestExperiments(t,
+		entry("t-first", func(Config) (*Result, error) {
+			cancel() // campaign is cancelled while this experiment runs
+			return &Result{ID: "t-first"}, nil
+		}),
+		entry("t-never", okRunner("t-never")),
+	)
+	results, err := RunCampaign(ctx, Default(), CampaignOptions{IDs: []string{"t-first", "t-never"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) > 1 {
+		t.Fatalf("campaign kept going after cancellation: %d results", len(results))
+	}
+}
+
+func TestCampaignRejectsUnknownID(t *testing.T) {
+	if _, err := RunCampaign(context.Background(), Default(), CampaignOptions{IDs: []string{"no-such-exp"}}); err == nil {
+		t.Fatal("unknown experiment ID accepted")
+	}
+}
+
+func TestFailedDetection(t *testing.T) {
+	r := &Result{Notes: []string{"benign note"}}
+	if r.Failed() {
+		t.Error("benign note flagged as failure")
+	}
+	r.AddNote("%sexperiment panicked", ErrorNote)
+	if !r.Failed() {
+		t.Error("ErrorNote-prefixed note not flagged")
+	}
+}

@@ -370,6 +370,98 @@ func (g *Guard) GuardSnapshot(now float64) core.GuardStats {
 	return st
 }
 
+// SnapshotState implements core.Snapshotter: the per-row ladder state, the
+// breaker, the counters, and - nested - the wrapped scheduler's own state,
+// so snapshotting the guard snapshots the whole stack beneath it. The
+// wrapped scheduler must itself be a core.Snapshotter.
+func (g *Guard) SnapshotState() ([]byte, error) {
+	inner, ok := g.inner.(core.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("guard: wrapped scheduler %s does not implement core.Snapshotter", g.inner.Name())
+	}
+	innerBlob, err := inner.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	var e core.StateEncoder
+	e.Tag("guard1")
+	e.Int(int64(len(g.rows)))
+	for i := range g.rows {
+		s := &g.rows[i]
+		e.Int(int64(s.rung))
+		e.Int(int64(s.nominal))
+		e.Int(int64(s.cleanStreak))
+		e.Int(int64(s.alarms))
+		e.Bool(s.escalated)
+	}
+	e.Bool(g.tripped)
+	e.Float(g.tripAt)
+	e.Floats(g.subLimits)
+	e.Int(g.stats.Alarms)
+	e.Int(g.stats.Demotions)
+	e.Int(g.stats.Promotions)
+	e.Int(g.stats.Escalations)
+	e.Int(g.stats.BreakerTrips)
+	e.Float(g.stats.TimeDegraded)
+	e.Bytes(innerBlob)
+	return e.Data(), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (g *Guard) RestoreState(data []byte) error {
+	inner, ok := g.inner.(core.Snapshotter)
+	if !ok {
+		return fmt.Errorf("guard: wrapped scheduler %s does not implement core.Snapshotter", g.inner.Name())
+	}
+	d := core.NewStateDecoder(data)
+	d.ExpectTag("guard1")
+	nrows := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if int(nrows) != len(g.rows) {
+		return fmt.Errorf("guard: snapshot has %d rows, guard has %d", nrows, len(g.rows))
+	}
+	rows := make([]rowState, nrows)
+	for i := range rows {
+		rows[i] = rowState{
+			rung:        int(d.Int()),
+			nominal:     int(d.Int()),
+			cleanStreak: int(d.Int()),
+			alarms:      int(d.Int()),
+			escalated:   d.Bool(),
+		}
+	}
+	tripped := d.Bool()
+	tripAt := d.Float()
+	subLimits := d.Floats()
+	var stats core.GuardStats
+	stats.Alarms = d.Int()
+	stats.Demotions = d.Int()
+	stats.Promotions = d.Int()
+	stats.Escalations = d.Int()
+	stats.BreakerTrips = d.Int()
+	stats.TimeDegraded = d.Float()
+	innerBlob := d.Bytes()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	for i := range rows {
+		if rows[i].rung < 0 || rows[i].rung >= len(g.ladder) {
+			return fmt.Errorf("guard: snapshot rung %d for row %d outside ladder [0,%d)", rows[i].rung, i, len(g.ladder))
+		}
+	}
+	if err := inner.RestoreState(innerBlob); err != nil {
+		return err
+	}
+	copy(g.rows, rows)
+	g.tripped = tripped
+	g.tripAt = tripAt
+	g.subLimits = subLimits
+	g.stats = stats
+	return nil
+}
+
 // FaultsInjected forwards a wrapped injector's count so the guard can sit
 // above one in the scheduler stack.
 func (g *Guard) FaultsInjected() int64 {

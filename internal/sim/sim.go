@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -35,6 +36,53 @@ type Options struct {
 	// the stack), the row steps one rung down the degradation ladder instead
 	// of losing all of its slack at once.
 	DemoteOnCorrect bool
+
+	// CheckpointEvery, when positive, emits a Checkpoint to CheckpointSink
+	// at every multiple of this simulated interval (seconds). Snapshots are
+	// taken at event-queue boundaries, so resuming from one replays the
+	// remaining events exactly as the uninterrupted run would have.
+	CheckpointEvery float64
+	// CheckpointSink receives periodic snapshots and, on cancellation, one
+	// final snapshot of the state at the point the run stopped. A sink error
+	// aborts the run. Required when CheckpointEvery > 0; checkpointing
+	// requires the scheduler to implement core.Snapshotter.
+	CheckpointSink func(*Checkpoint) error
+	// Resume, when set, starts the run from the snapshot instead of from a
+	// cold bank: the scheduler, bank, event queue, trace position, and
+	// accumulated statistics are restored first. The bank, scheduler, and
+	// trace source must be freshly constructed with the same configuration
+	// that produced the snapshot.
+	Resume *Checkpoint
+}
+
+// PendingEvent is one scheduled refresh in the simulator's event queue.
+type PendingEvent struct {
+	Time float64
+	Row  int
+}
+
+// Checkpoint is the complete resumable state of a run, captured at an event
+// boundary: feeding it back through Options.Resume (with identically
+// constructed bank, scheduler, and trace source) continues the run to the
+// same Stats, bit for bit, as if it had never stopped. Stats holds the raw
+// accumulators only; the derived diagnostics (Violations, Guard,
+// FaultsInjected) are recomputed from live state when the resumed run
+// finishes. internal/checkpoint serializes this struct to disk.
+type Checkpoint struct {
+	Time      float64 // simulated time the snapshot was taken (s)
+	Duration  float64 // the run's configured duration, for resume validation
+	Scheduler string  // scheduler name, for resume validation
+
+	Stats  Stats
+	Events []PendingEvent // outstanding refresh events
+	Bank   dram.State     // per-row charge, last-restore times, violations
+
+	TraceRead     int64        // records consumed from the trace source
+	HavePending   bool         // a look-ahead record is buffered
+	Pending       trace.Record // the buffered look-ahead record
+	LastTraceTime float64      // time-ordering watermark (-Inf before any record)
+
+	SchedState []byte // the scheduler stack's core.Snapshotter blob
 }
 
 // Stats is the outcome of one run.
@@ -121,11 +169,45 @@ func staggerFrac(row int) float64 {
 // On a mid-run error Run returns the partially-populated Stats accumulated
 // so far alongside the error, so a failing run is still debuggable.
 func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
+	return RunContext(context.Background(), bank, sched, src, opts)
+}
+
+// RunContext is Run with cooperative cancellation and crash-safety: the
+// context is checked at event-queue granularity, and a cancelled or
+// deadline-exceeded run stops at the next event boundary, emits a final
+// Checkpoint to Options.CheckpointSink (when one is configured), and
+// returns the partial Stats with an error wrapping the context's. Use
+// errors.Is(err, context.Canceled) to distinguish an interrupted run from a
+// failed one.
+func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Duration <= 0 {
 		return Stats{}, fmt.Errorf("sim: duration must be positive, got %g", opts.Duration)
 	}
 	if opts.TCK <= 0 {
 		return Stats{}, fmt.Errorf("sim: TCK must be positive, got %g", opts.TCK)
+	}
+	if opts.CheckpointEvery < 0 {
+		return Stats{}, fmt.Errorf("sim: CheckpointEvery must be non-negative, got %g", opts.CheckpointEvery)
+	}
+	if opts.CheckpointEvery > 0 && opts.CheckpointSink == nil {
+		return Stats{}, fmt.Errorf("sim: CheckpointEvery set without a CheckpointSink")
+	}
+	var snap core.Snapshotter
+	if opts.CheckpointSink != nil || opts.Resume != nil {
+		var ok bool
+		snap, ok = sched.(core.Snapshotter)
+		if !ok {
+			return Stats{}, fmt.Errorf("sim: scheduler %s does not implement core.Snapshotter; checkpoint/resume unavailable", sched.Name())
+		}
+		// Fail fast on stacks whose inner layers cannot snapshot (e.g. a
+		// guard over a fault injector) instead of dying at the first
+		// checkpoint boundary.
+		if _, err := snap.SnapshotState(); err != nil {
+			return Stats{}, fmt.Errorf("sim: scheduler state not snapshottable: %w", err)
+		}
 	}
 	if src == nil {
 		src = trace.Empty{}
@@ -151,26 +233,74 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 
 	rows := bank.Geom.Rows
 	h := make(eventHeap, 0, rows)
-	for r := 0; r < rows; r++ {
-		p := sched.Period(r)
-		if p <= 0 {
-			return Stats{}, fmt.Errorf("sim: scheduler period for row %d is %g", r, p)
+	var (
+		next          trace.Record
+		havePending   bool
+		lastTraceTime = math.Inf(-1)
+		traceRead     int64 // records consumed from src, for checkpointing
+		now           float64
+	)
+
+	if cp := opts.Resume; cp != nil {
+		if cp.Duration != opts.Duration {
+			return st, fmt.Errorf("sim: resume: checkpoint duration %g, options say %g", cp.Duration, opts.Duration)
 		}
-		h = append(h, event{t: staggerFrac(r) * p, row: r})
+		if cp.Scheduler != sched.Name() {
+			return st, fmt.Errorf("sim: resume: checkpoint is for scheduler %q, got %q", cp.Scheduler, sched.Name())
+		}
+		if err := snap.RestoreState(cp.SchedState); err != nil {
+			return st, fmt.Errorf("sim: resume: %w", err)
+		}
+		if err := bank.SetState(cp.Bank); err != nil {
+			return st, fmt.Errorf("sim: resume: %w", err)
+		}
+		st = cp.Stats
+		st.Scheduler = sched.Name()
+		st.Duration = opts.Duration
+		for _, ev := range cp.Events {
+			h = append(h, event{t: ev.Time, row: ev.Row})
+		}
+		// Re-position the (freshly opened) trace source by replaying the
+		// records the checkpointed run had already consumed; the buffered
+		// look-ahead record itself is restored from the snapshot verbatim.
+		for i := int64(0); i < cp.TraceRead; i++ {
+			if _, err := src.Next(); err != nil {
+				if err == io.EOF {
+					err = fmt.Errorf("sim: resume: trace ended after %d records, checkpoint consumed %d", i, cp.TraceRead)
+				}
+				finalize(cp.Time)
+				return st, err
+			}
+		}
+		traceRead = cp.TraceRead
+		havePending = cp.HavePending
+		next = cp.Pending
+		lastTraceTime = cp.LastTraceTime
+		now = cp.Time
+	} else {
+		for r := 0; r < rows; r++ {
+			p := sched.Period(r)
+			if p <= 0 {
+				return Stats{}, fmt.Errorf("sim: scheduler period for row %d is %g", r, p)
+			}
+			h = append(h, event{t: staggerFrac(r) * p, row: r})
+		}
+		// Trace look-ahead record. The readers in internal/trace enforce time
+		// ordering themselves, but a custom Source is only trusted as far as
+		// the check below: a record whose timestamp precedes its
+		// predecessor's would silently mis-interleave with the refresh
+		// events, so it is an error.
+		var err error
+		next, err = src.Next()
+		havePending = err == nil
+		if err == nil {
+			traceRead++
+		} else if err != io.EOF {
+			finalize(0)
+			return st, err
+		}
 	}
 	heap.Init(&h)
-
-	// Trace look-ahead record. The readers in internal/trace enforce time
-	// ordering themselves, but a custom Source is only trusted as far as the
-	// check below: a record whose timestamp precedes its predecessor's would
-	// silently mis-interleave with the refresh events, so it is an error.
-	next, err := src.Next()
-	havePending := err == nil
-	if err != nil && err != io.EOF {
-		finalize(0)
-		return st, err
-	}
-	lastTraceTime := math.Inf(-1)
 
 	drainTrace := func(until float64) error {
 		for havePending && next.Time <= until {
@@ -196,15 +326,82 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 			} else if err != nil {
 				return err
 			}
+			if err == nil {
+				traceRead++
+			}
 		}
 		return nil
 	}
 
+	// capture snapshots the run's state at an event boundary. It is
+	// read-only, so taking (or not taking) a snapshot cannot perturb the
+	// simulation - the property the resume-equivalence tests rely on.
+	capture := func(at float64) (*Checkpoint, error) {
+		blob, err := snap.SnapshotState()
+		if err != nil {
+			return nil, err
+		}
+		cp := &Checkpoint{
+			Time:          at,
+			Duration:      opts.Duration,
+			Scheduler:     sched.Name(),
+			Stats:         st,
+			Events:        make([]PendingEvent, len(h)),
+			Bank:          bank.State(),
+			TraceRead:     traceRead,
+			HavePending:   havePending,
+			LastTraceTime: lastTraceTime,
+			SchedState:    blob,
+		}
+		if havePending {
+			cp.Pending = next
+		}
+		for i, ev := range h {
+			cp.Events[i] = PendingEvent{Time: ev.t, Row: ev.row}
+		}
+		return cp, nil
+	}
+
+	nextCP := math.Inf(1)
+	if opts.CheckpointEvery > 0 {
+		// Continue the absolute checkpoint cadence across resumes: the next
+		// boundary is the first multiple of CheckpointEvery past the start.
+		nextCP = opts.CheckpointEvery * (math.Floor(now/opts.CheckpointEvery) + 1)
+	}
+
 	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			// A final snapshot lets the caller persist the state the run
+			// stopped in, so an interrupted run resumes instead of restarts.
+			if opts.CheckpointSink != nil {
+				cp, cerr := capture(now)
+				if cerr == nil {
+					cerr = opts.CheckpointSink(cp)
+				}
+				if cerr != nil {
+					finalize(now)
+					return st, fmt.Errorf("sim: final checkpoint at t=%.6g: %v (run cancelled: %w)", now, cerr, err)
+				}
+			}
+			finalize(now)
+			return st, fmt.Errorf("sim: cancelled at t=%.6g: %w", now, err)
+		}
+		for opts.CheckpointSink != nil && nextCP < opts.Duration && h[0].t >= nextCP {
+			cp, err := capture(nextCP)
+			if err == nil {
+				err = opts.CheckpointSink(cp)
+			}
+			if err != nil {
+				finalize(now)
+				return st, fmt.Errorf("sim: checkpoint at t=%.6g: %w", nextCP, err)
+			}
+			nextCP += opts.CheckpointEvery
+		}
 		ev := heap.Pop(&h).(event)
 		if ev.t >= opts.Duration {
 			continue
 		}
+		now = ev.t
 		if err := drainTrace(ev.t); err != nil {
 			finalize(ev.t)
 			return st, err

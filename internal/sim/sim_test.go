@@ -239,6 +239,20 @@ func TestRunOptionValidation(t *testing.T) {
 	if _, err := Run(f.bank(t, retention.PatternAllZeros), sched, nil, Options{Duration: 1, TCK: 0}); err == nil {
 		t.Fatal("zero TCK must be rejected")
 	}
+	if _, err := Run(f.bank(t, retention.PatternAllZeros), sched, nil, Options{Duration: -0.1, TCK: 1}); err == nil {
+		t.Fatal("negative duration must be rejected")
+	}
+	if _, err := Run(f.bank(t, retention.PatternAllZeros), sched, nil, Options{Duration: 1, TCK: -1e-9}); err == nil {
+		t.Fatal("negative TCK must be rejected")
+	}
+	opts := Options{Duration: 1, TCK: 1e-9, CheckpointEvery: -0.5}
+	if _, err := Run(f.bank(t, retention.PatternAllZeros), sched, nil, opts); err == nil {
+		t.Fatal("negative CheckpointEvery must be rejected")
+	}
+	opts = Options{Duration: 1, TCK: 1e-9, CheckpointEvery: 0.5} // no sink
+	if _, err := Run(f.bank(t, retention.PatternAllZeros), sched, nil, opts); err == nil {
+		t.Fatal("CheckpointEvery without a CheckpointSink must be rejected")
+	}
 }
 
 func TestRunDeterminism(t *testing.T) {

@@ -108,7 +108,7 @@ func (br *BinaryReader) Next() (Record, error) {
 		var hdr [5]byte
 		if _, err := io.ReadFull(br.r, hdr[:]); err != nil {
 			if err == io.ErrUnexpectedEOF {
-				return Record{}, fmt.Errorf("trace: truncated binary header")
+				return Record{}, fmt.Errorf("trace: truncated binary header: %w", err)
 			}
 			return Record{}, err
 		}
@@ -126,7 +126,7 @@ func (br *BinaryReader) Next() (Record, error) {
 			return Record{}, io.EOF
 		}
 		if err == io.ErrUnexpectedEOF {
-			return Record{}, fmt.Errorf("trace: truncated binary record")
+			return Record{}, fmt.Errorf("trace: truncated binary record: %w", err)
 		}
 		return Record{}, err
 	}

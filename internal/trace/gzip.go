@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -30,9 +31,36 @@ func OpenSource(r io.Reader) (Source, error) {
 			return nil, fmt.Errorf("trace: bad gzip stream: %w", err)
 		}
 		inner := bufio.NewReader(zr)
-		return sniffUncompressed(inner)
+		src, err := sniffUncompressed(inner)
+		if err != nil {
+			return nil, err
+		}
+		return &gzipSource{inner: src}, nil
 	}
 	return sniffUncompressed(br)
+}
+
+// gzipSource decorates a Source decoded out of a gzip stream: a truncated
+// download or interrupted copy surfaces from the decompressor as a bare
+// io.ErrUnexpectedEOF (or checksum failure) deep inside a decode error, so
+// the wrapper names the failure mode and the record index where the stream
+// gave out instead of leaving a context-free parse error.
+type gzipSource struct {
+	inner Source
+	n     int64 // records successfully delivered
+}
+
+// Next implements Source.
+func (g *gzipSource) Next() (Record, error) {
+	rec, err := g.inner.Next()
+	if err == nil {
+		g.n++
+		return rec, nil
+	}
+	if err != io.EOF && (errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, gzip.ErrChecksum)) {
+		return rec, fmt.Errorf("trace: gzip stream truncated at record %d (%d records read cleanly): %w", g.n+1, g.n, err)
+	}
+	return rec, err
 }
 
 func sniffUncompressed(br *bufio.Reader) (Source, error) {

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// compressedTrace builds a gzip-compressed binary trace of n records.
+func compressedTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := NewCompressedWriter(&buf)
+	for i := 0; i < n; i++ {
+		if err := cw.Write(Record{Time: float64(i) * 1e-6, Op: Read, Row: i % 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readAll drains a source, returning the records delivered and the
+// terminal error (io.EOF for a clean end).
+func readAll(src Source) (int, error) {
+	n := 0
+	for {
+		_, err := src.Next()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func TestGzipTruncationReportsRecordIndex(t *testing.T) {
+	const n = 200
+	full := compressedTrace(t, n)
+
+	// Sanity: the intact stream reads back cleanly.
+	src, err := OpenSource(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := readAll(src); err != io.EOF || got != n {
+		t.Fatalf("intact stream: %d records, err %v", got, err)
+	}
+
+	// Cut the compressed stream at several depths - mid-deflate-data and
+	// just shy of the trailer - and require the decorated error everywhere.
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 9, len(full) - 1} {
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			src, err := OpenSource(bytes.NewReader(full[:cut]))
+			if err != nil {
+				// A cut inside the gzip header can fail at open; that error
+				// is already explicit.
+				if strings.Contains(err.Error(), "gzip") {
+					return
+				}
+				t.Fatal(err)
+			}
+			got, err := readAll(src)
+			if err == io.EOF {
+				t.Fatalf("truncated stream (%d of %d bytes) read to clean EOF after %d records", cut, len(full), got)
+			}
+			if !strings.Contains(err.Error(), "gzip stream truncated at record") {
+				t.Fatalf("err = %v, want the gzip truncation decoration", err)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("(%d records read cleanly)", got)) {
+				t.Fatalf("err = %v, want the delivered-record count %d", err, got)
+			}
+		})
+	}
+}
+
+func TestGzipCorruptPayloadReportsChecksum(t *testing.T) {
+	full := compressedTrace(t, 100)
+	// Flip a byte in the deflate payload (past the 10-byte gzip header,
+	// before the 8-byte trailer).
+	bad := append([]byte(nil), full...)
+	bad[len(bad)/2] ^= 0x10
+	src, err := OpenSource(bytes.NewReader(bad))
+	if err != nil {
+		return // corrupted early enough to fail at open; also acceptable
+	}
+	_, err = readAll(src)
+	if err == nil || err == io.EOF {
+		t.Fatalf("corrupt gzip payload read cleanly (err %v)", err)
+	}
+}
+
+func TestGzipCleanEOFIsNotDecorated(t *testing.T) {
+	// An EMPTY gzip stream is complete, just recordless: the reader must
+	// report plain io.EOF, not a truncation.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("empty gzip stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestGzipTextTraceStillAutodetected(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	fmt.Fprintln(zw, "# time op row")
+	fmt.Fprintln(zw, "0.000001 R 3")
+	fmt.Fprintln(zw, "0.000002 W 4")
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := readAll(src)
+	if err != io.EOF || n != 2 {
+		t.Fatalf("gzip text trace: %d records, err %v", n, err)
+	}
+}

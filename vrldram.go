@@ -189,45 +189,14 @@ type Access struct {
 
 // Simulate runs the named policy for the given duration while replaying the
 // accesses (which must be time-sorted; pass nil for a refresh-only run).
+// For a cancellable or crash-safe (checkpointed, resumable) run, see
+// SimulateControlled.
 func (s *System) Simulate(kind SchedulerKind, accesses []Access, duration float64) (Stats, error) {
-	sched, err := s.newScheduler(kind)
+	st, err := s.SimulateControlled(kind, accesses, duration, RunControl{})
 	if err != nil {
 		return Stats{}, err
 	}
-	bank, err := dram.NewBank(s.profile, s.decay, s.pattern)
-	if err != nil {
-		return Stats{}, err
-	}
-	recs := make([]trace.Record, len(accesses))
-	for i, a := range accesses {
-		op := trace.Read
-		if a.Write {
-			op = trace.Write
-		}
-		recs[i] = trace.Record{Time: a.Time, Op: op, Row: a.Row}
-	}
-	st, err := sim.Run(bank, sched, trace.NewSliceSource(recs), sim.Options{
-		Duration: duration,
-		TCK:      s.params.TCK,
-	})
-	if err != nil {
-		return Stats{}, err
-	}
-	eb, err := s.pm.RefreshEnergy(st, s.params.TCK)
-	if err != nil {
-		return Stats{}, err
-	}
-	return Stats{
-		Scheduler:        st.Scheduler,
-		Duration:         st.Duration,
-		FullRefreshes:    st.FullRefreshes,
-		PartialRefreshes: st.PartialRefreshes,
-		BusyCycles:       st.BusyCycles,
-		Accesses:         st.Accesses,
-		Violations:       st.Violations,
-		OverheadFraction: st.OverheadFraction(s.params.TCK),
-		RefreshEnergy:    eb.Total,
-	}, nil
+	return st, nil
 }
 
 // GenerateTrace synthesizes the named benchmark's accesses for this system's
