@@ -1,7 +1,8 @@
 #!/bin/sh
 # Pre-merge gate: vet, build, race-enabled tests, and short fuzz budgets on
-# the input parsers (trace files, SPICE decks) and the checkpoint container
-# decoder. Run from the repo root; any failure aborts the merge.
+# the input parsers (trace files, SPICE decks), the checkpoint container
+# decoder, and the scrubber snapshot decoder. Run from the repo root; any
+# failure aborts the merge.
 set -eu
 
 echo "== go vet =="
@@ -12,8 +13,10 @@ go build ./...
 
 # Explicit -timeout: a deadlocked test (e.g. a campaign-harness goroutine
 # leak) must fail the gate in minutes, not hang it for the default 10.
+# -shuffle=on randomizes test (and package-fixture) execution order so
+# hidden inter-test state dependencies fail here, not in a future refactor.
 echo "== go test -race =="
-go test -race -timeout 5m ./...
+go test -race -shuffle=on -timeout 5m ./...
 
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per
@@ -28,5 +31,7 @@ for target in FuzzParseDeck FuzzParseValue; do
 done
 echo "== fuzz FuzzCheckpointDecode (internal/checkpoint) =="
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=3s ./internal/checkpoint
+echo "== fuzz FuzzScrubStateDecode (internal/scrub) =="
+go test -run='^$' -fuzz='^FuzzScrubStateDecode$' -fuzztime=3s ./internal/scrub
 
 echo "== all checks passed =="

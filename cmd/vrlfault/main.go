@@ -8,6 +8,8 @@
 //	vrlfault -injector profile    # one injector, raw VRL vs guarded VRL
 //	vrlfault -injector refresh -rate 0.1 -seed 7
 //	vrlfault -injector bank -rate 0.2 -duration 0.256
+//	vrlfault -scrub               # scrub experiment: every injector, patrol scrubber off vs on
+//	vrlfault -injector profile -scrub -spares 32 -sweep 0.128
 package main
 
 import (
@@ -18,10 +20,13 @@ import (
 	"vrldram/internal/core"
 	"vrldram/internal/device"
 	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
 	"vrldram/internal/exp"
 	"vrldram/internal/fault"
 	"vrldram/internal/guard"
+	"vrldram/internal/profiler"
 	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
 	"vrldram/internal/sim"
 )
 
@@ -32,21 +37,28 @@ func main() {
 		dtemp    = flag.Float64("dtemp", 5, "temperature excursion above the profiling point (degC, injector temp)")
 		seed     = flag.Int64("seed", 42, "deterministic seed")
 		duration = flag.Float64("duration", 0.768, "simulated seconds")
+		scrubOn  = flag.Bool("scrub", false, "add the online ECC patrol scrubber (self-healing repair pipeline)")
+		spares   = flag.Int("spares", 64, "spare-row budget for scrub quarantine (negative = none)")
+		sweep    = flag.Float64("sweep", 0.192, "scrub sweep period: seconds for one full patrol of the bank")
 	)
 	flag.Parse()
 
-	if err := run(*injector, *rate, *dtemp, *seed, *duration); err != nil {
+	if err := run(*injector, *rate, *dtemp, *seed, *duration, *scrubOn, *spares, *sweep); err != nil {
 		fmt.Fprintf(os.Stderr, "vrlfault: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(injector string, rate, dtemp float64, seed int64, duration float64) error {
+func run(injector string, rate, dtemp float64, seed int64, duration float64, scrubOn bool, spares int, sweep float64) error {
 	if injector == "all" {
 		cfg := exp.Default()
 		cfg.Seed = seed
 		cfg.Duration = duration
-		r, err := exp.Resilience(cfg)
+		runner := exp.Resilience
+		if scrubOn {
+			runner = exp.Scrub
+		}
+		r, err := runner(cfg)
 		if err != nil {
 			return err
 		}
@@ -108,17 +120,22 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64) err
 		return fmt.Errorf("unknown injector %q (want all, profile, bank, temp or refresh)", injector)
 	}
 
-	campaign := func(guarded bool) (sim.Stats, error) {
-		var sched core.Scheduler
-		sched, err := core.NewVRL(schedProf, core.Config{Restore: rm})
+	campaign := func(guarded, scrubbed bool) (sim.Stats, error) {
+		inner, err := core.NewVRL(schedProf, core.Config{Restore: rm})
 		if err != nil {
 			return sim.Stats{}, err
 		}
+		sched := core.Scheduler(inner)
+		// The scrubber's repair target: the guard when present, else the raw
+		// VRL - never the injector wrapper, whose forwarded repair hooks are
+		// no-ops.
+		repairTarget := core.Scheduler(inner)
 		if guarded {
-			sched, err = guard.New(sched, schedProf.Geom.Rows, guard.Config{Restore: rm})
+			g, err := guard.New(sched, schedProf.Geom.Rows, guard.Config{Restore: rm})
 			if err != nil {
 				return sim.Stats{}, err
 			}
+			sched, repairTarget = g, g
 		}
 		if refreshFaults != nil {
 			sched, err = fault.InjectRefreshFaults(sched, *refreshFaults)
@@ -135,7 +152,28 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64) err
 				return sim.Stats{}, err
 			}
 		}
-		return sim.Run(bank, sched, nil, opts)
+		runOpts := opts
+		if scrubbed {
+			cls := ecc.DefaultClassifier()
+			store, err := scrub.NewBankStore(bank, cls)
+			if err != nil {
+				return sim.Stats{}, err
+			}
+			scr, err := scrub.New(store, scrub.Config{
+				Sched:       repairTarget,
+				SweepPeriod: sweep,
+				Spares:      spares,
+				Reprofile: func(row int) (float64, error) {
+					return profiler.ProfileRow(bankProf, retention.ExpDecay{}, row, profiler.Options{})
+				},
+			})
+			if err != nil {
+				return sim.Stats{}, err
+			}
+			runOpts.ECC = &cls
+			runOpts.Scrub = scr
+		}
+		return sim.Run(bank, sched, nil, runOpts)
 	}
 
 	r := &exp.Result{
@@ -143,15 +181,21 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64) err
 		Title:   fmt.Sprintf("injector %q over %.0f ms", injector, 1000*duration),
 		Headers: []string{"policy", "violations", "overhead %", "faults inj.", "alarms", "demotions", "escalations", "breaker trips", "degraded ms"},
 	}
-	for _, guarded := range []bool{false, true} {
-		st, err := campaign(guarded)
+	type variant struct {
+		name              string
+		guarded, scrubbed bool
+	}
+	variants := []variant{{"VRL", false, false}, {"VRL+guard", true, false}}
+	if scrubOn {
+		variants = append(variants, variant{"VRL+scrub", false, true})
+	}
+	for _, v := range variants {
+		st, err := campaign(v.guarded, v.scrubbed)
 		if err != nil {
 			return err
 		}
-		name := "VRL"
 		cells := []string{"-", "-", "-", "-", "-"}
-		if guarded {
-			name = "VRL+guard"
+		if v.guarded {
 			cells = []string{
 				fmt.Sprintf("%d", st.Guard.Alarms),
 				fmt.Sprintf("%d", st.Guard.Demotions),
@@ -161,11 +205,17 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64) err
 			}
 		}
 		r.AddRow(append([]string{
-			name,
+			v.name,
 			fmt.Sprintf("%d", st.Violations),
 			fmt.Sprintf("%.3f", 100*st.OverheadFraction(params.TCK)),
 			fmt.Sprintf("%d", st.FaultsInjected),
 		}, cells...)...)
+		if v.scrubbed {
+			r.AddNote("scrub ledger: %d patrolled, %d corrected, %d uncorrectable, %d reprofiled, %d remapped, %d healed, %d hard fails, %d spares left, %d SLO misses, %d busy retries",
+				st.Scrub.RowsPatrolled, st.Scrub.Corrected, st.Scrub.Uncorrectable, st.Scrub.Reprofiles,
+				st.Scrub.RowsRemapped, st.Scrub.RowsHealed, st.Scrub.HardFails, st.Scrub.SparesLeft,
+				st.Scrub.SLOMisses, st.Scrub.BusyRetries)
+		}
 	}
 	return r.Fprint(os.Stdout)
 }

@@ -1,0 +1,113 @@
+package vrldram
+
+import (
+	"vrldram/internal/dram"
+	"vrldram/internal/profiler"
+	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
+	"vrldram/internal/trace"
+)
+
+// This file extends the facade with the self-healing envelope: the online
+// ECC patrol scrubber of internal/scrub, wired into a simulation run.
+
+// ScrubReport reports a self-healing simulation: the run's refresh
+// statistics plus the patrol pipeline's repair ledger.
+type ScrubReport struct {
+	Stats
+	CorrectedErrors     int64
+	UncorrectableErrors int64
+
+	// Patrol coverage and repair ledger (see internal/scrub).
+	RowsPatrolled int64 // patrol read slots completed
+	Corrected     int64 // ECC-corrected reads the pipeline responded to
+	Uncorrectable int64 // uncorrectable reads the pipeline responded to
+	Reprofiles    int64 // targeted single-row re-profiling campaigns
+	RowsHealed    int64 // suspect rows promoted back after K clean patrols
+	RowsRemapped  int64 // rows quarantined to a spare
+	HardFails     int64 // quarantines with no spare left (escalated)
+	BusyRetries   int64 // patrol reads deferred while the bank was busy
+	SLOMisses     int64 // coverage windows the patrol fell behind in
+	SparesLeft    int   // spare rows still unallocated at the end
+	RemappedRows  []int // the quarantined rows, in increasing order
+}
+
+// SimulateWithScrub runs the VRL policy against a bank under the default
+// variable-retention-time process with the online ECC patrol scrubber wired
+// in: every sense is SECDED-classified, corrected rows are demoted and
+// re-profiled with a targeted campaign, uncorrectable rows are quarantined
+// to one of the given spare rows (spares = 0 selects the default budget of
+// 16, negative disables sparing), and suspect rows that stay clean for K
+// consecutive patrols are healed. Compare with SimulateWithVRT(duration,
+// true), which upgrades on correction but never re-profiles, remaps, or
+// heals.
+func (s *System) SimulateWithScrub(duration float64, spares int) (ScrubReport, error) {
+	sched, err := s.newScheduler(SchedVRL)
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	bank, err := dram.NewBank(s.profile, s.decay, s.pattern)
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	vrt := retention.DefaultVRT()
+	if err := bank.SetVRT(&vrt); err != nil {
+		return ScrubReport{}, err
+	}
+	classifier := defaultClassifier()
+	store, err := scrub.NewBankStore(bank, classifier)
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	// One sweep per three tREFW: a patrol read restores the row it reads,
+	// so sweeping at tREFW itself would blanket-refresh the bank and mask
+	// the very faults the patrol exists to catch.
+	scr, err := scrub.New(store, scrub.Config{
+		Sched:       sched,
+		SweepPeriod: 0.192,
+		Spares:      spares,
+		Reprofile: func(row int) (float64, error) {
+			return profiler.ProfileRow(s.profile, s.decay, row, profiler.Options{})
+		},
+	})
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	opts := simOptions(s, duration)
+	opts.ECC = &classifier
+	opts.Scrub = scr
+	st, err := runSim(bank, sched, trace.Empty{}, opts)
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	eb, err := s.pm.RefreshEnergy(st, s.params.TCK)
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	return ScrubReport{
+		Stats: Stats{
+			Scheduler:        st.Scheduler,
+			Duration:         st.Duration,
+			FullRefreshes:    st.FullRefreshes,
+			PartialRefreshes: st.PartialRefreshes,
+			BusyCycles:       st.BusyCycles,
+			Accesses:         st.Accesses,
+			Violations:       st.Violations,
+			OverheadFraction: st.OverheadFraction(s.params.TCK),
+			RefreshEnergy:    eb.Total,
+		},
+		CorrectedErrors:     st.CorrectedErrors,
+		UncorrectableErrors: st.UncorrectableErrors,
+		RowsPatrolled:       st.Scrub.RowsPatrolled,
+		Corrected:           st.Scrub.Corrected,
+		Uncorrectable:       st.Scrub.Uncorrectable,
+		Reprofiles:          st.Scrub.Reprofiles,
+		RowsHealed:          st.Scrub.RowsHealed,
+		RowsRemapped:        st.Scrub.RowsRemapped,
+		HardFails:           st.Scrub.HardFails,
+		BusyRetries:         st.Scrub.BusyRetries,
+		SLOMisses:           st.Scrub.SLOMisses,
+		SparesLeft:          st.Scrub.SparesLeft,
+		RemappedRows:        scr.Remapped(),
+	}, nil
+}

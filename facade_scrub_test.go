@@ -1,0 +1,43 @@
+package vrldram_test
+
+import (
+	"testing"
+)
+
+func TestSimulateWithScrub(t *testing.T) {
+	sys := newSystem(t)
+	rep, err := sys.SimulateWithScrub(0.768, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsPatrolled == 0 {
+		t.Fatal("patrol never ran")
+	}
+	if rep.Corrected == 0 && rep.Uncorrectable == 0 {
+		t.Fatal("VRT against a static profile should feed the repair pipeline")
+	}
+	if rep.Reprofiles == 0 {
+		t.Fatal("first-offense rows must be re-profiled")
+	}
+	if rep.HardFails != 0 {
+		t.Fatalf("%d hard failures with a 64-spare budget", rep.HardFails)
+	}
+	if int64(len(rep.RemappedRows)) != rep.RowsRemapped {
+		t.Fatalf("remap ledger inconsistent: %d rows listed, %d counted", len(rep.RemappedRows), rep.RowsRemapped)
+	}
+	if rep.SparesLeft != 64-int(rep.RowsRemapped) {
+		t.Fatalf("spares accounting broken: %d left after %d remaps of 64", rep.SparesLeft, rep.RowsRemapped)
+	}
+
+	// The scrubbed run must beat the unmitigated VRT baseline.
+	raw, err := sys.SimulateWithVRT(0.768, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Violations == 0 {
+		t.Fatal("baseline is violation-free; the comparison demonstrates nothing")
+	}
+	if rep.Violations >= raw.Violations {
+		t.Fatalf("scrubbing did not help: %d violations vs %d unmitigated", rep.Violations, raw.Violations)
+	}
+}

@@ -108,7 +108,7 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 		return fmt.Errorf("checkpoint: nil checkpoint")
 	}
 	var e core.StateEncoder
-	e.Tag("sim1")
+	e.Tag("sim2")
 	e.Float(cp.Time)
 	e.Float(cp.Duration)
 	e.Bytes([]byte(cp.Scheduler))
@@ -132,6 +132,16 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 	e.Int(s.Guard.Escalations)
 	e.Int(s.Guard.BreakerTrips)
 	e.Float(s.Guard.TimeDegraded)
+	e.Int(s.Scrub.RowsPatrolled)
+	e.Int(s.Scrub.Corrected)
+	e.Int(s.Scrub.Uncorrectable)
+	e.Int(s.Scrub.Reprofiles)
+	e.Int(s.Scrub.RowsHealed)
+	e.Int(s.Scrub.RowsRemapped)
+	e.Int(s.Scrub.HardFails)
+	e.Int(s.Scrub.BusyRetries)
+	e.Int(s.Scrub.SLOMisses)
+	e.Int(int64(s.Scrub.SparesLeft))
 
 	e.Int(int64(len(cp.Events)))
 	for _, ev := range cp.Events {
@@ -147,6 +157,7 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 		e.Float(v.Time)
 		e.Float(v.Charge)
 	}
+	e.Ints(cp.Bank.Retired)
 
 	e.Int(cp.TraceRead)
 	e.Bool(cp.HavePending)
@@ -154,8 +165,10 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 	e.Uint64(uint64(cp.Pending.Op))
 	e.Int(int64(cp.Pending.Row))
 	e.Float(cp.LastTraceTime)
+	e.Float(cp.BusyUntil)
 
 	e.Bytes(cp.SchedState)
+	e.Bytes(cp.ScrubState)
 	return writeContainer(w, kindSim, e.Data())
 }
 
@@ -166,7 +179,7 @@ func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
 		return nil, err
 	}
 	d := core.NewStateDecoder(payload)
-	d.ExpectTag("sim1")
+	d.ExpectTag("sim2")
 	cp := &sim.Checkpoint{}
 	cp.Time = d.Float()
 	cp.Duration = d.Float()
@@ -191,6 +204,16 @@ func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
 	s.Guard.Escalations = d.Int()
 	s.Guard.BreakerTrips = d.Int()
 	s.Guard.TimeDegraded = d.Float()
+	s.Scrub.RowsPatrolled = d.Int()
+	s.Scrub.Corrected = d.Int()
+	s.Scrub.Uncorrectable = d.Int()
+	s.Scrub.Reprofiles = d.Int()
+	s.Scrub.RowsHealed = d.Int()
+	s.Scrub.RowsRemapped = d.Int()
+	s.Scrub.HardFails = d.Int()
+	s.Scrub.BusyRetries = d.Int()
+	s.Scrub.SLOMisses = d.Int()
+	s.Scrub.SparesLeft = int(d.Int())
 
 	if n := sliceLen(d, payload, 16); n > 0 {
 		cp.Events = make([]sim.PendingEvent, n)
@@ -207,6 +230,9 @@ func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
 			cp.Bank.Violations[i] = dram.Violation{Row: int(d.Int()), Time: d.Float(), Charge: d.Float()}
 		}
 	}
+	if retired := d.Ints(); len(retired) > 0 {
+		cp.Bank.Retired = retired
+	}
 
 	cp.TraceRead = d.Int()
 	cp.HavePending = d.Bool()
@@ -214,8 +240,10 @@ func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
 	cp.Pending.Op = trace.OpKind(d.Uint64())
 	cp.Pending.Row = int(d.Int())
 	cp.LastTraceTime = d.Float()
+	cp.BusyUntil = d.Float()
 
 	cp.SchedState = d.Bytes()
+	cp.ScrubState = d.Bytes()
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}
@@ -261,6 +289,14 @@ func validateSim(cp *sim.Checkpoint) error {
 		if math.IsNaN(ev.Time) {
 			return fmt.Errorf("checkpoint: event time NaN for row %d", ev.Row)
 		}
+	}
+	for _, r := range cp.Bank.Retired {
+		if r < 0 || r >= len(cp.Bank.Charge) {
+			return fmt.Errorf("checkpoint: retired row %d outside bank of %d rows", r, len(cp.Bank.Charge))
+		}
+	}
+	if math.IsNaN(cp.BusyUntil) || cp.BusyUntil < 0 {
+		return fmt.Errorf("checkpoint: busy-until time %g invalid", cp.BusyUntil)
 	}
 	return nil
 }

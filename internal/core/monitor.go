@@ -42,6 +42,37 @@ type GuardReporter interface {
 	GuardSnapshot(now float64) GuardStats
 }
 
+// Promoter is the counterpart of Demoter: an external repair authority
+// (e.g. a patrol scrubber that has seen K consecutive clean reads) steps
+// the row one rung back toward its nominal schedule. Like Demote, it is an
+// advisory hook: a scheduler without a degradation ladder may ignore it.
+type Promoter interface {
+	// Promote moves the row one step back toward its nominal refresh
+	// schedule (clearing an escalation first, if one is pending).
+	Promote(row int)
+}
+
+// ScrubStats aggregates what an online patrol scrubber (internal/scrub) did
+// during a run. The zero value means "no scrubber attached".
+type ScrubStats struct {
+	RowsPatrolled int64 // patrol read slots completed (quarantined rows included)
+	Corrected     int64 // ECC-corrected reads seen by the repair pipeline
+	Uncorrectable int64 // uncorrectable reads seen by the repair pipeline
+	Reprofiles    int64 // targeted single-row re-profiling campaigns run
+	RowsHealed    int64 // suspect rows promoted back after K clean patrols
+	RowsRemapped  int64 // rows quarantined to a spare
+	HardFails     int64 // uncorrectable rows with no spare left (escalated)
+	BusyRetries   int64 // patrol reads deferred because the bank was busy
+	SLOMisses     int64 // tREFW windows whose patrol coverage fell below the SLO
+	SparesLeft    int   // spare rows still unallocated at snapshot time
+}
+
+// ScrubReporter exposes a scrubber's counters; now is the end-of-run time
+// used to close out any elapsed-but-unrolled coverage windows.
+type ScrubReporter interface {
+	ScrubSnapshot(now float64) ScrubStats
+}
+
 // FaultCounter is implemented by fault injectors (scheduler wrappers and
 // trace corruptors) so the harness can report how many faults a run saw.
 type FaultCounter interface {

@@ -41,6 +41,11 @@ type Bank struct {
 	charge []float64 // normalized charge at lastT
 	lastT  []float64 // time the charge was last set (s)
 
+	// retired rows have been quarantined by a spare-row remap (see
+	// internal/scrub): their data lives on an implicitly healthy spare, so
+	// sensing the weak row no longer records integrity violations.
+	retired []bool
+
 	violations []Violation
 }
 
@@ -62,6 +67,7 @@ func NewBank(profile *retention.BankProfile, decay retention.DecayModel, pattern
 		Pattern: pattern,
 		charge:  make([]float64, profile.Geom.Rows),
 		lastT:   make([]float64, profile.Geom.Rows),
+		retired: make([]bool, profile.Geom.Rows),
 	}
 	for r := range b.charge {
 		b.charge[r] = 1
@@ -110,10 +116,32 @@ func (b *Bank) sense(row int, t float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v < retention.SenseLimit {
+	if v < retention.SenseLimit && !b.retired[row] {
 		b.violations = append(b.violations, Violation{Row: row, Time: t, Charge: v})
 	}
 	return v, nil
+}
+
+// Retire quarantines the row: its data has been relocated to a spare, so
+// the weak row's sub-limit senses stop counting as integrity violations.
+// Retirement is permanent for the life of the bank.
+func (b *Bank) Retire(row int) error {
+	if row < 0 || row >= b.Geom.Rows {
+		return fmt.Errorf("dram: row %d out of range [0,%d)", row, b.Geom.Rows)
+	}
+	b.retired[row] = true
+	return nil
+}
+
+// Retired returns the retired rows in increasing order.
+func (b *Bank) Retired() []int {
+	var out []int
+	for r, dead := range b.retired {
+		if dead {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // RefreshResult reports what one refresh operation did.
@@ -162,6 +190,7 @@ type State struct {
 	Charge     []float64 // normalized charge at LastT, per row
 	LastT      []float64 // time of each row's last restore (s)
 	Violations []Violation
+	Retired    []int // rows quarantined by spare-row remapping, increasing
 }
 
 // State snapshots the bank's mutable state.
@@ -170,6 +199,7 @@ func (b *Bank) State() State {
 		Charge:     append([]float64(nil), b.charge...),
 		LastT:      append([]float64(nil), b.lastT...),
 		Violations: append([]Violation(nil), b.violations...),
+		Retired:    b.Retired(),
 	}
 }
 
@@ -184,18 +214,33 @@ func (b *Bank) SetState(s State) error {
 			return fmt.Errorf("dram: state charge %g for row %d outside [0,1]", c, r)
 		}
 	}
+	for _, r := range s.Retired {
+		if r < 0 || r >= b.Geom.Rows {
+			return fmt.Errorf("dram: state retires row %d outside [0,%d)", r, b.Geom.Rows)
+		}
+	}
 	copy(b.charge, s.Charge)
 	copy(b.lastT, s.LastT)
 	b.violations = append(b.violations[:0], s.Violations...)
+	for r := range b.retired {
+		b.retired[r] = false
+	}
+	for _, r := range s.Retired {
+		b.retired[r] = true
+	}
 	return nil
 }
 
 // CheckAll senses every row at time t and returns the number of rows below
-// the sensing limit (recording violations for each). Useful as an
-// end-of-simulation integrity sweep.
+// the sensing limit (recording violations for each). Retired rows are
+// skipped: their data lives on a spare. Useful as an end-of-simulation
+// integrity sweep.
 func (b *Bank) CheckAll(t float64) (int, error) {
 	bad := 0
 	for r := 0; r < b.Geom.Rows; r++ {
+		if b.retired[r] {
+			continue
+		}
 		v, err := b.sense(r, t)
 		if err != nil {
 			return bad, err

@@ -192,6 +192,7 @@ var Registry = []struct {
 	{"abl-salp", "Ablation: subarray-level parallelism x refresh policy", SALPSweep},
 	{"abl-coverage", "Ablation: trace row coverage vs VRL-Access benefit", CoverageSweep},
 	{"resilience", "Fault injection vs policy: guarded and unguarded violation/overhead frontier", Resilience},
+	{"scrub", "Online ECC patrol scrub and self-healing repair vs fault injection", Scrub},
 }
 
 // Find returns the runner with the given ID.

@@ -21,20 +21,12 @@ type resilienceCase struct {
 	prepare func(p *retention.BankProfile) (schedProf, bankProf *retention.BankProfile, vrt *retention.VRT, refresh bool, err error)
 }
 
-// Resilience sweeps the fault injectors of internal/fault across three
-// policies - RAIDR, raw VRL, and VRL wrapped in the graceful-degradation
-// guard - and reports the violation/overhead frontier: what each fault
-// costs an unprotected retention-aware policy, and what the guard pays to
-// contain it. All campaigns are seeded, so the table is reproducible.
-func Resilience(cfg Config) (*Result, error) {
-	f, err := newFig4Setup(cfg)
-	if err != nil {
-		return nil, err
-	}
-	scfg := f.schedConfig()
-	seed := cfg.Seed
-
-	cases := []resilienceCase{
+// faultCases is the shared fault-injection campaign table: every injector
+// internal/fault offers, in a deterministic seeded configuration. Both the
+// resilience sweep and the scrub experiment iterate it, so the two tables
+// stay comparable row for row.
+func faultCases(seed int64) []resilienceCase {
+	return []resilienceCase{
 		{
 			name: "none",
 			prepare: func(p *retention.BankProfile) (*retention.BankProfile, *retention.BankProfile, *retention.VRT, bool, error) {
@@ -68,6 +60,21 @@ func Resilience(cfg Config) (*Result, error) {
 			},
 		},
 	}
+}
+
+// Resilience sweeps the fault injectors of internal/fault across three
+// policies - RAIDR, raw VRL, and VRL wrapped in the graceful-degradation
+// guard - and reports the violation/overhead frontier: what each fault
+// costs an unprotected retention-aware policy, and what the guard pays to
+// contain it. All campaigns are seeded, so the table is reproducible.
+func Resilience(cfg Config) (*Result, error) {
+	f, err := newFig4Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	scfg := f.schedConfig()
+	seed := cfg.Seed
+	cases := faultCases(seed)
 
 	type policy struct {
 		name    string

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestScrubExperiment(t *testing.T) {
+	r, err := Scrub(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5*2 {
+		t.Fatalf("rows = %d, want 5 faults x scrub off/on", len(r.Rows))
+	}
+	num := func(row []string, col int) int {
+		n, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatalf("cell %q in row %v: %v", row[col], row, err)
+		}
+		return n
+	}
+	const (
+		colViol = 2
+		colLate = 3
+		colPat  = 4
+		colCorr = 5
+		colUnc  = 6
+		colHard = 10
+	)
+	for i := 0; i < len(r.Rows); i += 2 {
+		off, on := r.Rows[i], r.Rows[i+1]
+		if off[0] != on[0] || off[1] != "off" || on[1] != "on" {
+			t.Fatalf("row pairing broken: %v / %v", off, on)
+		}
+		fault := off[0]
+
+		// The patrol must actually run in every scrubbed campaign.
+		if num(on, colPat) == 0 {
+			t.Errorf("%s: scrubbed run patrolled no rows", fault)
+		}
+
+		switch fault {
+		case "none":
+			if num(off, colViol) != 0 || num(on, colViol) != 0 {
+				t.Errorf("fault-free campaign violated: off=%s on=%s", off[colViol], on[colViol])
+			}
+		default:
+			// The fault must bite without the scrubber, and the pipeline must
+			// converge: zero violations after the settle deadline, against a
+			// raw policy that is still failing there. The one concession is
+			// VRT (transient weak cells): a telegraph row can flip low for
+			// the FIRST time after the deadline, and that first offense is a
+			// violation no detector can preempt - so there the bar is strict
+			// improvement, not zero.
+			if num(off, colViol) == 0 {
+				t.Errorf("%s: fault is inert; the campaign demonstrates nothing", fault)
+			}
+			if num(off, colLate) == 0 {
+				t.Errorf("%s: unscrubbed violations died out on their own", fault)
+			}
+			if fault == "transient weak cells (5% @ 0.55x)" {
+				if num(on, colLate) >= num(off, colLate) {
+					t.Errorf("%s: scrubbing did not reduce late violations (%s vs %s)", fault, on[colLate], off[colLate])
+				}
+			} else if num(on, colLate) != 0 {
+				t.Errorf("%s: scrubbed run still violating after convergence (%s late)", fault, on[colLate])
+			}
+			if num(on, colViol) >= num(off, colViol) {
+				t.Errorf("%s: scrubbing did not reduce violations (%s vs %s)", fault, on[colViol], off[colViol])
+			}
+			// Truncated refreshes are repaired silently: the patrol read's
+			// own restore heals a half-strength refresh before the charge
+			// decays into the ECC bands, so zero detections is correct there.
+			if fault != "truncated refreshes (3% @ 0.5x)" && num(on, colCorr) == 0 && num(on, colUnc) == 0 {
+				t.Errorf("%s: scrubber classified no errors under an active fault", fault)
+			}
+		}
+		if num(on, colHard) != 0 {
+			t.Errorf("%s: %s hard failures with a 64-spare budget", fault, on[colHard])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"vrldram/internal/dram"
 	"vrldram/internal/ecc"
 	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
 	"vrldram/internal/sim"
 )
 
@@ -30,7 +31,7 @@ func VRTImpact(cfg Config) (*Result, error) {
 	scfg := f.schedConfig()
 	vrt := retention.DefaultVRT()
 
-	run := func(profile *retention.BankProfile, withVRT bool, opts sim.Options) (sim.Stats, []dram.Violation, error) {
+	run := func(profile *retention.BankProfile, withVRT bool, opts sim.Options) (sim.Stats, *dram.Bank, error) {
 		sched, err := core.NewVRL(profile, scfg)
 		if err != nil {
 			return sim.Stats{}, nil, err
@@ -49,7 +50,7 @@ func VRTImpact(cfg Config) (*Result, error) {
 		if err != nil {
 			return sim.Stats{}, nil, err
 		}
-		return st, bank.Violations(), nil
+		return st, bank, nil
 	}
 
 	r := &Result{
@@ -66,22 +67,33 @@ func VRTImpact(cfg Config) (*Result, error) {
 	r.AddRow("no VRT (paper baseline)", fmt.Sprintf("%d", st.Violations), "-", "-", "-")
 
 	// 2. VRT, unmitigated.
-	st1, viol1, err := run(f.profile, true, f.opts)
+	st1, bank1, err := run(f.profile, true, f.opts)
 	if err != nil {
 		return nil, err
 	}
 	r.AddRow("VRT, static profile", fmt.Sprintf("%d", st1.Violations), "-", "-", "-")
 
-	// 3. Offline mitigation: upgrade every row caught in a first window,
-	// then rerun (profile scrubbing between maintenance windows).
-	caught := map[int]bool{}
-	for _, v := range viol1 {
-		caught[v.Row] = true
+	// 3. Offline mitigation via the patrol engine: window 1's violation log
+	// marks rows suspect (NoteViolation), one maintenance-window sweep over
+	// the window-1 bank catches rows still sagging at the boundary, and
+	// every row the pipeline distrusts is upgraded to the fastest bin for
+	// window 2. Same classify/repair code as the online scrubber, driven
+	// offline.
+	store, err := scrub.NewBankStore(bank1, ecc.DefaultClassifier())
+	if err != nil {
+		return nil, err
 	}
-	rows := make([]int, 0, len(caught))
-	for row := range caught {
-		rows = append(rows, row)
+	scr, err := scrub.New(store, scrub.Config{})
+	if err != nil {
+		return nil, err
 	}
+	for _, v := range bank1.Violations() {
+		scr.NoteViolation(v.Row)
+	}
+	if err := scr.SweepOnce(f.opts.Duration); err != nil {
+		return nil, err
+	}
+	rows := scr.Suspects()
 	upgraded := core.UpgradeRows(f.profile, rows, retention.RAIDRBins[0])
 	st2, _, err := run(upgraded, true, f.opts)
 	if err != nil {

@@ -108,6 +108,14 @@ func (s *RefreshInjector) Upgrade(row int) {
 	}
 }
 
+// Promote forwards to a wrapped core.Promoter, so a patrol scrubber can
+// heal rows through an injector sitting above the guard.
+func (s *RefreshInjector) Promote(row int) {
+	if p, ok := s.inner.(core.Promoter); ok {
+		p.Promote(row)
+	}
+}
+
 // GuardSnapshot forwards to a wrapped core.GuardReporter.
 func (s *RefreshInjector) GuardSnapshot(now float64) core.GuardStats {
 	if g, ok := s.inner.(core.GuardReporter); ok {

@@ -267,6 +267,30 @@ func (g *Guard) Demote(row int) {
 	g.demote(row)
 }
 
+// Promote implements core.Promoter: an external repair authority (the
+// patrol scrubber after K consecutive clean reads) vouches for the row, so
+// it steps one rung back toward its nominal schedule. An escalated row has
+// its escalation lifted first - the scrubber's verify phase is exactly the
+// evidence escalation was waiting for - and its alarm history is cleared so
+// a later isolated alarm does not instantly re-escalate it.
+func (g *Guard) Promote(row int) {
+	if row < 0 || row >= len(g.rows) {
+		return
+	}
+	s := &g.rows[row]
+	if s.escalated {
+		s.escalated = false
+		s.alarms = 0
+		s.cleanStreak = 0
+		return
+	}
+	if s.rung < s.nominal {
+		s.rung++
+		s.cleanStreak = 0
+		g.stats.Promotions++
+	}
+}
+
 // Upgrade implements core.Upgrader for compatibility with the AVATAR hook:
 // it escalates the row immediately (full-latency at the floor).
 func (g *Guard) Upgrade(row int) {

@@ -1,0 +1,62 @@
+package guard
+
+import "testing"
+
+// TestPromote covers the scrubber-facing heal hook: a demoted row steps one
+// rung back toward nominal, an escalated row has its escalation (and alarm
+// history) lifted before any rung movement, and a row already at nominal is
+// untouched.
+func TestPromote(t *testing.T) {
+	f := setup(t)
+	g := f.guarded(t, f.vrl(t, f.profile))
+	const row = 5
+
+	// Walk the row up to nominal first (rows start on probation).
+	for !g.atNominal(row) {
+		g.Promote(row)
+	}
+	nominalPeriod := g.Period(row)
+	promosAtNominal := g.GuardSnapshot(0).Promotions
+
+	g.Promote(row) // at nominal: must be a no-op
+	if g.Period(row) != nominalPeriod {
+		t.Fatalf("promote at nominal changed the period: %g -> %g", nominalPeriod, g.Period(row))
+	}
+	if got := g.GuardSnapshot(0).Promotions; got != promosAtNominal {
+		t.Fatalf("promote at nominal booked a promotion (%d -> %d)", promosAtNominal, got)
+	}
+
+	// Demote twice, promote back rung by rung.
+	g.Demote(row)
+	g.Demote(row)
+	degraded := g.Period(row)
+	if degraded >= nominalPeriod {
+		t.Fatalf("demotions did not shorten the period: %g vs nominal %g", degraded, nominalPeriod)
+	}
+	g.Promote(row)
+	mid := g.Period(row)
+	if mid <= degraded {
+		t.Fatalf("promotion did not lengthen the period: %g -> %g", degraded, mid)
+	}
+	g.Promote(row)
+	if g.Period(row) != nominalPeriod {
+		t.Fatalf("two promotions did not return to nominal: %g vs %g", g.Period(row), nominalPeriod)
+	}
+
+	// Escalation is lifted by the first Promote, rung intact, alarms cleared.
+	g.Upgrade(row) // escalate
+	if _, esc := g.RowRung(row); !esc {
+		t.Fatal("Upgrade did not escalate")
+	}
+	g.Promote(row)
+	if _, esc := g.RowRung(row); esc {
+		t.Fatal("Promote did not lift escalation")
+	}
+	if g.rows[row].alarms != 0 {
+		t.Fatalf("alarm history survived the heal: %d", g.rows[row].alarms)
+	}
+
+	// Out-of-range rows are ignored.
+	g.Promote(-1)
+	g.Promote(len(g.rows))
+}

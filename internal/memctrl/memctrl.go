@@ -21,12 +21,14 @@ import (
 	"container/heap"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"vrldram/internal/core"
 	"vrldram/internal/dram"
 	"vrldram/internal/ecc"
 	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
 	"vrldram/internal/trace"
 )
 
@@ -122,6 +124,10 @@ type Stats struct {
 	// Guard carries the degradation controller's counters when a
 	// core.GuardReporter (internal/guard) is in the scheduler stack.
 	Guard core.GuardStats
+	// Scrub carries the patrol scrubber's counters when Options.Scrub ran;
+	// ScrubBusyCycles is the bank time its patrol reads consumed.
+	Scrub           core.ScrubStats
+	ScrubBusyCycles int64
 }
 
 // Options configures a run.
@@ -145,6 +151,13 @@ type Options struct {
 	// DemoteOnCorrect steps the row one rung down the degradation ladder on
 	// an ECC-corrected error, when the scheduler supports core.Demoter.
 	DemoteOnCorrect bool
+
+	// Scrub, when set, interleaves the patrol scrubber's reads with demand
+	// traffic on the command timeline: a patrol read behaves like a row-miss
+	// read (closing the open row, occupying the bank for ACT+CAS+PRE), loses
+	// arbitration ties to both refreshes and requests, and defers with the
+	// scrubber's own backoff while the bank is busy.
+	Scrub *scrub.Scrubber
 }
 
 // event types for the unified timeline.
@@ -153,6 +166,7 @@ type evKind int
 const (
 	evRefresh evKind = iota
 	evRequest
+	evScrub // patrol read: background priority, loses every arbitration tie
 )
 
 type event struct {
@@ -226,6 +240,19 @@ func Run(bank *dram.Bank, sched core.Scheduler, reqs []Request, opts Options) (S
 		frac := staggerFrac(r)
 		first := int64(frac * p / opts.TCK)
 		pushRefresh(r, first, first)
+	}
+	pushScrub := func(atCycle int64) {
+		if atCycle >= horizon {
+			return
+		}
+		seq++
+		heap.Push(&h, event{cycle: atCycle, kind: evScrub, seq: seq})
+	}
+	if opts.Scrub != nil {
+		if opts.Scrub.Rows() != bank.Geom.Rows {
+			return Stats{}, nil, fmt.Errorf("memctrl: scrubber patrols %d rows, bank has %d", opts.Scrub.Rows(), bank.Geom.Rows)
+		}
+		pushScrub(int64(math.Ceil(opts.Scrub.NextDue() / opts.TCK)))
 	}
 	out := make([]Request, len(reqs))
 	copy(out, reqs)
@@ -419,6 +446,34 @@ func Run(bank *dram.Bank, sched core.Scheduler, reqs []Request, opts Options) (S
 			// not accumulate across periods.
 			nextDue := ev.due + int64(sched.Period(ev.row)/opts.TCK)
 			pushRefresh(ev.row, nextDue, nextDue)
+		case evScrub:
+			now := float64(ev.cycle) * opts.TCK
+			visited, err := opts.Scrub.Tick(now, float64(bankFree)*opts.TCK)
+			if err != nil {
+				return Stats{}, nil, err
+			}
+			if visited {
+				// The patrol read behaves like a row-miss read: close the open
+				// row (respecting tRAS), then ACT + CAS + PRE on the weak row.
+				start := ev.cycle
+				idleClose(start)
+				if openRow >= 0 {
+					minPre := rowOpenedAt + int64(t.TRAS)
+					if start < minPre {
+						start = minPre
+					}
+					start += int64(t.TRP)
+					openRow = -1
+				}
+				cost := int64(t.TRCD + t.TCL + t.TRP)
+				bankFree = start + cost
+				st.ScrubBusyCycles += cost
+			}
+			next := int64(math.Ceil(opts.Scrub.NextDue() / opts.TCK))
+			if next <= ev.cycle {
+				next = ev.cycle + 1
+			}
+			pushScrub(next)
 		case evRequest:
 			if ev.cycle < lastRefreshEnd {
 				// Arrived while a refresh held the bank.
@@ -474,6 +529,9 @@ func Run(bank *dram.Bank, sched core.Scheduler, reqs []Request, opts Options) (S
 	}
 	if gr, ok := sched.(core.GuardReporter); ok {
 		st.Guard = gr.GuardSnapshot(opts.Duration)
+	}
+	if opts.Scrub != nil {
+		st.Scrub = opts.Scrub.ScrubSnapshot(opts.Duration)
 	}
 	return st, out, nil
 }

@@ -1,0 +1,129 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
+	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
+)
+
+func (f *fixture) scrubber(t *testing.T, b *dram.Bank, sched core.Scheduler) *scrub.Scrubber {
+	t.Helper()
+	store, err := scrub.NewBankStore(b, ecc.DefaultClassifier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := scrub.New(store, scrub.Config{Sched: sched, Spares: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scr
+}
+
+// TestScrubPatrolsOnCommandTimeline wires the patrol scrubber into the
+// command-level controller: patrol reads must actually occupy the bank
+// (row-miss cost), the coverage counters must land in the run's Stats, and
+// demand requests must still all be served.
+func TestScrubPatrolsOnCommandTimeline(t *testing.T) {
+	f := setup(t)
+	sched := f.sched(t, func() (core.Scheduler, error) { return core.NewVRL(f.profile, core.Config{Restore: f.rm}) })
+	b := f.bank(t)
+	scr := f.scrubber(t, b, sched)
+
+	reqs := []Request{
+		{Arrival: 1000, Row: 10},
+		{Arrival: 50000, Row: 20, Write: true},
+		{Arrival: 200000, Row: 10},
+	}
+	opts := f.opts
+	opts.Scrub = scr
+	st, served, err := Run(b, sched, reqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != len(reqs) {
+		t.Fatalf("served %d of %d requests", len(served), len(reqs))
+	}
+	if st.Scrub.RowsPatrolled == 0 {
+		t.Fatal("patrol never visited a row")
+	}
+	if st.ScrubBusyCycles == 0 {
+		t.Fatal("patrol reads consumed no bank time; they are free, which is wrong")
+	}
+	// Four sweeps of the 64 ms period fit in the 256 ms run; the patrol must
+	// be close to that pace (it may trail slightly behind due to busy
+	// deferrals, never ahead).
+	expected := int64(float64(b.Geom.Rows) * opts.Duration / 0.064)
+	if st.Scrub.RowsPatrolled > expected || st.Scrub.RowsPatrolled < expected/2 {
+		t.Fatalf("patrolled %d rows, want roughly %d (4 sweeps)", st.Scrub.RowsPatrolled, expected)
+	}
+	if got := scr.ScrubSnapshot(opts.Duration); !reflect.DeepEqual(st.Scrub, got) {
+		t.Fatalf("Stats.Scrub %+v diverges from the scrubber's own snapshot %+v", st.Scrub, got)
+	}
+}
+
+// TestScrubDefersToDemandTraffic saturates the bank with back-to-back
+// requests across the first patrol due times: the scrubber must retry with
+// backoff (booking BusyRetries) instead of stealing the bank, and every
+// demand request must still finish.
+func TestScrubDefersToDemandTraffic(t *testing.T) {
+	f := setup(t)
+	sched := f.sched(t, func() (core.Scheduler, error) { return core.NewVRL(f.profile, core.Config{Restore: f.rm}) })
+	b := f.bank(t)
+	scr := f.scrubber(t, b, sched)
+
+	// The first patrol read is due one per-row interval in: tREFW/rows.
+	// Keep the bank continuously busy well past that point.
+	dueCycle := int64(scr.NextDue() / f.opts.TCK)
+	reqs := make([]Request, 2000)
+	for i := range reqs {
+		reqs[i] = Request{Arrival: int64(i), Row: (i / 4) % b.Geom.Rows}
+	}
+	opts := f.opts
+	opts.Scrub = scr
+	st, served, err := Run(b, sched, reqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busyEnd := served[len(served)-1].Finish
+	if busyEnd <= dueCycle {
+		t.Fatalf("burst ended at cycle %d, before the first patrol due %d; the test exercises nothing", busyEnd, dueCycle)
+	}
+	if st.Scrub.BusyRetries == 0 {
+		t.Fatal("patrol never deferred to the demand burst")
+	}
+	if st.Scrub.RowsPatrolled == 0 {
+		t.Fatal("patrol starved forever; backoff must let it through after the burst")
+	}
+	if len(served) != len(reqs) {
+		t.Fatalf("served %d of %d requests", len(served), len(reqs))
+	}
+}
+
+// TestScrubRowMismatchRejected: a scrubber sized for a different bank must
+// be rejected up front.
+func TestScrubRowMismatchRejected(t *testing.T) {
+	f := setup(t)
+	sched := f.sched(t, func() (core.Scheduler, error) { return core.NewVRL(f.profile, core.Config{Restore: f.rm}) })
+
+	small, err := retention.NewSampledProfile(device.BankGeometry{Rows: 64, Cols: 32}, retention.DefaultCellDistribution(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := dram.NewBank(small, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := f.scrubber(t, sb, sched)
+
+	opts := f.opts
+	opts.Scrub = scr
+	if _, _, err := Run(f.bank(t), sched, nil, opts); err == nil {
+		t.Fatal("scrubber over 64 rows accepted for an 8192-row bank")
+	}
+}

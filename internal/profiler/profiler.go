@@ -15,6 +15,7 @@ package profiler
 
 import (
 	"fmt"
+	"math"
 
 	"vrldram/internal/device"
 	"vrldram/internal/dram"
@@ -158,6 +159,52 @@ func Profile(trueProfile *retention.BankProfile, decay retention.DecayModel, opt
 		Profiled: profiled,
 	}
 	return res, nil
+}
+
+// ProfileRow runs a targeted single-row campaign against the chip: the
+// interval ladder of a full Profile pass, but for one suspect row, closed
+// form instead of a bank-wide write/wait/sense loop (the interval test
+// "does the row still sense correctly after iv/Margin?" is evaluated
+// directly against the decay law at the row's worst-pattern retention).
+// It returns the largest interval the row survives every pattern at, or 0
+// when the row fails even the shortest interval - the caller's signal that
+// no refresh schedule can carry the row and it must be quarantined.
+//
+// This is the scrubber's diagnose step (internal/scrub Config.Reprofile):
+// deterministic, so it can run inside a checkpointed simulation loop.
+func ProfileRow(chip *retention.BankProfile, decay retention.DecayModel, row int, opts Options) (float64, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	if chip == nil {
+		return 0, fmt.Errorf("profiler: nil chip profile")
+	}
+	if row < 0 || row >= len(chip.True) {
+		return 0, fmt.Errorf("profiler: row %d outside [0,%d)", row, len(chip.True))
+	}
+	if decay == nil {
+		decay = retention.ExpDecay{}
+	}
+	// The worst pattern bounds every pattern in opts.Patterns, and
+	// PatternFactor is multiplicative on retention, so one evaluation at the
+	// worst factor matches the keep-the-worst-round classification of a full
+	// campaign.
+	worst := math.Inf(1)
+	for _, p := range opts.Patterns {
+		if f := retention.PatternFactor(p); f < worst {
+			worst = f
+		}
+	}
+	tret := chip.True[row] * worst
+	measured := 0.0
+	for _, iv := range opts.Intervals {
+		if decay.Factor(iv/opts.Margin, tret) < retention.SenseLimit {
+			break
+		}
+		measured = iv
+	}
+	return measured, nil
 }
 
 // VerifyConservative checks the fundamental profiling guarantee: every

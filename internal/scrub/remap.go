@@ -1,0 +1,72 @@
+package scrub
+
+import "sort"
+
+// RemapTable is the spare-row indirection a quarantine decision lands in: a
+// bounded pool of spare rows and a map from retired weak rows to the spare
+// each one's data now lives on. Spares are allocated in order and never
+// released - a row that has degraded enough to need one is not trusted
+// again - and remapping an already-remapped row is idempotent: it returns
+// the existing spare without consuming a new one.
+type RemapTable struct {
+	total int
+	next  int
+	m     map[int]int // weak row -> spare index
+}
+
+// NewRemapTable returns a table with the given spare budget; a negative
+// budget clamps to zero (no spares: every quarantine escalates).
+func NewRemapTable(spares int) *RemapTable {
+	if spares < 0 {
+		spares = 0
+	}
+	return &RemapTable{total: spares, m: make(map[int]int)}
+}
+
+// Remap assigns the row a spare, or returns the one it already holds. The
+// second result is false only when the row is unmapped and the pool is
+// exhausted - the caller's hard-fail escalation path.
+func (t *RemapTable) Remap(row int) (spare int, ok bool) {
+	if sp, done := t.m[row]; done {
+		return sp, true
+	}
+	if t.next >= t.total {
+		return 0, false
+	}
+	sp := t.next
+	t.next++
+	t.m[row] = sp
+	return sp, true
+}
+
+// Spare returns the spare index holding the row's data, if remapped.
+func (t *RemapTable) Spare(row int) (int, bool) {
+	sp, ok := t.m[row]
+	return sp, ok
+}
+
+// IsRemapped reports whether the row has been quarantined to a spare.
+func (t *RemapTable) IsRemapped(row int) bool {
+	_, ok := t.m[row]
+	return ok
+}
+
+// SparesLeft returns the number of unallocated spares.
+func (t *RemapTable) SparesLeft() int { return t.total - t.next }
+
+// Total returns the configured spare budget.
+func (t *RemapTable) Total() int { return t.total }
+
+// Len returns the number of remapped rows.
+func (t *RemapTable) Len() int { return len(t.m) }
+
+// Rows returns the remapped rows in increasing order (deterministic, for
+// snapshots and reports).
+func (t *RemapTable) Rows() []int {
+	out := make([]int, 0, len(t.m))
+	for r := range t.m {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

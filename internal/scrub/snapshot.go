@@ -1,0 +1,168 @@
+package scrub
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/core"
+)
+
+// stateTag versions the scrubber's snapshot blob.
+const stateTag = "scrub1"
+
+// SnapshotState implements core.Snapshotter: the patrol cursor and cadence,
+// the backoff and SLO-window accounting, the per-row diagnosis state, the
+// remap table, the hard-fail set, and the counters. Restoring the blob into
+// a freshly constructed scrubber over an identically configured store
+// continues the patrol bit-identically.
+func (s *Scrubber) SnapshotState() ([]byte, error) {
+	var e core.StateEncoder
+	e.Tag(stateTag)
+	e.Int(int64(s.rows))
+	e.Int(int64(s.cursor))
+	e.Float(s.nextDue)
+	e.Float(s.backoff)
+	e.Float(s.windowStart)
+	e.Int(s.visited)
+	for i := range s.health {
+		h := &s.health[i]
+		e.Bool(h.suspect)
+		e.Int(int64(h.cleanStreak))
+		e.Float(h.measured)
+		e.Bool(s.failed[i])
+	}
+	e.Int(int64(s.remap.Total()))
+	rows := s.remap.Rows()
+	e.Int(int64(len(rows)))
+	for _, r := range rows {
+		sp, _ := s.remap.Spare(r)
+		e.Int(int64(r))
+		e.Int(int64(sp))
+	}
+	e.Int(s.stats.RowsPatrolled)
+	e.Int(s.stats.Corrected)
+	e.Int(s.stats.Uncorrectable)
+	e.Int(s.stats.Reprofiles)
+	e.Int(s.stats.RowsHealed)
+	e.Int(s.stats.RowsRemapped)
+	e.Int(s.stats.HardFails)
+	e.Int(s.stats.BusyRetries)
+	e.Int(s.stats.SLOMisses)
+	return e.Data(), nil
+}
+
+// RestoreState implements core.Snapshotter. Every field is validated before
+// any live state is replaced, so a corrupt or mismatched blob leaves the
+// scrubber untouched.
+func (s *Scrubber) RestoreState(data []byte) error {
+	d := core.NewStateDecoder(data)
+	d.ExpectTag(stateTag)
+	nrows := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if int(nrows) != s.rows {
+		return fmt.Errorf("scrub: snapshot has %d rows, scrubber has %d", nrows, s.rows)
+	}
+	cursor := d.Int()
+	nextDue := d.Float()
+	backoff := d.Float()
+	windowStart := d.Float()
+	visited := d.Int()
+	health := make([]rowHealth, nrows)
+	failed := make([]bool, nrows)
+	for i := range health {
+		health[i].suspect = d.Bool()
+		health[i].cleanStreak = int(d.Int())
+		health[i].measured = d.Float()
+		failed[i] = d.Bool()
+	}
+	total := d.Int()
+	npairs := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if total != int64(s.remap.Total()) {
+		return fmt.Errorf("scrub: snapshot spare budget %d, scrubber configured with %d", total, s.remap.Total())
+	}
+	if npairs < 0 || npairs > total {
+		return fmt.Errorf("scrub: snapshot remaps %d rows with a budget of %d", npairs, total)
+	}
+	type pair struct{ row, spare int }
+	pairs := make([]pair, npairs)
+	spareUsed := make([]bool, npairs)
+	prevRow := -1
+	for i := range pairs {
+		pairs[i] = pair{row: int(d.Int()), spare: int(d.Int())}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		p := pairs[i]
+		switch {
+		case p.row <= prevRow || p.row >= s.rows:
+			return fmt.Errorf("scrub: snapshot remap row %d out of order or range", p.row)
+		case p.spare < 0 || p.spare >= int(npairs):
+			// Spares are allocated sequentially and never released, so a
+			// table with n remaps uses exactly spares 0..n-1.
+			return fmt.Errorf("scrub: snapshot spare index %d outside [0,%d)", p.spare, npairs)
+		case spareUsed[p.spare]:
+			return fmt.Errorf("scrub: snapshot assigns spare %d twice", p.spare)
+		}
+		spareUsed[p.spare] = true
+		prevRow = p.row
+	}
+	var stats core.ScrubStats
+	stats.RowsPatrolled = d.Int()
+	stats.Corrected = d.Int()
+	stats.Uncorrectable = d.Int()
+	stats.Reprofiles = d.Int()
+	stats.RowsHealed = d.Int()
+	stats.RowsRemapped = d.Int()
+	stats.HardFails = d.Int()
+	stats.BusyRetries = d.Int()
+	stats.SLOMisses = d.Int()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	switch {
+	case cursor < 0 || cursor >= nrows:
+		return fmt.Errorf("scrub: snapshot cursor %d outside [0,%d)", cursor, nrows)
+	case math.IsNaN(nextDue) || math.IsInf(nextDue, 0) || nextDue < 0:
+		return fmt.Errorf("scrub: snapshot next-due time %g invalid", nextDue)
+	case math.IsNaN(backoff) || backoff <= 0:
+		return fmt.Errorf("scrub: snapshot backoff %g invalid", backoff)
+	case math.IsNaN(windowStart) || windowStart < 0:
+		return fmt.Errorf("scrub: snapshot window start %g invalid", windowStart)
+	case visited < 0:
+		return fmt.Errorf("scrub: snapshot visit count %d negative", visited)
+	}
+	for i := range health {
+		if health[i].cleanStreak < 0 {
+			return fmt.Errorf("scrub: snapshot clean streak %d for row %d negative", health[i].cleanStreak, i)
+		}
+		if m := health[i].measured; math.IsNaN(m) || m < 0 {
+			return fmt.Errorf("scrub: snapshot measured retention %g for row %d invalid", m, i)
+		}
+	}
+	for _, p := range pairs {
+		if failed[p.row] {
+			return fmt.Errorf("scrub: snapshot row %d both remapped and hard-failed", p.row)
+		}
+	}
+	// All validated: install.
+	s.cursor = int(cursor)
+	s.nextDue = nextDue
+	s.backoff = backoff
+	s.windowStart = windowStart
+	s.visited = visited
+	copy(s.health, health)
+	copy(s.failed, failed)
+	rm := NewRemapTable(int(total))
+	for _, p := range pairs {
+		rm.m[p.row] = p.spare
+	}
+	rm.next = int(npairs)
+	s.remap = rm
+	s.stats = stats
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"vrldram/internal/dram"
 	"vrldram/internal/ecc"
 	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
 	"vrldram/internal/trace"
 )
 
@@ -36,6 +37,16 @@ type Options struct {
 	// the stack), the row steps one rung down the degradation ladder instead
 	// of losing all of its slack at once.
 	DemoteOnCorrect bool
+
+	// Scrub, when set, interleaves an online patrol scrubber with the
+	// refresh stream: patrol reads fire at the scrubber's own cadence
+	// between refresh events (deferring with backoff while a refresh holds
+	// the bank busy), and every ECC-classified sensing event is forwarded to
+	// the scrubber's repair pipeline, which then owns the demote/upgrade
+	// response (Demote/UpgradeOnCorrect are ignored). The scrubber must
+	// cover the same number of rows as the bank, and it is included in
+	// checkpoints, so checkpoint/resume stays bit-identical.
+	Scrub *scrub.Scrubber
 
 	// CheckpointEvery, when positive, emits a Checkpoint to CheckpointSink
 	// at every multiple of this simulated interval (seconds). Snapshots are
@@ -82,7 +93,10 @@ type Checkpoint struct {
 	Pending       trace.Record // the buffered look-ahead record
 	LastTraceTime float64      // time-ordering watermark (-Inf before any record)
 
+	BusyUntil float64 // time the bank is busy until (refresh in flight)
+
 	SchedState []byte // the scheduler stack's core.Snapshotter blob
+	ScrubState []byte // the patrol scrubber's core.Snapshotter blob (nil without one)
 }
 
 // Stats is the outcome of one run.
@@ -114,6 +128,8 @@ type Stats struct {
 	// Guard carries the degradation controller's counters when a
 	// core.GuardReporter (internal/guard) is in the scheduler stack.
 	Guard core.GuardStats
+	// Scrub carries the patrol scrubber's counters when Options.Scrub ran.
+	Scrub core.ScrubStats
 }
 
 // Refreshes returns the total refresh operation count.
@@ -195,6 +211,9 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 	if opts.CheckpointEvery > 0 && opts.CheckpointSink == nil {
 		return Stats{}, fmt.Errorf("sim: CheckpointEvery set without a CheckpointSink")
 	}
+	if opts.Scrub != nil && opts.Scrub.Rows() != bank.Geom.Rows {
+		return Stats{}, fmt.Errorf("sim: scrubber patrols %d rows, bank has %d", opts.Scrub.Rows(), bank.Geom.Rows)
+	}
 	var snap core.Snapshotter
 	if opts.CheckpointSink != nil || opts.Resume != nil {
 		var ok bool
@@ -229,6 +248,9 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		if gr, ok := sched.(core.GuardReporter); ok {
 			st.Guard = gr.GuardSnapshot(now)
 		}
+		if opts.Scrub != nil {
+			st.Scrub = opts.Scrub.ScrubSnapshot(now)
+		}
 	}
 
 	rows := bank.Geom.Rows
@@ -239,6 +261,7 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		lastTraceTime = math.Inf(-1)
 		traceRead     int64 // records consumed from src, for checkpointing
 		now           float64
+		busyUntil     float64 // bank unavailable for patrol reads until here
 	)
 
 	if cp := opts.Resume; cp != nil {
@@ -248,8 +271,16 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		if cp.Scheduler != sched.Name() {
 			return st, fmt.Errorf("sim: resume: checkpoint is for scheduler %q, got %q", cp.Scheduler, sched.Name())
 		}
+		if (cp.ScrubState != nil) != (opts.Scrub != nil) {
+			return st, fmt.Errorf("sim: resume: checkpoint and options disagree about a patrol scrubber")
+		}
 		if err := snap.RestoreState(cp.SchedState); err != nil {
 			return st, fmt.Errorf("sim: resume: %w", err)
+		}
+		if opts.Scrub != nil {
+			if err := opts.Scrub.RestoreState(cp.ScrubState); err != nil {
+				return st, fmt.Errorf("sim: resume: %w", err)
+			}
 		}
 		if err := bank.SetState(cp.Bank); err != nil {
 			return st, fmt.Errorf("sim: resume: %w", err)
@@ -277,6 +308,7 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		next = cp.Pending
 		lastTraceTime = cp.LastTraceTime
 		now = cp.Time
+		busyUntil = cp.BusyUntil
 	} else {
 		for r := 0; r < rows; r++ {
 			p := sched.Period(r)
@@ -302,7 +334,28 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 	}
 	heap.Init(&h)
 
-	drainTrace := func(until float64) error {
+	// drainScrub runs every patrol tick due at or before until, interleaved
+	// with the trace so accesses and patrol reads stay in time order. It runs
+	// BEFORE drainTrace(until) at each event, which keeps the invariant that a
+	// patrol read never observes a bank mutation from its own future.
+	var drainTrace func(until float64) error
+	drainScrub := func(until float64) error {
+		for opts.Scrub != nil {
+			due := opts.Scrub.NextDue()
+			if due > until || due >= opts.Duration {
+				return nil
+			}
+			if err := drainTrace(due); err != nil {
+				return err
+			}
+			if _, err := opts.Scrub.Tick(due, busyUntil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	drainTrace = func(until float64) error {
 		for havePending && next.Time <= until {
 			if next.Time < lastTraceTime {
 				return fmt.Errorf("sim: trace source out of order: record at t=%.9g after t=%.9g", next.Time, lastTraceTime)
@@ -351,7 +404,13 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			TraceRead:     traceRead,
 			HavePending:   havePending,
 			LastTraceTime: lastTraceTime,
+			BusyUntil:     busyUntil,
 			SchedState:    blob,
+		}
+		if opts.Scrub != nil {
+			if cp.ScrubState, err = opts.Scrub.SnapshotState(); err != nil {
+				return nil, err
+			}
 		}
 		if havePending {
 			cp.Pending = next
@@ -402,6 +461,10 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			continue
 		}
 		now = ev.t
+		if err := drainScrub(ev.t); err != nil {
+			finalize(ev.t)
+			return st, err
+		}
 		if err := drainTrace(ev.t); err != nil {
 			finalize(ev.t)
 			return st, err
@@ -418,9 +481,22 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			monitor.OnSense(ev.row, ev.t, res.ChargeBefore)
 		}
 		if opts.ECC != nil && res.ChargeBefore < retention.SenseLimit {
-			switch opts.ECC.Classify(res.ChargeBefore) {
+			outcome := opts.ECC.Classify(res.ChargeBefore)
+			switch outcome {
 			case ecc.Corrected:
 				st.CorrectedErrors++
+			case ecc.Uncorrectable:
+				st.UncorrectableErrors++
+			}
+			if opts.Scrub != nil {
+				// The scrubber owns the repair response: a classified sense is
+				// a detection event exactly like a patrol read, so the pipeline
+				// converges no matter which path sees the sag first.
+				if err := opts.Scrub.OnEccEvent(ev.row, outcome); err != nil {
+					finalize(ev.t)
+					return st, err
+				}
+			} else if outcome == ecc.Corrected {
 				if opts.DemoteOnCorrect {
 					if dm, ok := sched.(core.Demoter); ok {
 						dm.Demote(ev.row)
@@ -431,8 +507,6 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 						st.RowsUpgraded++
 					}
 				}
-			case ecc.Uncorrectable:
-				st.UncorrectableErrors++
 			}
 		}
 		if op.Full {
@@ -442,7 +516,12 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		}
 		st.BusyCycles += int64(op.Cycles)
 		st.ChargeRestored += res.ChargeRestored
+		busyUntil = ev.t + float64(op.Cycles)*opts.TCK
 		heap.Push(&h, event{t: ev.t + sched.Period(ev.row), row: ev.row})
+	}
+	if err := drainScrub(opts.Duration); err != nil {
+		finalize(opts.Duration)
+		return st, err
 	}
 	if err := drainTrace(opts.Duration); err != nil {
 		finalize(opts.Duration)

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
+	"vrldram/internal/fault"
+	"vrldram/internal/profiler"
+	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
+)
+
+// scrubE2E builds one run of the end-to-end self-healing scenario: a VRL
+// scheduler trusting a mis-binned profile, a bank with VRT active, ECC
+// classification on every sense, and (optionally) the online patrol
+// scrubber wired in. Returns the stats and the bank's violation log.
+func scrubE2E(t *testing.T, withScrub bool) (Stats, []dram.Violation) {
+	t.Helper()
+	p := device.Default90nm()
+	geom := device.BankGeometry{Rows: 512, Cols: 32}
+	prof, err := retention.NewSampledProfile(geom, retention.DefaultCellDistribution(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, flipped, err := fault.MisBinProfile(prof, 0.05, retention.RAIDRBins, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped == 0 {
+		t.Fatal("mis-binning flipped no rows; the scenario is empty")
+	}
+	b, err := dram.NewBank(bad, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := retention.DefaultVRT()
+	if err := b.SetVRT(&v); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewVRL(bad, core.Config{Restore: rm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := ecc.DefaultClassifier()
+	opts := Options{Duration: 0.768, TCK: p.TCK, ECC: &cls}
+	if withScrub {
+		store, err := scrub.NewBankStore(b, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr, err := scrub.New(store, scrub.Config{
+			Sched:  sched,
+			Spares: 64,
+			Reprofile: func(row int) (float64, error) {
+				return profiler.ProfileRow(bad, retention.ExpDecay{}, row, profiler.Options{})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Scrub = scr
+	}
+	st, err := Run(b, sched, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, b.Violations()
+}
+
+// TestScrubSelfHealsMisBinnedProfile is the PR's end-to-end acceptance
+// scenario: with a mis-binned retention profile and VRT active, the
+// unscrubbed VRL keeps violating all the way to the end of the run, while
+// the scrubbed stack detects each sagging row through ECC, repairs it
+// (upgrade or spare-row remap), and - once converged - holds zero sense
+// violations for the rest of the run.
+func TestScrubSelfHealsMisBinnedProfile(t *testing.T) {
+	stPlain, violPlain := scrubE2E(t, false)
+	stScrub, violScrub := scrubE2E(t, true)
+
+	// The fault must actually bite, and keep biting without the scrubber:
+	// the unscrubbed run still violates in the final quarter of the run.
+	// (VRT rows can flip into their low state for the first time late in the
+	// run, so full convergence needs the first three quarters.)
+	if len(violPlain) == 0 {
+		t.Fatal("unscrubbed run recorded no violations; the fault is inert")
+	}
+	const (
+		dur        = 0.768
+		settleTime = 3 * dur / 4
+	)
+	latePlain := 0
+	for _, v := range violPlain {
+		if v.Time >= settleTime {
+			latePlain++
+		}
+	}
+	if latePlain == 0 {
+		t.Fatal("unscrubbed violations all died out on their own; nothing for the scrubber to prove")
+	}
+
+	// The scrubbed run converges: once every weak row has been demoted,
+	// upgraded, or quarantined, no sense violation appears again.
+	lateScrub := 0
+	lastScrub := 0.0
+	for _, v := range violScrub {
+		if v.Time >= settleTime {
+			lateScrub++
+		}
+		if v.Time > lastScrub {
+			lastScrub = v.Time
+		}
+	}
+	if lateScrub != 0 {
+		t.Errorf("scrubbed run still violated %d times after convergence (last at t=%.3f)", lateScrub, lastScrub)
+	}
+	if len(violScrub) >= len(violPlain) {
+		t.Errorf("scrubbing did not reduce violations: %d vs %d unscrubbed", len(violScrub), len(violPlain))
+	}
+
+	// The repair pipeline must have done real work, and the stats must say so.
+	if stScrub.Scrub.RowsPatrolled == 0 {
+		t.Fatal("patrol never ran")
+	}
+	if stScrub.Scrub.Corrected == 0 && stScrub.Scrub.Uncorrectable == 0 {
+		t.Fatal("scrubber classified no errors under an active fault")
+	}
+	if stScrub.Scrub.RowsRemapped == 0 && stScrub.Scrub.Reprofiles == 0 {
+		t.Fatal("scrubber repaired nothing: no remaps, no re-profiles")
+	}
+	if stScrub.Scrub.HardFails != 0 {
+		t.Fatalf("%d hard failures with a 64-spare budget", stScrub.Scrub.HardFails)
+	}
+	if stPlain.Scrub != (core.ScrubStats{}) {
+		t.Fatalf("unscrubbed run reported scrub stats: %+v", stPlain.Scrub)
+	}
+}
