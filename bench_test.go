@@ -138,6 +138,36 @@ func BenchmarkSimRefreshOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRefreshOnlyReusable is BenchmarkSimRefreshOnly with an
+// explicit sim.Reusable, isolating the steady-state cost once the event
+// heap is owned by the caller instead of the internal pool.
+func BenchmarkSimRefreshOnlyReusable(b *testing.B) {
+	p := device.Default90nm()
+	prof, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, device.PaperBank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sim.NewReusable(device.PaperBank.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := core.NewVRL(prof, core.Config{Restore: rm})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bank, err := dram.NewBank(prof, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(bank, sched, nil, sim.Options{Duration: 0.768, TCK: p.TCK}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTraceGeneration measures synthesizing one benchmark's trace.
 func BenchmarkTraceGeneration(b *testing.B) {
 	spec, err := trace.FindBenchmark("streamcluster")

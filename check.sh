@@ -18,6 +18,12 @@ go build ./...
 echo "== go test -race =="
 go test -race -shuffle=on -timeout 5m ./...
 
+# Smoke benchmark: one iteration of the hot simulator loop, so a change
+# that breaks the benchmark harness (or regresses it into pathology) fails
+# the gate without paying for a full -bench=. sweep.
+echo "== bench smoke (BenchmarkSimRefreshOnly) =="
+go test -run='^$' -bench='^BenchmarkSimRefreshOnly$' -benchtime=1x -benchmem .
+
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per
 # invocation, hence the loops.

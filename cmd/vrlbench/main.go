@@ -1,0 +1,218 @@
+// Command vrlbench runs the repository's benchmark suite (or parses an
+// existing `go test -bench` transcript) and records the results as a labeled
+// snapshot in a JSON ledger, so performance PRs can commit machine-readable
+// before/after evidence instead of pasted terminal output.
+//
+// Usage:
+//
+//	vrlbench -label after -o BENCH.json                      # run the suite
+//	vrlbench -label after -bench 'Figure4|SimRefreshOnly'    # a subset
+//	vrlbench -label before -parse old-bench.txt -o BENCH.json
+//
+// Snapshots merge into the ledger by label: re-running with the same label
+// replaces that snapshot and leaves the others untouched, so a "before" taken
+// at the base commit survives any number of "after" refreshes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one benchmark line: the three -benchmem metrics.
+type Run struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+}
+
+// Bench aggregates the runs of one benchmark across -count repetitions.
+type Bench struct {
+	Runs         []Run   `json:"runs"`
+	MeanNsOp     float64 `json:"mean_ns_op"`
+	MinNsOp      float64 `json:"min_ns_op"`
+	MeanBOp      float64 `json:"mean_b_op,omitempty"`
+	MeanAllocsOp float64 `json:"mean_allocs_op,omitempty"`
+}
+
+// Snapshot is one labeled benchmark capture.
+type Snapshot struct {
+	Taken      string            `json:"taken"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Command    string            `json:"command,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// Ledger is the file format: snapshots by label.
+type Ledger struct {
+	Snapshots map[string]*Snapshot `json:"snapshots"`
+}
+
+func main() {
+	var (
+		label     = flag.String("label", "", "snapshot label in the ledger (e.g. before, after); required")
+		out       = flag.String("o", "BENCH.json", "ledger file to create or merge into")
+		parse     = flag.String("parse", "", "parse this `go test -bench` transcript instead of running the suite")
+		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		count     = flag.Int("count", 3, "repetitions per benchmark (go test -count)")
+		benchtime = flag.String("benchtime", "2x", "per-benchmark budget (go test -benchtime)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		note      = flag.String("note", "", "free-form note stored with the snapshot")
+	)
+	flag.Parse()
+	if *label == "" {
+		fatal(fmt.Errorf("-label is required"))
+	}
+
+	snap := &Snapshot{
+		Taken:      time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Benchmarks: map[string]*Bench{},
+	}
+
+	var transcript io.Reader
+	if *parse != "" {
+		f, err := os.Open(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		transcript = f
+		snap.Command = "parsed from " + *parse
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-count", strconv.Itoa(*count), "-benchtime", *benchtime, *pkg}
+		snap.Command = "go " + strings.Join(args, " ")
+		fmt.Fprintf(os.Stderr, "vrlbench: %s\n", snap.Command)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			os.Stderr.Write(outBytes)
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		os.Stderr.Write(outBytes) // keep the raw transcript visible
+		transcript = strings.NewReader(string(outBytes))
+	}
+
+	if err := parseTranscript(transcript, snap); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	for _, b := range snap.Benchmarks {
+		b.finalize()
+	}
+
+	ledger := &Ledger{Snapshots: map[string]*Snapshot{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, ledger); err != nil {
+			fatal(fmt.Errorf("existing ledger %s is not valid JSON: %w", *out, err))
+		}
+		if ledger.Snapshots == nil {
+			ledger.Snapshots = map[string]*Snapshot{}
+		}
+	}
+	ledger.Snapshots[*label] = snap
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(snap.Benchmarks))
+	for n := range snap.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("vrlbench: wrote snapshot %q (%d benchmarks) to %s\n", *label, len(names), *out)
+	for _, n := range names {
+		b := snap.Benchmarks[n]
+		fmt.Printf("  %-28s %12.0f ns/op  %10.0f B/op  %8.0f allocs/op  (%d runs)\n",
+			n, b.MeanNsOp, b.MeanBOp, b.MeanAllocsOp, len(b.Runs))
+	}
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseTranscript extracts benchmark lines and environment headers from a
+// `go test -bench` transcript into snap.
+func parseTranscript(r io.Reader, snap *Snapshot) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("parsing %q: %w", line, err)
+		}
+		run := Run{NsOp: ns}
+		if m[3] != "" {
+			run.BOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			run.AllocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		b := snap.Benchmarks[m[1]]
+		if b == nil {
+			b = &Bench{}
+			snap.Benchmarks[m[1]] = b
+		}
+		b.Runs = append(b.Runs, run)
+	}
+	return sc.Err()
+}
+
+func (b *Bench) finalize() {
+	var ns, bytes, allocs float64
+	b.MinNsOp = b.Runs[0].NsOp
+	for _, r := range b.Runs {
+		ns += r.NsOp
+		bytes += float64(r.BOp)
+		allocs += float64(r.AllocsOp)
+		if r.NsOp < b.MinNsOp {
+			b.MinNsOp = r.NsOp
+		}
+	}
+	n := float64(len(b.Runs))
+	b.MeanNsOp = ns / n
+	b.MeanBOp = bytes / n
+	b.MeanAllocsOp = allocs / n
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vrlbench: %v\n", err)
+	os.Exit(1)
+}

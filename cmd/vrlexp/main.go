@@ -26,6 +26,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -36,14 +39,17 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
-		seed     = flag.Int64("seed", 0, "override the deterministic seed (0 = paper default)")
-		duration = flag.Float64("duration", 0, "override the simulation window in seconds (0 = paper default)")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		format   = flag.String("format", "table", "output format: table or csv")
-		timeout  = flag.Duration("timeout", 0, "wall-clock limit per experiment (0 = none)")
-		ckptPath = flag.String("checkpoint", "", "persist completed results to this file (atomic, CRC-checked)")
-		resume   = flag.Bool("resume", false, "reuse completed results from -checkpoint instead of re-running them")
+		expID      = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		seed       = flag.Int64("seed", 0, "override the deterministic seed (0 = paper default)")
+		duration   = flag.Float64("duration", 0, "override the simulation window in seconds (0 = paper default)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		format     = flag.String("format", "table", "output format: table or csv")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit per experiment (0 = none)")
+		ckptPath   = flag.String("checkpoint", "", "persist completed results to this file (atomic, CRC-checked)")
+		resume     = flag.Bool("resume", false, "reuse completed results from -checkpoint instead of re-running them")
+		workers    = flag.Int("workers", 0, "concurrent cells per experiment (0 = GOMAXPROCS; also VRLDRAM_WORKERS env; results are identical for any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
 
@@ -71,6 +77,38 @@ func main() {
 	}
 	if *duration != 0 {
 		cfg.Duration = *duration
+	}
+	cfg.Workers = resolveWorkers(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Stopped explicitly in finish(): os.Exit skips defers, and an
+		// unstopped profile is truncated and unreadable.
+	}
+	finish := func(code int) {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		os.Exit(code)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,7 +169,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "vrlexp: completed results saved to %s; rerun with -resume to continue\n", *ckptPath)
 			}
 		}
-		fatal(err)
+		fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
+		finish(1)
 	}
 	failed := 0
 	for _, res := range results {
@@ -141,8 +180,26 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		os.Exit(4)
+		finish(4)
 	}
+	finish(0)
+}
+
+// resolveWorkers applies the precedence -workers flag > VRLDRAM_WORKERS env >
+// 0 (GOMAXPROCS, resolved inside exp). The env var lets batch scripts pin
+// concurrency without threading a flag through every invocation.
+func resolveWorkers(flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if env := os.Getenv("VRLDRAM_WORKERS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("invalid VRLDRAM_WORKERS %q", env))
+		}
+		return n
+	}
+	return 0
 }
 
 func fatal(err error) {

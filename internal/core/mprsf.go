@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"vrldram/internal/retention"
+)
+
+// mprsfKey identifies one family of MPRSF computations: everything that
+// shapes the partial-refresh recursion except the row's decay factor. Rows,
+// bins, and even whole experiments that share a restore model, guardband,
+// and counter width share one table.
+type mprsfKey struct {
+	alphaPartial float64
+	guardband    float64
+	maxPartials  int
+}
+
+// MPRSFTable memoizes ComputeMPRSF for one (restore model, guardband,
+// counter width) configuration. A row's retention time and refresh period
+// enter the schedule recursion only through the scalar decay factor
+// d = decay.Factor(period, tret), and the recursion's outcome is monotone
+// non-decreasing in d (each scheduled sensing charge is a product/affine
+// chain that grows with d), so the whole function collapses to at most
+// maxPartials threshold values of d. The table finds each threshold once by
+// bisection to exact float64 adjacency; after that, assigning a row costs
+// one decay evaluation plus a scan of <= maxPartials thresholds instead of
+// the full recursion per row.
+//
+// The memoization is exact: MPRSF returns bit-identical results to
+// ComputeMPRSF for every input (the determinism tests in core assert this),
+// so schedulers built through the table are indistinguishable from ones
+// built row by row.
+type MPRSFTable struct {
+	key mprsfKey
+	// thresholds[m-1] is the smallest decay factor admitting at least m
+	// partial refreshes; the slice is non-decreasing and may be shorter than
+	// maxPartials when high counts are unreachable even at d = 1.
+	thresholds []float64
+}
+
+// mprsfTables caches tables process-wide; concurrent sweep cells share them.
+var mprsfTables sync.Map // mprsfKey -> *MPRSFTable
+
+// MPRSFTableFor returns the (cached) memo table for the configuration. Safe
+// for concurrent use; the table itself is immutable once built.
+func MPRSFTableFor(rm RestoreModel, guardband float64, maxPartials int) *MPRSFTable {
+	key := mprsfKey{alphaPartial: rm.AlphaPartial, guardband: guardband, maxPartials: maxPartials}
+	if t, ok := mprsfTables.Load(key); ok {
+		return t.(*MPRSFTable)
+	}
+	t, _ := mprsfTables.LoadOrStore(key, newMPRSFTable(key))
+	return t.(*MPRSFTable)
+}
+
+func newMPRSFTable(key mprsfKey) *MPRSFTable {
+	t := &MPRSFTable{key: key}
+	if key.maxPartials <= 0 {
+		return t
+	}
+	t.thresholds = make([]float64, 0, key.maxPartials)
+	eval := func(d float64) int {
+		return mprsfFromFactor(d, key.alphaPartial, key.guardband, key.maxPartials)
+	}
+	for m := 1; m <= key.maxPartials; m++ {
+		if eval(1) < m {
+			// Not even a decay-free row reaches m partials (the guardband is
+			// at or above 1); higher counts are unreachable too.
+			break
+		}
+		if eval(0) >= m {
+			// Degenerate guardband <= 0: every row gets m partials.
+			t.thresholds = append(t.thresholds, 0)
+			continue
+		}
+		// Bisection invariant: eval(lo) < m <= eval(hi). The loop ends when
+		// the arithmetic midpoint stops separating lo and hi, i.e. they are
+		// adjacent float64 values, so hi is the exact minimal d with
+		// eval(d) >= m.
+		lo, hi := 0.0, 1.0
+		for {
+			mid := lo + (hi-lo)/2
+			if mid <= lo || mid >= hi {
+				break
+			}
+			if eval(mid) >= m {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		t.thresholds = append(t.thresholds, hi)
+	}
+	return t
+}
+
+// MPRSF returns exactly what ComputeMPRSF would for the same inputs, using
+// the memoized thresholds.
+func (t *MPRSFTable) MPRSF(tret, period float64, decay retention.DecayModel) int {
+	if t.key.maxPartials <= 0 || tret <= 0 || period <= 0 {
+		return 0
+	}
+	d := decay.Factor(period, tret)
+	if math.IsNaN(d) || d < 0 || d > 1 {
+		// Outside the table's bisection domain; fall back to the recursion.
+		return mprsfFromFactor(d, t.key.alphaPartial, t.key.guardband, t.key.maxPartials)
+	}
+	m := 0
+	for m < len(t.thresholds) && d >= t.thresholds[m] {
+		m++
+	}
+	return m
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrldram/internal/device"
+	"vrldram/internal/retention"
+)
+
+// TestMPRSFTableMatchesDirect is the exactness contract of the memoization:
+// for every input, the threshold table must return bit-identical results to
+// the direct per-row recursion.
+func TestMPRSFTableMatchesDirect(t *testing.T) {
+	rm, err := PaperRestoreModel(device.Default90nm(), device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decays := []retention.DecayModel{retention.ExpDecay{}, retention.LinearDecay{}}
+	bins := retention.SortedBins(retention.RAIDRBins)
+
+	for _, gb := range []float64{retention.SenseLimit, 0.80, ChargeGuardband, 0.95, 0.999} {
+		for _, maxP := range []int{0, 1, 2, 3, 7, 15} {
+			table := MPRSFTableFor(rm, gb, maxP)
+			rng := rand.New(rand.NewSource(int64(maxP)*1000 + int64(gb*1e6)))
+			for i := 0; i < 2000; i++ {
+				tret := 0.03 + 5*rng.Float64()
+				period := bins[rng.Intn(len(bins))]
+				if i%7 == 0 {
+					period = 0.01 + rng.Float64() // off-bin periods too
+				}
+				for _, decay := range decays {
+					want := ComputeMPRSF(tret, period, rm, decay, gb, maxP)
+					got := table.MPRSF(tret, period, decay)
+					if got != want {
+						t.Fatalf("MPRSFTable(gb=%g, maxP=%d).MPRSF(tret=%v, period=%v, %s) = %d, direct = %d",
+							gb, maxP, tret, period, decay.Name(), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMPRSFTableDegenerate pins the edge cases: non-positive inputs, a
+// guardband above 1 (no partials reachable), and a guardband at 0 (all
+// partials reachable).
+func TestMPRSFTableDegenerate(t *testing.T) {
+	rm, err := PaperRestoreModel(device.Default90nm(), device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decay := retention.ExpDecay{}
+
+	over := newMPRSFTable(mprsfKey{alphaPartial: rm.AlphaPartial, guardband: 1.5, maxPartials: 3})
+	if got := over.MPRSF(1.0, 0.064, decay); got != 0 {
+		t.Fatalf("guardband>1: got %d, want 0", got)
+	}
+	zero := newMPRSFTable(mprsfKey{alphaPartial: rm.AlphaPartial, guardband: 0, maxPartials: 3})
+	if got := zero.MPRSF(1.0, 0.064, decay); got != 3 {
+		t.Fatalf("guardband=0: got %d, want 3", got)
+	}
+	table := MPRSFTableFor(rm, ChargeGuardband, 3)
+	if got := table.MPRSF(0, 0.064, decay); got != 0 {
+		t.Fatalf("tret=0: got %d, want 0", got)
+	}
+	if got := table.MPRSF(1.0, 0, decay); got != 0 {
+		t.Fatalf("period=0: got %d, want 0", got)
+	}
+	if got := table.MPRSF(1.0, 0.064, decay); got != ComputeMPRSF(1.0, 0.064, rm, decay, ChargeGuardband, 3) {
+		t.Fatalf("table disagrees with direct on a nominal row")
+	}
+}

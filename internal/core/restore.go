@@ -130,13 +130,21 @@ func ComputeMPRSF(tret, period float64, rm RestoreModel, decay retention.DecayMo
 	if tret <= 0 || period <= 0 {
 		return 0
 	}
-	// Invariant: at the top of iteration m, v is the charge right after
-	// refresh #m (refresh #0 being the initial full refresh), with refreshes
-	// 1..m scheduled partial. sensed is then the charge refresh #(m+1) reads.
-	// Scheduling p partials requires the sensing at refreshes 1..p+1 (the
-	// last one full) to stay above the guardband, so the first failing index
-	// m+1 caps p at m-1.
-	d := decay.Factor(period, tret)
+	return mprsfFromFactor(decay.Factor(period, tret), rm.AlphaPartial, guardband, maxPartials)
+}
+
+// mprsfFromFactor is the partial-refresh recursion of ComputeMPRSF with the
+// row's per-period decay factor d = decay.Factor(period, tret) already
+// evaluated. The row's retention and refresh period enter the schedule only
+// through d, so everything downstream of it can be shared across rows.
+//
+// Invariant: at the top of iteration m, v is the charge right after refresh
+// #m (refresh #0 being the initial full refresh), with refreshes 1..m
+// scheduled partial. sensed is then the charge refresh #(m+1) reads.
+// Scheduling p partials requires the sensing at refreshes 1..p+1 (the last
+// one full) to stay above the guardband, so the first failing index m+1 caps
+// p at m-1.
+func mprsfFromFactor(d, alphaPartial, guardband float64, maxPartials int) int {
 	v := 1.0
 	for m := 0; m <= maxPartials; m++ {
 		sensed := v * d
@@ -153,7 +161,7 @@ func ComputeMPRSF(tret, period float64, rm RestoreModel, decay retention.DecayMo
 			break
 		}
 		// Refresh m+1 is a partial refresh.
-		v = sensed + (1-sensed)*rm.AlphaPartial
+		v = sensed + (1-sensed)*alphaPartial
 	}
 	return maxPartials
 }

@@ -220,8 +220,9 @@ func newVRL(profile *retention.BankProfile, cfg Config, resetOnAccess bool) (Sch
 		s.name = "VRL-Access"
 	}
 	maxP := cfg.MaxPartials()
+	table := MPRSFTableFor(cfg.Restore, cfg.Guardband, maxP)
 	for r := 0; r < rows; r++ {
-		s.mprsf[r] = ComputeMPRSF(profile.Profiled[r], periods[r], cfg.Restore, cfg.Decay, cfg.Guardband, maxP)
+		s.mprsf[r] = table.MPRSF(profile.Profiled[r], periods[r], cfg.Decay)
 		// Start each counter at a steady-state phase: a controller that has
 		// been running arbitrarily long has its rows uniformly spread over
 		// their full/partial cycle, and a finite simulation window should

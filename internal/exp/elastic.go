@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"vrldram/internal/core"
@@ -41,6 +42,12 @@ func ElasticSweep(cfg Config) (*Result, error) {
 			"postponed", "violations"},
 	}
 	scfg := f.schedConfig()
+	type cell struct {
+		name  string
+		mk    func() (core.Scheduler, error)
+		slack float64
+	}
+	var grid []cell
 	for _, pol := range []struct {
 		name string
 		mk   func() (core.Scheduler, error)
@@ -49,31 +56,41 @@ func ElasticSweep(cfg Config) (*Result, error) {
 		{"VRL", func() (core.Scheduler, error) { return core.NewVRL(f.profile, scfg) }},
 	} {
 		for _, slack := range []float64{0, 0.125} {
-			sched, err := pol.mk()
-			if err != nil {
-				return nil, err
-			}
-			bank, err := dram.NewBank(f.profile, retention.ExpDecay{}, retention.PatternAllZeros)
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := memctrl.Run(bank, sched, reqs, memctrl.Options{
-				Timing:       memctrl.DefaultTiming(),
-				TCK:          cfg.Params.TCK,
-				Duration:     cfg.Duration,
-				ElasticSlack: slack,
-			})
-			if err != nil {
-				return nil, err
-			}
-			r.AddRow(pol.name, fmt.Sprintf("%.3f", slack),
-				fmt.Sprintf("%.1f", st.AvgLatency),
-				fmt.Sprintf("%d", st.P95Latency),
-				fmt.Sprintf("%d", st.MaxLatency),
-				fmt.Sprintf("%d", st.RefreshesPostponed),
-				fmt.Sprintf("%d", st.Violations))
+			grid = append(grid, cell{name: pol.name, mk: pol.mk, slack: slack})
 		}
 	}
+	rows := make([][]string, len(grid))
+	err = forEachCell(cfg, len(grid), func(_ context.Context, i int) error {
+		c := grid[i]
+		sched, err := c.mk()
+		if err != nil {
+			return err
+		}
+		bank, err := dram.NewBank(f.profile, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			return err
+		}
+		st, _, err := memctrl.Run(bank, sched, reqs, memctrl.Options{
+			Timing:       memctrl.DefaultTiming(),
+			TCK:          cfg.Params.TCK,
+			Duration:     cfg.Duration,
+			ElasticSlack: c.slack,
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{c.name, fmt.Sprintf("%.3f", c.slack),
+			fmt.Sprintf("%.1f", st.AvgLatency),
+			fmt.Sprintf("%d", st.P95Latency),
+			fmt.Sprintf("%d", st.MaxLatency),
+			fmt.Sprintf("%d", st.RefreshesPostponed),
+			fmt.Sprintf("%d", st.Violations)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("postponement pulls refreshes off the burst's critical path; VRL then shrinks the refreshes that still land in it")
 	r.AddNote("the next refresh is scheduled from the original due time (no debt accumulation), and the charge guardband absorbs the extra decay - zero violations")
 	return r, nil
@@ -103,6 +120,12 @@ func SALPSweep(cfg Config) (*Result, error) {
 			"stalled by refresh", "violations"},
 	}
 	scfg := f.schedConfig()
+	type cell struct {
+		nSub int
+		name string
+		mk   func() (core.Scheduler, error)
+	}
+	var grid []cell
 	for _, nSub := range []int{1, 2, 8} {
 		for _, pol := range []struct {
 			name string
@@ -111,29 +134,39 @@ func SALPSweep(cfg Config) (*Result, error) {
 			{"RAIDR", func() (core.Scheduler, error) { return core.NewRAIDR(f.profile, scfg) }},
 			{"VRL", func() (core.Scheduler, error) { return core.NewVRL(f.profile, scfg) }},
 		} {
-			sched, err := pol.mk()
-			if err != nil {
-				return nil, err
-			}
-			bank, err := dram.NewBank(f.profile, retention.ExpDecay{}, retention.PatternAllZeros)
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := memctrl.RunSALP(bank, sched, reqs, memctrl.Options{
-				Timing:   memctrl.DefaultTiming(),
-				TCK:      cfg.Params.TCK,
-				Duration: cfg.Duration,
-			}, nSub)
-			if err != nil {
-				return nil, err
-			}
-			r.AddRow(fmt.Sprintf("%d", nSub), pol.name,
-				fmt.Sprintf("%.1f", st.AvgLatency),
-				fmt.Sprintf("%d", st.P95Latency),
-				fmt.Sprintf("%d", st.StalledByRefresh),
-				fmt.Sprintf("%d", st.Violations))
+			grid = append(grid, cell{nSub: nSub, name: pol.name, mk: pol.mk})
 		}
 	}
+	rows := make([][]string, len(grid))
+	err = forEachCell(cfg, len(grid), func(_ context.Context, i int) error {
+		c := grid[i]
+		sched, err := c.mk()
+		if err != nil {
+			return err
+		}
+		bank, err := dram.NewBank(f.profile, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			return err
+		}
+		st, _, err := memctrl.RunSALP(bank, sched, reqs, memctrl.Options{
+			Timing:   memctrl.DefaultTiming(),
+			TCK:      cfg.Params.TCK,
+			Duration: cfg.Duration,
+		}, c.nSub)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{fmt.Sprintf("%d", c.nSub), c.name,
+			fmt.Sprintf("%.1f", st.AvgLatency),
+			fmt.Sprintf("%d", st.P95Latency),
+			fmt.Sprintf("%d", st.StalledByRefresh),
+			fmt.Sprintf("%d", st.Violations)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("more subarrays spread the burst across independent row buffers AND shrink the share of traffic each refresh can block")
 	r.AddNote("SALP and VRL compose: SALP hides refreshes from other subarrays, VRL shortens the blocking inside the refreshed one")
 	r.AddNote("the model is SALP-ideal (no shared-bus serialization), so these are upper bounds on the technique")

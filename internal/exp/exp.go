@@ -21,6 +21,13 @@ type Config struct {
 	Dist     retention.CellDistribution
 	Seed     int64
 	Duration float64 // trace/refresh simulation window (s)
+
+	// Workers bounds the number of concurrent cells an experiment may
+	// evaluate. 0 (the default) means runtime.GOMAXPROCS(0); 1 forces the
+	// historical sequential behavior. Results are identical for every
+	// Workers value: cells are independent and reassembled in submission
+	// order (see forEachCell).
+	Workers int
 }
 
 // Default returns the paper's evaluation configuration: the 90 nm device,

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vrldram/internal/circuit/analytic"
 	"vrldram/internal/circuit/netlists"
@@ -205,17 +206,17 @@ func Table1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: SPICE pre-sense for %s: %w", g, err)
 		}
-		scStart := nowNanotime()
+		scStart := time.Now()
 		scT := sc.TauPre(analytic.PreSenseTargetDefault)
-		scElapsed := nowNanotime() - scStart
+		scElapsed := elapsedNanos(scStart)
 
 		am, err := analytic.New(cfg.Params, g)
 		if err != nil {
 			return nil, err
 		}
-		amStart := nowNanotime()
+		amStart := time.Now()
 		amT := am.TauPre(analytic.PreSenseTargetDefault)
-		amElapsed := nowNanotime() - amStart
+		amElapsed := elapsedNanos(amStart)
 
 		r.AddRow(
 			g.String(),

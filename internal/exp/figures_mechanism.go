@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -8,9 +9,11 @@ import (
 	"vrldram/internal/core"
 	"vrldram/internal/dram"
 	"vrldram/internal/power"
+	"vrldram/internal/profcache"
 	"vrldram/internal/retention"
 	"vrldram/internal/sim"
 	"vrldram/internal/trace"
+	"vrldram/internal/tracecache"
 )
 
 // Figure3a reproduces the paper's Figure 3a: the histogram of cell retention
@@ -87,11 +90,14 @@ func newFig4Setup(cfg Config) (*fig4Setup, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	prof, err := retention.NewPaperProfile(cfg.Dist, cfg.Seed)
+	// Profile and restore model come from the shared process-wide caches:
+	// every experiment (and every cell of a parallel sweep) reuses one
+	// read-only instance instead of resampling 8192 rows per call.
+	prof, err := profcache.PaperProfile(cfg.Dist, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	rm, err := core.PaperRestoreModel(cfg.Params, cfg.Geom)
+	rm, err := profcache.PaperRestoreModel(cfg.Params, cfg.Geom)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +111,12 @@ func newFig4Setup(cfg Config) (*fig4Setup, error) {
 
 // run simulates one scheduler against one trace source on a fresh bank.
 func (f *fig4Setup) run(mk func() (core.Scheduler, error), src trace.Source) (sim.Stats, error) {
+	return f.runCtx(context.Background(), mk, src)
+}
+
+// runCtx is run with cancellation: parallel sweep cells pass the pool's
+// context so a failed sibling aborts in-flight simulations.
+func (f *fig4Setup) runCtx(ctx context.Context, mk func() (core.Scheduler, error), src trace.Source) (sim.Stats, error) {
 	sched, err := mk()
 	if err != nil {
 		return sim.Stats{}, err
@@ -113,7 +125,7 @@ func (f *fig4Setup) run(mk func() (core.Scheduler, error), src trace.Source) (si
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	return sim.Run(bank, sched, src, f.opts)
+	return sim.RunContext(ctx, bank, sched, src, f.opts)
 }
 
 func (f *fig4Setup) schedConfig() core.Config {
@@ -144,22 +156,35 @@ func Figure4(cfg Config) (*Result, error) {
 		Title:   "Refresh performance overhead with real traces (normalized to RAIDR)",
 		Headers: []string{"benchmark", "RAIDR", "VRL", "VRL-Access", "violations"},
 	}
-	var sumVA float64
+	// Each benchmark's VRL-Access run is independent: fan the cells out on
+	// the worker pool, writing results into per-index slots so the table is
+	// identical for every worker count.
 	benches := trace.PARSEC()
-	for _, b := range benches {
-		recs, err := b.Generate(cfg.Geom.Rows, cfg.Duration, cfg.Seed)
+	rows := make([][]string, len(benches))
+	ratios := make([]float64, len(benches))
+	err = forEachCell(cfg, len(benches), func(ctx context.Context, i int) error {
+		b := benches[i]
+		src, err := tracecache.Source(b, cfg.Geom.Rows, cfg.Duration, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		va, err := f.run(func() (core.Scheduler, error) { return core.NewVRLAccess(f.profile, scfg) },
-			trace.NewSliceSource(recs))
+		va, err := f.runCtx(ctx, func() (core.Scheduler, error) { return core.NewVRLAccess(f.profile, scfg) }, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ratio := float64(va.BusyCycles) / float64(raidr.BusyCycles)
-		sumVA += ratio
-		r.AddRow(b.Name, "1.000", fmt.Sprintf("%.3f", vrlRatio), fmt.Sprintf("%.3f", ratio),
-			fmt.Sprintf("%d", va.Violations+vrl.Violations+raidr.Violations))
+		ratios[i] = ratio
+		rows[i] = []string{b.Name, "1.000", fmt.Sprintf("%.3f", vrlRatio), fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%d", va.Violations+vrl.Violations+raidr.Violations)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumVA float64
+	for i := range benches {
+		sumVA += ratios[i]
+		r.Rows = append(r.Rows, rows[i])
 	}
 	avgVA := sumVA / float64(len(benches))
 	r.AddRow("average", "1.000", fmt.Sprintf("%.3f", vrlRatio), fmt.Sprintf("%.3f", avgVA), "")
@@ -256,32 +281,44 @@ func TauPartialSweep(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bestRatio, bestTau := 1.0, 0
-	for tp := 8; tp <= 18; tp++ {
-		rm, err := core.RestoreModelFor(cfg.Params, cfg.Geom, tp)
+	const tpLo, tpHi = 8, 18
+	n := tpHi - tpLo + 1
+	rows := make([][]string, n)
+	ratios := make([]float64, n)
+	err = forEachCell(cfg, n, func(ctx context.Context, i int) error {
+		tp := tpLo + i
+		rm, err := profcache.RestoreModelFor(cfg.Params, cfg.Geom, tp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scfg := core.Config{Restore: rm}
-		st, err := f.run(func() (core.Scheduler, error) { return core.NewVRL(f.profile, scfg) }, nil)
+		st, err := f.runCtx(ctx, func() (core.Scheduler, error) { return core.NewVRL(f.profile, scfg) }, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sched, err := core.NewVRL(f.profile, scfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hist := core.MPRSFHistogram(sched, cfg.Geom.Rows)
 		withPartials := 0
 		for m := 1; m < len(hist); m++ {
 			withPartials += hist[m]
 		}
-		ratio := float64(st.BusyCycles) / float64(raidr.BusyCycles)
-		if ratio < bestRatio {
-			bestRatio, bestTau = ratio, tp
+		ratios[i] = float64(st.BusyCycles) / float64(raidr.BusyCycles)
+		rows[i] = []string{fmt.Sprintf("%d", tp), fmt.Sprintf("%.3f", rm.AlphaPartial),
+			fmt.Sprintf("%d", withPartials), fmt.Sprintf("%.3f", ratios[i])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bestRatio, bestTau := 1.0, 0
+	for i := 0; i < n; i++ {
+		if ratios[i] < bestRatio {
+			bestRatio, bestTau = ratios[i], tpLo+i
 		}
-		r.AddRow(fmt.Sprintf("%d", tp), fmt.Sprintf("%.3f", rm.AlphaPartial),
-			fmt.Sprintf("%d", withPartials), fmt.Sprintf("%.3f", ratio))
+		r.Rows = append(r.Rows, rows[i])
 	}
 	r.AddNote("best tau_partial: %d cycles at VRL/RAIDR = %.3f (paper operating point: 11 cycles)", bestTau, bestRatio)
 	return r, nil
@@ -305,26 +342,34 @@ func GuardbandSweep(cfg Config) (*Result, error) {
 		Title:   "Guardband vs overhead and safety (worst-case stored pattern)",
 		Headers: []string{"guardband", "VRL/RAIDR", "violations (worst pattern)"},
 	}
-	for _, gb := range []float64{0.95, 0.90, 0.86, 0.80, 0.70, 0.60, 0.52} {
+	guardbands := []float64{0.95, 0.90, 0.86, 0.80, 0.70, 0.60, 0.52}
+	rows := make([][]string, len(guardbands))
+	err = forEachCell(cfg, len(guardbands), func(ctx context.Context, i int) error {
+		gb := guardbands[i]
 		scfg := core.Config{Restore: f.rm, Guardband: gb}
 		sched, err := core.NewVRL(f.profile, scfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Worst case: the bank stores the alternating pattern, the paper's
 		// most leaky configuration.
 		bank, err := dram.NewBank(f.profile, retention.ExpDecay{}, retention.PatternAlternating)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		st, err := sim.Run(bank, sched, nil, f.opts)
+		st, err := sim.RunContext(ctx, bank, sched, nil, f.opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r.AddRow(fmt.Sprintf("%.2f", gb),
+		rows[i] = []string{fmt.Sprintf("%.2f", gb),
 			fmt.Sprintf("%.3f", float64(st.BusyCycles)/float64(raidr.BusyCycles)),
-			fmt.Sprintf("%d", st.Violations))
+			fmt.Sprintf("%d", st.Violations)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("the default guardband (%.2f) keeps the worst pattern violation-free; aggressive guardbands trade safety for overhead", core.ChargeGuardband)
 	return r, nil
 }
@@ -346,20 +391,27 @@ func NBitsSweep(cfg Config) (*Result, error) {
 		Title:   "Counter width vs overhead and area",
 		Headers: []string{"nbits", "max partials", "VRL/RAIDR", "logic area (um^2)"},
 	}
-	for nb := 1; nb <= 4; nb++ {
+	rows := make([][]string, 4)
+	err = forEachCell(cfg, 4, func(ctx context.Context, i int) error {
+		nb := i + 1
 		scfg := core.Config{Restore: f.rm, NBits: nb}
-		st, err := f.run(func() (core.Scheduler, error) { return core.NewVRL(f.profile, scfg) }, nil)
+		st, err := f.runCtx(ctx, func() (core.Scheduler, error) { return core.NewVRL(f.profile, scfg) }, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		la, err := am.LogicArea(nb)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r.AddRow(fmt.Sprintf("%d", nb), fmt.Sprintf("%d", scfg.MaxPartials()),
+		rows[i] = []string{fmt.Sprintf("%d", nb), fmt.Sprintf("%d", scfg.MaxPartials()),
 			fmt.Sprintf("%.3f", float64(st.BusyCycles)/float64(raidr.BusyCycles)),
-			fmt.Sprintf("%.0f", la))
+			fmt.Sprintf("%.0f", la)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("the paper evaluates nbits = 2: most of the benefit at the lowest cost")
 	return r, nil
 }
@@ -376,11 +428,13 @@ func DecaySweep(cfg Config) (*Result, error) {
 		Title:   "Leakage law vs MPRSF assignment",
 		Headers: []string{"decay model", "rows m=0", "rows m=max", "mean MPRSF"},
 	}
-	for _, decay := range []retention.DecayModel{retention.ExpDecay{}, retention.LinearDecay{}} {
-		scfg := core.Config{Restore: f.rm, Decay: decay}
+	decays := []retention.DecayModel{retention.ExpDecay{}, retention.LinearDecay{}}
+	rows := make([][]string, len(decays))
+	err = forEachCell(cfg, len(decays), func(_ context.Context, i int) error {
+		scfg := core.Config{Restore: f.rm, Decay: decays[i]}
 		sched, err := core.NewVRL(f.profile, scfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hist := core.MPRSFHistogram(sched, cfg.Geom.Rows)
 		var total, count int
@@ -392,9 +446,14 @@ func DecaySweep(cfg Config) (*Result, error) {
 		if len(hist) > 0 {
 			mMax = hist[len(hist)-1]
 		}
-		r.AddRow(decay.Name(), fmt.Sprintf("%d", hist[0]), fmt.Sprintf("%d", mMax),
-			fmt.Sprintf("%.2f", float64(total)/float64(count)))
+		rows[i] = []string{decays[i].Name(), fmt.Sprintf("%d", hist[0]), fmt.Sprintf("%d", mMax),
+			fmt.Sprintf("%.2f", float64(total)/float64(count))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("exponential decay loses charge faster early in the period, so it is the conservative law: linear assigns weakly higher MPRSF")
 	return r, nil
 }
@@ -422,27 +481,35 @@ func CoverageSweep(cfg Config) (*Result, error) {
 		Headers: []string{"coverage", "VRL-Access/RAIDR", "gain vs VRL"},
 	}
 	vrlRatio := float64(vrl.BusyCycles) / float64(raidr.BusyCycles)
-	for _, cov := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+	coverages := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	rows := make([][]string, len(coverages))
+	err = forEachCell(cfg, len(coverages), func(ctx context.Context, i int) error {
+		cov := coverages[i]
 		spec := trace.BenchmarkSpec{
 			Name: fmt.Sprintf("sweep-%.0f%%", cov*100), FootprintFrac: maxf(cov, 0.001),
 			SweepFrac: 1, HotRows: 0, HotAccessesPerWindow: 0, ZipfS: 1, WriteFrac: 0,
 		}
-		recs, err := spec.Generate(cfg.Geom.Rows, cfg.Duration, cfg.Seed)
-		if err != nil {
-			return nil, err
+		var src trace.Source = trace.Empty{}
+		if cov > 0 {
+			s, err := tracecache.Source(spec, cfg.Geom.Rows, cfg.Duration, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			src = s
 		}
-		var src trace.Source = trace.NewSliceSource(recs)
-		if cov == 0 {
-			src = trace.Empty{}
-		}
-		va, err := f.run(func() (core.Scheduler, error) { return core.NewVRLAccess(f.profile, scfg) }, src)
+		va, err := f.runCtx(ctx, func() (core.Scheduler, error) { return core.NewVRLAccess(f.profile, scfg) }, src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ratio := float64(va.BusyCycles) / float64(raidr.BusyCycles)
-		r.AddRow(fmt.Sprintf("%.0f%%", cov*100), fmt.Sprintf("%.3f", ratio),
-			fmt.Sprintf("%.3f", vrlRatio-ratio))
+		rows[i] = []string{fmt.Sprintf("%.0f%%", cov*100), fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%.3f", vrlRatio-ratio)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("VRL/RAIDR without accesses: %.3f; VRL-Access converges to it at zero coverage and improves monotonically with coverage", vrlRatio)
 	return r, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"vrldram/internal/core"
@@ -8,6 +9,7 @@ import (
 	"vrldram/internal/memctrl"
 	"vrldram/internal/retention"
 	"vrldram/internal/trace"
+	"vrldram/internal/tracecache"
 )
 
 // PerfImpact is the evaluation extension DESIGN.md calls out: it runs the
@@ -34,14 +36,19 @@ func PerfImpact(cfg Config) (*Result, error) {
 	}
 	benchNames := []string{"swaptions", "facesim", "streamcluster", "bgsave"}
 	scfg := core.Config{Restore: f.rm}
-	for _, name := range benchNames {
+	// Each benchmark is an independent cell (its own trace, its own four
+	// controller runs); fan the benchmarks out on the worker pool and stitch
+	// the per-benchmark row blocks back together in name order.
+	blocks := make([][][]string, len(benchNames))
+	err = forEachCell(cfg, len(benchNames), func(_ context.Context, bi int) error {
+		name := benchNames[bi]
 		spec, err := trace.FindBenchmark(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		recs, err := spec.Generate(cfg.Geom.Rows, cfg.Duration, cfg.Seed)
+		recs, err := tracecache.Records(spec, cfg.Geom.Rows, cfg.Duration, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reqs := memctrl.RequestsFromTrace(recs, cfg.Params.TCK)
 
@@ -67,7 +74,7 @@ func PerfImpact(cfg Config) (*Result, error) {
 		// ends before the first refresh sensing, so the comparison is pure.)
 		base, err := run(func() (core.Scheduler, error) { return core.NewJEDEC(10*cfg.Duration, f.rm) })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, mk := range []func() (core.Scheduler, error){
 			func() (core.Scheduler, error) { return core.NewRAIDR(f.profile, scfg) },
@@ -76,20 +83,27 @@ func PerfImpact(cfg Config) (*Result, error) {
 		} {
 			st, err := run(mk)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if st.Violations != 0 {
-				return nil, fmt.Errorf("exp: %s/%s: %d integrity violations", name, st.Scheduler, st.Violations)
+				return fmt.Errorf("exp: %s/%s: %d integrity violations", name, st.Scheduler, st.Violations)
 			}
 			// Refresh-induced delay in millicycles per request.
 			delay := (st.AvgLatency - base.AvgLatency) * 1000
-			r.AddRow(name, st.Scheduler,
+			blocks[bi] = append(blocks[bi], []string{name, st.Scheduler,
 				fmt.Sprintf("%.2f", st.AvgLatency),
 				fmt.Sprintf("%.1f", delay),
 				fmt.Sprintf("%d", st.MaxLatency),
 				fmt.Sprintf("%d", st.RefreshBusyCycles),
-				fmt.Sprintf("%d", st.StalledByRefresh))
+				fmt.Sprintf("%d", st.StalledByRefresh)})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, block := range blocks {
+		r.Rows = append(r.Rows, block...)
 	}
 	r.AddNote("'refresh delay' is the average latency added by refresh relative to a no-refresh baseline, in millicycles per request")
 	r.AddNote("per-row refreshes make the average effect small (refresh overhead is <0.1%% of time at this granularity); the savings concentrate in the tail (max latency) and scale with chip density")

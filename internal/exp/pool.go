@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// workers resolves the effective worker count for this config: Workers if
+// positive, else GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachCell is the experiment fan-out primitive. It evaluates fn(i) for
+// every i in [0, n) on a bounded pool of cfg.workers() goroutines and
+// returns the first error (by submission index order is NOT guaranteed for
+// errors; the first error to occur wins and cancels the rest via ctx).
+//
+// Determinism contract: fn must write its output into a preallocated slot
+// for index i (typically cells[i] of a slice the caller owns) and must not
+// depend on evaluation order or shared mutable state. Under that contract
+// the assembled output is byte-identical for every worker count, including
+// Workers=1, because reassembly happens by index, not by completion order.
+//
+// fn receives a context it should propagate to cancellable work; after the
+// first failure remaining queued indices are skipped and in-flight cells may
+// observe ctx cancellation.
+func forEachCell(cfg Config, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Sequential fast path: no goroutines, no channels, deterministic
+		// by construction. Keeps Workers=1 behavior (and stack traces)
+		// identical to the pre-parallel harness.
+		ctx := context.Background()
+		for i := 0; i < n; i++ {
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	idx := make(chan int)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain without working once cancelled
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

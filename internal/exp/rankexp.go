@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"vrldram/internal/core"
 	"vrldram/internal/memctrl"
+	"vrldram/internal/profcache"
 	"vrldram/internal/rank"
 	"vrldram/internal/retention"
 	"vrldram/internal/trace"
+	"vrldram/internal/tracecache"
 )
 
 // RankSweep compares refresh command granularities across a rank of banks:
@@ -20,7 +23,7 @@ func RankSweep(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rm, err := core.PaperRestoreModel(cfg.Params, cfg.Geom)
+	rm, err := profcache.PaperRestoreModel(cfg.Params, cfg.Geom)
 	if err != nil {
 		return nil, err
 	}
@@ -48,30 +51,52 @@ func RankSweep(cfg Config) (*Result, error) {
 			return core.NewVRL(p, core.Config{Restore: rm})
 		}},
 	}
-	busy := map[string]int64{}
+	// Flatten the mode x policy grid into independent cells; each cell
+	// builds its own rank (banks and schedulers are stateful), so cells
+	// share nothing mutable.
+	type cell struct {
+		mode rank.Mode
+		pol  policy
+	}
+	var grid []cell
 	for _, mode := range []rank.Mode{rank.PerBank, rank.AllBank} {
 		for _, pol := range policies {
-			banks, scheds, err := rank.NewRank(nBanks, cfg.Dist, rows, cfg.Geom.Cols, cfg.Seed, pol.mk)
-			if err != nil {
-				return nil, err
-			}
-			st, err := rank.Run(banks, scheds, rank.Options{
-				Mode: mode, Duration: cfg.Duration, TCK: cfg.Params.TCK,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if st.Violations != 0 {
-				return nil, fmt.Errorf("exp: rank %s/%s: %d violations", mode, pol.name, st.Violations)
-			}
-			busy[mode.String()+pol.name] = st.BankBusyCycles
-			r.AddRow(mode.String(), pol.name,
-				fmt.Sprintf("%d", st.RefreshCommands),
-				fmt.Sprintf("%d", st.FullCommands),
-				fmt.Sprintf("%d", st.PartialCommands),
-				fmt.Sprintf("%d", st.BankBusyCycles),
-				fmt.Sprintf("%d", st.RankBlockedCycles))
+			grid = append(grid, cell{mode, pol})
 		}
+	}
+	rowsOut := make([][]string, len(grid))
+	busyOut := make([]int64, len(grid))
+	err = forEachCell(cfg, len(grid), func(_ context.Context, i int) error {
+		mode, pol := grid[i].mode, grid[i].pol
+		banks, scheds, err := rank.NewRank(nBanks, cfg.Dist, rows, cfg.Geom.Cols, cfg.Seed, pol.mk)
+		if err != nil {
+			return err
+		}
+		st, err := rank.Run(banks, scheds, rank.Options{
+			Mode: mode, Duration: cfg.Duration, TCK: cfg.Params.TCK,
+		})
+		if err != nil {
+			return err
+		}
+		if st.Violations != 0 {
+			return fmt.Errorf("exp: rank %s/%s: %d violations", mode, pol.name, st.Violations)
+		}
+		busyOut[i] = st.BankBusyCycles
+		rowsOut[i] = []string{mode.String(), pol.name,
+			fmt.Sprintf("%d", st.RefreshCommands),
+			fmt.Sprintf("%d", st.FullCommands),
+			fmt.Sprintf("%d", st.PartialCommands),
+			fmt.Sprintf("%d", st.BankBusyCycles),
+			fmt.Sprintf("%d", st.RankBlockedCycles)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	busy := map[string]int64{}
+	for i, c := range grid {
+		busy[c.mode.String()+c.pol.name] = busyOut[i]
+		r.Rows = append(r.Rows, rowsOut[i])
 	}
 	perVRL := float64(busy["per-bankVRL"]) / float64(busy["per-bankRAIDR"])
 	allVRL := float64(busy["all-bankVRL"]) / float64(busy["all-bankRAIDR"])
@@ -88,7 +113,7 @@ func RankPerfSweep(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rm, err := core.PaperRestoreModel(cfg.Params, cfg.Geom)
+	rm, err := profcache.PaperRestoreModel(cfg.Params, cfg.Geom)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +124,7 @@ func RankPerfSweep(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := spec.Generate(nBanks*rows, cfg.Duration, cfg.Seed)
+	recs, err := tracecache.Records(spec, nBanks*rows, cfg.Duration, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -111,8 +136,34 @@ func RankPerfSweep(cfg Config) (*Result, error) {
 		Headers: []string{"granularity", "scheduler", "avg lat (cyc)", "refresh delay (mcyc)",
 			"max (cyc)", "refresh busy"},
 	}
-	var baseAvg float64
-	first := true
+	// Reference: a run with the same traffic and no refresh at all, to
+	// express each configuration's refresh-induced delay in millicycles per
+	// request. Hoisted ahead of the fan-out so every cell reads the same
+	// immutable baseline.
+	banksB, schedsB, err := rank.NewRank(nBanks, cfg.Dist, rows, cfg.Geom.Cols, cfg.Seed,
+		func(*retention.BankProfile) (core.Scheduler, error) {
+			return core.NewJEDEC(10*cfg.Duration, rm)
+		})
+	if err != nil {
+		return nil, err
+	}
+	base, _, err := memctrl.RunMulti(banksB, schedsB, reqs, memctrl.MultiOptions{
+		Timing: memctrl.DefaultTiming(), TCK: cfg.Params.TCK,
+		Duration: cfg.Duration, Granularity: memctrl.PerBankRefresh,
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseAvg := base.AvgLatency
+
+	type cell struct {
+		g   memctrl.RefreshGranularity
+		pol struct {
+			name string
+			mk   func(*retention.BankProfile) (core.Scheduler, error)
+		}
+	}
+	var grid []cell
 	for _, g := range []memctrl.RefreshGranularity{memctrl.PerBankRefresh, memctrl.AllBankRefresh} {
 		for _, pol := range []struct {
 			name string
@@ -125,50 +176,39 @@ func RankPerfSweep(cfg Config) (*Result, error) {
 				return core.NewVRL(p, core.Config{Restore: rm})
 			}},
 		} {
-			banks, scheds, err := rank.NewRank(nBanks, cfg.Dist, rows, cfg.Geom.Cols, cfg.Seed, pol.mk)
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := memctrl.RunMulti(banks, scheds, reqs, memctrl.MultiOptions{
-				Timing:      memctrl.DefaultTiming(),
-				TCK:         cfg.Params.TCK,
-				Duration:    cfg.Duration,
-				Granularity: g,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if st.Violations != 0 {
-				return nil, fmt.Errorf("exp: rankperf %s/%s: %d violations", g, pol.name, st.Violations)
-			}
-			if first {
-				// Reference: a run with the same traffic and no refresh at
-				// all, to express each configuration's refresh-induced
-				// delay in millicycles per request.
-				banksB, schedsB, err := rank.NewRank(nBanks, cfg.Dist, rows, cfg.Geom.Cols, cfg.Seed,
-					func(*retention.BankProfile) (core.Scheduler, error) {
-						return core.NewJEDEC(10*cfg.Duration, rm)
-					})
-				if err != nil {
-					return nil, err
-				}
-				base, _, err := memctrl.RunMulti(banksB, schedsB, reqs, memctrl.MultiOptions{
-					Timing: memctrl.DefaultTiming(), TCK: cfg.Params.TCK,
-					Duration: cfg.Duration, Granularity: memctrl.PerBankRefresh,
-				})
-				if err != nil {
-					return nil, err
-				}
-				baseAvg = base.AvgLatency
-				first = false
-			}
-			r.AddRow(g.String(), pol.name,
-				fmt.Sprintf("%.2f", st.AvgLatency),
-				fmt.Sprintf("%.1f", (st.AvgLatency-baseAvg)*1000),
-				fmt.Sprintf("%d", st.MaxLatency),
-				fmt.Sprintf("%d", st.RefreshBusyCycles))
+			grid = append(grid, cell{g: g, pol: pol})
 		}
 	}
+	rowsOut := make([][]string, len(grid))
+	err = forEachCell(cfg, len(grid), func(_ context.Context, i int) error {
+		g, pol := grid[i].g, grid[i].pol
+		banks, scheds, err := rank.NewRank(nBanks, cfg.Dist, rows, cfg.Geom.Cols, cfg.Seed, pol.mk)
+		if err != nil {
+			return err
+		}
+		st, _, err := memctrl.RunMulti(banks, scheds, reqs, memctrl.MultiOptions{
+			Timing:      memctrl.DefaultTiming(),
+			TCK:         cfg.Params.TCK,
+			Duration:    cfg.Duration,
+			Granularity: g,
+		})
+		if err != nil {
+			return err
+		}
+		if st.Violations != 0 {
+			return fmt.Errorf("exp: rankperf %s/%s: %d violations", g, pol.name, st.Violations)
+		}
+		rowsOut[i] = []string{g.String(), pol.name,
+			fmt.Sprintf("%.2f", st.AvgLatency),
+			fmt.Sprintf("%.1f", (st.AvgLatency-baseAvg)*1000),
+			fmt.Sprintf("%d", st.MaxLatency),
+			fmt.Sprintf("%d", st.RefreshBusyCycles)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, rowsOut...)
 	r.AddNote("all-bank commands hold every bank for the slowest bank's operation at the weakest bank's rate: more busy cycles and a heavier latency tail")
 	r.AddNote("per-bank refresh keeps bank-level parallelism alive, which is what lets VRL's shorter operations translate into latency")
 	return r, nil

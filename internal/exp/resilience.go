@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"vrldram/internal/core"
@@ -100,57 +101,74 @@ func Resilience(cfg Config) (*Result, error) {
 			"faults inj.", "alarms", "demotions", "escalations", "breaker trips", "degraded ms"},
 	}
 
+	// Every (fault, policy) pairing is its own seeded campaign with its own
+	// bank and scheduler stack; fan the full grid out on the worker pool.
+	type cell struct {
+		tc  resilienceCase
+		pol policy
+	}
+	var grid []cell
 	for _, tc := range cases {
 		for _, pol := range policies {
-			schedProf, bankProf, vrt, refresh, err := tc.prepare(f.profile)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s: %w", tc.name, err)
-			}
-			sched, err := pol.build(schedProf)
-			if err != nil {
-				return nil, err
-			}
-			var faultCfg fault.RefreshFaults
-			if refresh {
-				faultCfg = fault.DefaultRefreshFaults(seed + 3)
-				inj, err := fault.InjectRefreshFaults(sched, faultCfg)
-				if err != nil {
-					return nil, err
-				}
-				sched = inj
-			}
-			bank, err := dram.NewBank(bankProf, retention.ExpDecay{}, retention.PatternAllZeros)
-			if err != nil {
-				return nil, err
-			}
-			if vrt != nil {
-				if err := bank.SetVRT(vrt); err != nil {
-					return nil, err
-				}
-			}
-			st, err := sim.Run(bank, sched, nil, f.opts)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s/%s: %w", tc.name, pol.name, err)
-			}
-			row := []string{
-				tc.name, pol.name,
-				fmt.Sprintf("%d", st.Violations),
-				fmt.Sprintf("%.3f", 100*st.OverheadFraction(cfg.Params.TCK)),
-				fmt.Sprintf("%d", st.FaultsInjected),
-			}
-			if pol.guarded {
-				row = append(row,
-					fmt.Sprintf("%d", st.Guard.Alarms),
-					fmt.Sprintf("%d", st.Guard.Demotions),
-					fmt.Sprintf("%d", st.Guard.Escalations),
-					fmt.Sprintf("%d", st.Guard.BreakerTrips),
-					fmt.Sprintf("%.1f", 1000*st.Guard.TimeDegraded))
-			} else {
-				row = append(row, "-", "-", "-", "-", "-")
-			}
-			r.Rows = append(r.Rows, row)
+			grid = append(grid, cell{tc, pol})
 		}
 	}
+	rows := make([][]string, len(grid))
+	err = forEachCell(cfg, len(grid), func(ctx context.Context, i int) error {
+		tc, pol := grid[i].tc, grid[i].pol
+		schedProf, bankProf, vrt, refresh, err := tc.prepare(f.profile)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", tc.name, err)
+		}
+		sched, err := pol.build(schedProf)
+		if err != nil {
+			return err
+		}
+		var faultCfg fault.RefreshFaults
+		if refresh {
+			faultCfg = fault.DefaultRefreshFaults(seed + 3)
+			inj, err := fault.InjectRefreshFaults(sched, faultCfg)
+			if err != nil {
+				return err
+			}
+			sched = inj
+		}
+		bank, err := dram.NewBank(bankProf, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			return err
+		}
+		if vrt != nil {
+			if err := bank.SetVRT(vrt); err != nil {
+				return err
+			}
+		}
+		st, err := sim.RunContext(ctx, bank, sched, nil, f.opts)
+		if err != nil {
+			return fmt.Errorf("exp: %s/%s: %w", tc.name, pol.name, err)
+		}
+		row := []string{
+			tc.name, pol.name,
+			fmt.Sprintf("%d", st.Violations),
+			fmt.Sprintf("%.3f", 100*st.OverheadFraction(cfg.Params.TCK)),
+			fmt.Sprintf("%d", st.FaultsInjected),
+		}
+		if pol.guarded {
+			row = append(row,
+				fmt.Sprintf("%d", st.Guard.Alarms),
+				fmt.Sprintf("%d", st.Guard.Demotions),
+				fmt.Sprintf("%d", st.Guard.Escalations),
+				fmt.Sprintf("%d", st.Guard.BreakerTrips),
+				fmt.Sprintf("%.1f", 1000*st.Guard.TimeDegraded))
+		} else {
+			row = append(row, "-", "-", "-", "-", "-")
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, rows...)
 
 	r.AddNote("faults are deterministic (seed %d): profile mis-binning places rows one bin slower than they sustain; weak cells and the temperature excursion erode true retention behind the profile's back; truncated refreshes deliver half-strength restores", seed)
 	r.AddNote("the guard starts every row on probation at the 32 ms floor and promotes one rung per clean-sense streak, so its overhead includes the probation tax of the %.0f ms window", 1000*cfg.Duration)

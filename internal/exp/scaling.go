@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"vrldram/internal/core"
 	"vrldram/internal/device"
 	"vrldram/internal/dram"
+	"vrldram/internal/profcache"
 	"vrldram/internal/retention"
 	"vrldram/internal/sim"
 )
@@ -39,7 +41,7 @@ func TemperatureSweep(cfg Config) (*Result, error) {
 		Headers: []string{"temp (C)", "static: violations", "compensated: violations",
 			"compensated VRL/RAIDR@85C"},
 	}
-	run := func(schedProfile, bankProfile *retention.BankProfile) (sim.Stats, error) {
+	run := func(ctx context.Context, schedProfile, bankProfile *retention.BankProfile) (sim.Stats, error) {
 		sched, err := core.NewVRL(schedProfile, scfg)
 		if err != nil {
 			return sim.Stats{}, err
@@ -48,28 +50,36 @@ func TemperatureSweep(cfg Config) (*Result, error) {
 		if err != nil {
 			return sim.Stats{}, err
 		}
-		return sim.Run(bank, sched, nil, f.opts)
+		return sim.RunContext(ctx, bank, sched, nil, f.opts)
 	}
-	for _, tempC := range []float64{45, 65, 85, 95} {
+	temps := []float64{45, 65, 85, 95}
+	rows := make([][]string, len(temps))
+	err = forEachCell(cfg, len(temps), func(ctx context.Context, i int) error {
+		tempC := temps[i]
 		atTemp := tm.AtTemperature(f.profile, tempC)
-		static, err := run(f.profile, atTemp)
+		static, err := run(ctx, f.profile, atTemp)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Above the profiling temperature some rows fall below the fastest
 		// supported bin; a real controller clamps them there (and loses
 		// data, which the violations column shows). Below it, clamping is a
 		// no-op.
 		schedProfile := clampProfile(atTemp, retention.RAIDRBins[0])
-		comp, err := run(schedProfile, atTemp)
+		comp, err := run(ctx, schedProfile, atTemp)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r.AddRow(fmt.Sprintf("%.0f", tempC),
+		rows[i] = []string{fmt.Sprintf("%.0f", tempC),
 			fmt.Sprintf("%d", static.Violations),
 			fmt.Sprintf("%d", comp.Violations),
-			fmt.Sprintf("%.3f", float64(comp.BusyCycles)/float64(raidr.BusyCycles)))
+			fmt.Sprintf("%.3f", float64(comp.BusyCycles)/float64(raidr.BusyCycles))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.AddNote("at or below the 85C profiling temperature the static profile is safe; above it, it loses data")
 	r.AddNote("temperature-compensated binning converts thermal margin into fewer/cheaper refreshes (the ratio column is against 85C RAIDR)")
 	r.AddNote("at 95C even the fastest bin cannot save the weakest rows (clamped rows still violate): the chip is out of its rated range")
@@ -101,7 +111,7 @@ func DensitySweep(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rm, err := core.PaperRestoreModel(cfg.Params, cfg.Geom)
+	rm, err := profcache.PaperRestoreModel(cfg.Params, cfg.Geom)
 	if err != nil {
 		return nil, err
 	}
@@ -111,11 +121,14 @@ func DensitySweep(cfg Config) (*Result, error) {
 		Headers: []string{"rows", "JEDEC %time", "RAIDR %time", "VRL %time", "VRL saving vs RAIDR"},
 	}
 	opts := sim.Options{Duration: cfg.Duration, TCK: cfg.Params.TCK}
-	for _, rows := range []int{4096, 8192, 16384, 32768} {
+	rowCounts := []int{4096, 8192, 16384, 32768}
+	cells := make([][]string, len(rowCounts))
+	err = forEachCell(cfg, len(rowCounts), func(ctx context.Context, i int) error {
+		rows := rowCounts[i]
 		geom := device.BankGeometry{Rows: rows, Cols: cfg.Geom.Cols}
-		profile, err := retention.NewSampledProfile(geom, cfg.Dist, cfg.Seed)
+		profile, err := profcache.SampledProfile(geom, cfg.Dist, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run := func(mk func() (core.Scheduler, error)) (sim.Stats, error) {
 			sched, err := mk()
@@ -126,30 +139,35 @@ func DensitySweep(cfg Config) (*Result, error) {
 			if err != nil {
 				return sim.Stats{}, err
 			}
-			return sim.Run(bank, sched, nil, opts)
+			return sim.RunContext(ctx, bank, sched, nil, opts)
 		}
 		scfg := core.Config{Restore: rm}
 		jed, err := run(func() (core.Scheduler, error) { return core.NewJEDEC(cfg.Params.TRetNom, rm) })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		raidr, err := run(func() (core.Scheduler, error) { return core.NewRAIDR(profile, scfg) })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vrl, err := run(func() (core.Scheduler, error) { return core.NewVRL(profile, scfg) })
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if jed.Violations+raidr.Violations+vrl.Violations != 0 {
-			return nil, fmt.Errorf("exp: density %d rows: violations", rows)
+			return fmt.Errorf("exp: density %d rows: violations", rows)
 		}
-		r.AddRow(fmt.Sprintf("%d", rows),
+		cells[i] = []string{fmt.Sprintf("%d", rows),
 			fmt.Sprintf("%.4f%%", 100*jed.OverheadFraction(cfg.Params.TCK)),
 			fmt.Sprintf("%.4f%%", 100*raidr.OverheadFraction(cfg.Params.TCK)),
 			fmt.Sprintf("%.4f%%", 100*vrl.OverheadFraction(cfg.Params.TCK)),
-			fmt.Sprintf("%.0f%%", 100*(1-float64(vrl.BusyCycles)/float64(raidr.BusyCycles))))
+			fmt.Sprintf("%.0f%%", 100*(1-float64(vrl.BusyCycles)/float64(raidr.BusyCycles)))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = append(r.Rows, cells...)
 	r.AddNote("refresh-busy time grows linearly with rows per bank for every policy (more rows to refresh per period)")
 	r.AddNote("VRL's relative saving is density-independent, so its absolute saving grows with capacity - the paper's introduction in one table")
 	return r, nil

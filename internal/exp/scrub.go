@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"vrldram/internal/core"
@@ -41,98 +42,115 @@ func Scrub(cfg Config) (*Result, error) {
 			"corrected", "uncorr", "reprofiled", "remapped", "healed", "hard fails", "spares left", "SLO misses"},
 	}
 
+	// Each (fault, scrub on/off) campaign owns its bank, scheduler stack,
+	// and scrubber; the grid fans out on the worker pool.
+	type cell struct {
+		tc        resilienceCase
+		withScrub bool
+	}
+	var grid []cell
 	for _, tc := range faultCases(seed) {
 		for _, withScrub := range []bool{false, true} {
-			schedProf, bankProf, vrt, refresh, err := tc.prepare(f.profile)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s: %w", tc.name, err)
-			}
-			inner, err := core.NewVRL(schedProf, scfg)
-			if err != nil {
-				return nil, err
-			}
-			sched := core.Scheduler(inner)
-			if refresh {
-				inj, err := fault.InjectRefreshFaults(sched, fault.DefaultRefreshFaults(seed+3))
-				if err != nil {
-					return nil, err
-				}
-				sched = inj
-			}
-			bank, err := dram.NewBank(bankProf, retention.ExpDecay{}, retention.PatternAllZeros)
-			if err != nil {
-				return nil, err
-			}
-			if vrt != nil {
-				if err := bank.SetVRT(vrt); err != nil {
-					return nil, err
-				}
-			}
-			cls := ecc.DefaultClassifier()
-			opts := f.opts
-			opts.ECC = &cls
-			if withScrub {
-				store, err := scrub.NewBankStore(bank, cls)
-				if err != nil {
-					return nil, err
-				}
-				// The repair target is the inner VRL, never the injector
-				// wrapper: an injector forwards repair hooks it cannot honor,
-				// and wiring it here would turn every repair into a no-op.
-				// One sweep per three tREFW: a patrol read restores the row,
-				// so sweeping at the 64 ms tREFW itself would blanket-refresh
-				// the whole bank at the fastest bin and mask every fault
-				// instead of repairing the weak rows. The slower sweep keeps
-				// the patrol a detector, not a refresh policy.
-				scr, err := scrub.New(store, scrub.Config{
-					Sched:       inner,
-					SweepPeriod: 0.192,
-					Spares:      64,
-					Reprofile: func(row int) (float64, error) {
-						return profiler.ProfileRow(bankProf, retention.ExpDecay{}, row, profiler.Options{})
-					},
-				})
-				if err != nil {
-					return nil, err
-				}
-				opts.Scrub = scr
-			}
-			st, err := sim.Run(bank, sched, nil, opts)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s/scrub=%v: %w", tc.name, withScrub, err)
-			}
-			late := 0
-			for _, v := range bank.Violations() {
-				if v.Time >= settle {
-					late++
-				}
-			}
-			mode := "off"
-			if withScrub {
-				mode = "on"
-			}
-			row := []string{
-				tc.name, mode,
-				fmt.Sprintf("%d", st.Violations),
-				fmt.Sprintf("%d", late),
-			}
-			if withScrub {
-				row = append(row,
-					fmt.Sprintf("%d", st.Scrub.RowsPatrolled),
-					fmt.Sprintf("%d", st.Scrub.Corrected),
-					fmt.Sprintf("%d", st.Scrub.Uncorrectable),
-					fmt.Sprintf("%d", st.Scrub.Reprofiles),
-					fmt.Sprintf("%d", st.Scrub.RowsRemapped),
-					fmt.Sprintf("%d", st.Scrub.RowsHealed),
-					fmt.Sprintf("%d", st.Scrub.HardFails),
-					fmt.Sprintf("%d", st.Scrub.SparesLeft),
-					fmt.Sprintf("%d", st.Scrub.SLOMisses))
-			} else {
-				row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", "-")
-			}
-			r.Rows = append(r.Rows, row)
+			grid = append(grid, cell{tc, withScrub})
 		}
 	}
+	rows := make([][]string, len(grid))
+	err = forEachCell(cfg, len(grid), func(ctx context.Context, i int) error {
+		tc, withScrub := grid[i].tc, grid[i].withScrub
+		schedProf, bankProf, vrt, refresh, err := tc.prepare(f.profile)
+		if err != nil {
+			return fmt.Errorf("exp: %s: %w", tc.name, err)
+		}
+		inner, err := core.NewVRL(schedProf, scfg)
+		if err != nil {
+			return err
+		}
+		sched := core.Scheduler(inner)
+		if refresh {
+			inj, err := fault.InjectRefreshFaults(sched, fault.DefaultRefreshFaults(seed+3))
+			if err != nil {
+				return err
+			}
+			sched = inj
+		}
+		bank, err := dram.NewBank(bankProf, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			return err
+		}
+		if vrt != nil {
+			if err := bank.SetVRT(vrt); err != nil {
+				return err
+			}
+		}
+		cls := ecc.DefaultClassifier()
+		opts := f.opts
+		opts.ECC = &cls
+		if withScrub {
+			store, err := scrub.NewBankStore(bank, cls)
+			if err != nil {
+				return err
+			}
+			// The repair target is the inner VRL, never the injector
+			// wrapper: an injector forwards repair hooks it cannot honor,
+			// and wiring it here would turn every repair into a no-op.
+			// One sweep per three tREFW: a patrol read restores the row,
+			// so sweeping at the 64 ms tREFW itself would blanket-refresh
+			// the whole bank at the fastest bin and mask every fault
+			// instead of repairing the weak rows. The slower sweep keeps
+			// the patrol a detector, not a refresh policy.
+			scr, err := scrub.New(store, scrub.Config{
+				Sched:       inner,
+				SweepPeriod: 0.192,
+				Spares:      64,
+				Reprofile: func(row int) (float64, error) {
+					return profiler.ProfileRow(bankProf, retention.ExpDecay{}, row, profiler.Options{})
+				},
+			})
+			if err != nil {
+				return err
+			}
+			opts.Scrub = scr
+		}
+		st, err := sim.RunContext(ctx, bank, sched, nil, opts)
+		if err != nil {
+			return fmt.Errorf("exp: %s/scrub=%v: %w", tc.name, withScrub, err)
+		}
+		late := 0
+		for _, v := range bank.Violations() {
+			if v.Time >= settle {
+				late++
+			}
+		}
+		mode := "off"
+		if withScrub {
+			mode = "on"
+		}
+		row := []string{
+			tc.name, mode,
+			fmt.Sprintf("%d", st.Violations),
+			fmt.Sprintf("%d", late),
+		}
+		if withScrub {
+			row = append(row,
+				fmt.Sprintf("%d", st.Scrub.RowsPatrolled),
+				fmt.Sprintf("%d", st.Scrub.Corrected),
+				fmt.Sprintf("%d", st.Scrub.Uncorrectable),
+				fmt.Sprintf("%d", st.Scrub.Reprofiles),
+				fmt.Sprintf("%d", st.Scrub.RowsRemapped),
+				fmt.Sprintf("%d", st.Scrub.RowsHealed),
+				fmt.Sprintf("%d", st.Scrub.HardFails),
+				fmt.Sprintf("%d", st.Scrub.SparesLeft),
+				fmt.Sprintf("%d", st.Scrub.SLOMisses))
+		} else {
+			row = append(row, "-", "-", "-", "-", "-", "-", "-", "-", "-")
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, rows...)
 
 	r.AddNote("'late viol' counts sense violations after t = %.0f ms, the convergence deadline: a self-healing pipeline must reach and hold zero there even where the raw policy keeps failing", 1000*settle)
 	r.AddNote("each campaign is raw VRL + SECDED: repairs are the patrol pipeline's alone (the guard of the resilience table is deliberately absent); faults reuse the resilience experiment's seeded configurations")

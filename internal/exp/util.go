@@ -5,9 +5,11 @@ import (
 	"time"
 )
 
-// nowNanotime returns a monotonic nanosecond timestamp for micro-timing the
-// closed-form models in Table 1.
-func nowNanotime() int64 { return time.Now().UnixNano() }
+// elapsedNanos measures the interval since start on the monotonic clock.
+// time.Now() carries a monotonic reading and time.Since subtracts on it, so
+// the measurement is immune to wall-clock steps (NTP slew, suspend/resume) -
+// unlike the UnixNano() deltas Table 1 used before.
+func elapsedNanos(start time.Time) int64 { return time.Since(start).Nanoseconds() }
 
 // fmtNanos renders a nanosecond interval compactly (the closed-form models
 // finish in microseconds).

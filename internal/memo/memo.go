@@ -1,0 +1,52 @@
+// Package memo provides the concurrency-safe memoization primitive the
+// repository's shared caches (internal/tracecache, internal/profcache) are
+// built on: a singleflight-style map in which each key's value is built
+// exactly once, even when many goroutines ask for it at the same moment,
+// and every caller blocks only on the key it needs.
+package memo
+
+import "sync"
+
+// entry is one key's build slot. The sync.Once guarantees the build function
+// runs once; concurrent callers for the same key block inside once.Do until
+// the first caller's build completes, then all observe the same value.
+type entry[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+// Map memoizes build results per comparable key. The zero value is ready to
+// use. All methods are safe for concurrent use.
+//
+// Values are returned by reference/value exactly as built: callers must
+// treat shared results as read-only (copy before mutating).
+type Map[K comparable, V any] struct {
+	m sync.Map // K -> *entry[V]
+}
+
+// Get returns the memoized value for key, building it with build on first
+// use. A build error is memoized too: every caller for that key observes the
+// same error without re-running the build (deterministic builders fail
+// deterministically; retrying would just repeat the work).
+func (c *Map[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	e, _ := c.m.LoadOrStore(key, &entry[V]{})
+	en := e.(*entry[V])
+	en.once.Do(func() { en.v, en.err = build() })
+	return en.v, en.err
+}
+
+// Len reports the number of memoized keys (including failed builds).
+func (c *Map[K, V]) Len() int {
+	n := 0
+	c.m.Range(func(_, _ interface{}) bool { n++; return true })
+	return n
+}
+
+// Flush drops every memoized entry, returning the map to its empty state.
+// Intended for tests and long-lived processes that want to bound memory
+// between campaigns; in-flight Get calls keep their entry alive until they
+// return.
+func (c *Map[K, V]) Flush() {
+	c.m.Range(func(k, _ interface{}) bool { c.m.Delete(k); return true })
+}

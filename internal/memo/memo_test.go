@@ -1,0 +1,79 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetBuildsOnce(t *testing.T) {
+	var c Map[int, int]
+	var builds int32
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Get(7, func() (int, error) {
+				atomic.AddInt32(&builds, 1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("worker %d got %d, want 42", i, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetMemoizesErrors(t *testing.T) {
+	var c Map[string, int]
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("k", func() (int, error) {
+			builds++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failed build ran %d times, want 1", builds)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	var c Map[int, int]
+	builds := 0
+	get := func() {
+		if _, err := c.Get(1, func() (int, error) { builds++; return builds, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get()
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Flush = %d, want 0", c.Len())
+	}
+	get()
+	if builds != 2 {
+		t.Fatalf("build ran %d times across a Flush, want 2", builds)
+	}
+}

@@ -1,0 +1,92 @@
+// Package profcache memoizes retention-profile and restore-model
+// construction. Every experiment cell in internal/exp starts from the same
+// handful of (distribution, seed, geometry) profiles and (params, geometry)
+// restore models, and before this cache each cell rebuilt them from scratch -
+// a Monte Carlo sample over 65k+ rows per profile. The cache builds each
+// distinct input once per process and hands out shared read-only views;
+// profile consumers that need to mutate (clamping, temperature excursions,
+// row upgrades) already copy-on-write, so sharing is safe under the parallel
+// sweep engine.
+package profcache
+
+import (
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/memo"
+	"vrldram/internal/retention"
+)
+
+// profileKey identifies a sampled bank profile. CellDistribution,
+// BankGeometry, and the seed are all flat comparable structs/scalars, so the
+// key compares by value.
+type profileKey struct {
+	geom  device.BankGeometry
+	dist  retention.CellDistribution
+	seed  int64
+	paper bool // NewPaperProfile vs NewSampledProfile (paper applies its own geometry)
+}
+
+// modelKey identifies a restore model. partialCycles < 0 marks the paper
+// default model (PaperRestoreModel) as distinct from any explicit cycle
+// count.
+type modelKey struct {
+	params        device.Params
+	geom          device.BankGeometry
+	partialCycles int
+}
+
+var (
+	profiles memo.Map[profileKey, *retention.BankProfile]
+	models   memo.Map[modelKey, core.RestoreModel]
+)
+
+// PaperProfile returns the memoized retention.NewPaperProfile(dist, seed).
+// The returned profile is shared and READ-ONLY: use its copy-on-write
+// helpers (AtTemperature, UpgradeRows, ...) rather than mutating fields.
+func PaperProfile(dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	return profiles.Get(profileKey{geom: device.PaperBank, dist: dist, seed: seed, paper: true},
+		func() (*retention.BankProfile, error) {
+			return retention.NewPaperProfile(dist, seed)
+		})
+}
+
+// SampledProfile returns the memoized retention.NewSampledProfile(geom,
+// dist, seed), shared and READ-ONLY as for PaperProfile.
+func SampledProfile(geom device.BankGeometry, dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	return profiles.Get(profileKey{geom: geom, dist: dist, seed: seed},
+		func() (*retention.BankProfile, error) {
+			return retention.NewSampledProfile(geom, dist, seed)
+		})
+}
+
+// PaperRestoreModel returns the memoized core.PaperRestoreModel(p, geom).
+// RestoreModel is a value type, so callers get an independent copy.
+func PaperRestoreModel(p device.Params, geom device.BankGeometry) (core.RestoreModel, error) {
+	return models.Get(modelKey{params: p, geom: geom, partialCycles: -1},
+		func() (core.RestoreModel, error) {
+			return core.PaperRestoreModel(p, geom)
+		})
+}
+
+// RestoreModelFor returns the memoized core.RestoreModelFor(p, geom,
+// partialCycles). partialCycles must be >= 0 (negative values are reserved
+// for the paper default); invalid values are passed through so the
+// underlying constructor reports the error.
+func RestoreModelFor(p device.Params, geom device.BankGeometry, partialCycles int) (core.RestoreModel, error) {
+	if partialCycles < 0 {
+		return core.RestoreModelFor(p, geom, partialCycles)
+	}
+	return models.Get(modelKey{params: p, geom: geom, partialCycles: partialCycles},
+		func() (core.RestoreModel, error) {
+			return core.RestoreModelFor(p, geom, partialCycles)
+		})
+}
+
+// Len reports the number of cached profiles plus restore models.
+func Len() int { return profiles.Len() + models.Len() }
+
+// Flush drops all cached profiles and restore models.
+func Flush() {
+	profiles.Flush()
+	models.Flush()
+}

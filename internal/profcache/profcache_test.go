@@ -1,0 +1,110 @@
+package profcache
+
+import (
+	"reflect"
+	"testing"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/retention"
+)
+
+func TestPaperProfileSharedAndDeterministic(t *testing.T) {
+	Flush()
+	t.Cleanup(Flush)
+	dist := retention.DefaultCellDistribution()
+
+	a, err := PaperProfile(dist, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperProfile(dist, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second lookup did not return the shared profile")
+	}
+	direct, err := retention.NewPaperProfile(dist, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, direct) {
+		t.Fatal("cached profile differs from direct construction")
+	}
+
+	c, err := PaperProfile(dist, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds share a profile")
+	}
+}
+
+func TestSampledProfileKeyedByGeometry(t *testing.T) {
+	Flush()
+	t.Cleanup(Flush)
+	dist := retention.DefaultCellDistribution()
+	small := device.BankGeometry{Rows: 512, Cols: device.PaperBank.Cols}
+
+	a, err := SampledProfile(small, dist, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledProfile(small, dist, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same geometry did not share a profile")
+	}
+	big := device.BankGeometry{Rows: 1024, Cols: device.PaperBank.Cols}
+	c, err := SampledProfile(big, dist, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different geometries share a profile")
+	}
+}
+
+func TestRestoreModelsMemoized(t *testing.T) {
+	Flush()
+	t.Cleanup(Flush)
+	p := device.Default90nm()
+
+	a, err := PaperRestoreModel(p, device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.PaperRestoreModel(p, device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, direct) {
+		t.Fatal("cached restore model differs from direct construction")
+	}
+
+	before := Len()
+	if _, err := PaperRestoreModel(p, device.PaperBank); err != nil {
+		t.Fatal(err)
+	}
+	if Len() != before {
+		t.Fatal("repeat lookup grew the cache")
+	}
+
+	for _, cycles := range []int{1, 2, 4} {
+		got, err := RestoreModelFor(p, device.PaperBank, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.RestoreModelFor(p, device.PaperBank, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cycles=%d: cached model differs from direct construction", cycles)
+		}
+	}
+}

@@ -5,11 +5,11 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"vrldram/internal/core"
 	"vrldram/internal/dram"
@@ -150,23 +150,122 @@ type event struct {
 	row int
 }
 
+// eventHeap is a binary min-heap ordered by (time, row). It deliberately
+// does NOT implement container/heap: that interface boxes every pushed and
+// popped element into an interface{}, costing two heap allocations per
+// refresh event in the simulator's hottest loop. The inlined sift functions
+// below keep events on the slice. The (time, row) order is total - no two
+// events share both fields - so the pop sequence is uniquely determined by
+// the comparator and independent of the heap's internal layout.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].row < h[j].row
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// init establishes the heap invariant over arbitrary contents.
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	top := old[0]
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).siftDown(0)
+	return top
+}
+
+// Scratch holds the simulator's reusable per-run allocations - today the
+// refresh event queue, the dominant steady allocation of a run. A Scratch
+// may be reused across any number of sequential runs; concurrent runs need
+// one Scratch each. The zero value is usable.
+type Scratch struct {
+	events eventHeap
+}
+
+// NewScratch returns a Scratch pre-sized for a bank with the given number of
+// rows (the event queue holds at most one outstanding refresh per row).
+func NewScratch(rows int) *Scratch {
+	if rows < 0 {
+		rows = 0
+	}
+	return &Scratch{events: make(eventHeap, 0, rows)}
+}
+
+// scratchPool recycles Scratch buffers across Run/RunContext calls, so even
+// callers that never touch the Reusable API run allocation-lean in steady
+// state (sweep cells, benchmark loops, campaign experiments).
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// Reusable is an explicitly reusable simulation context: it owns a Scratch
+// and reuses it on every run, for callers that want deterministic buffer
+// reuse (per-worker contexts in a parallel sweep, benchmark loops) instead
+// of the package-level pool. Not safe for concurrent use; give each
+// goroutine its own Reusable.
+type Reusable struct {
+	scratch Scratch
+}
+
+// NewReusable returns a Reusable pre-sized for banks with the given number
+// of rows.
+func NewReusable(rows int) *Reusable {
+	if rows < 0 {
+		rows = 0
+	}
+	return &Reusable{scratch: Scratch{events: make(eventHeap, 0, rows)}}
+}
+
+// Run is Run with this context's buffers.
+func (r *Reusable) Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
+	return runContext(context.Background(), bank, sched, src, opts, &r.scratch)
+}
+
+// RunContext is RunContext with this context's buffers.
+func (r *Reusable) RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
+	return runContext(ctx, bank, sched, src, opts, &r.scratch)
 }
 
 // staggerFrac spreads row refresh phases deterministically across their
@@ -196,6 +295,14 @@ func Run(bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) 
 // errors.Is(err, context.Canceled) to distinguish an interrupted run from a
 // failed one.
 func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options) (Stats, error) {
+	scratch := scratchPool.Get().(*Scratch)
+	st, err := runContext(ctx, bank, sched, src, opts, scratch)
+	scratchPool.Put(scratch)
+	return st, err
+}
+
+// runContext is the simulator proper; scratch supplies the reusable buffers.
+func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src trace.Source, opts Options, scratch *Scratch) (Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -254,7 +361,8 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 	}
 
 	rows := bank.Geom.Rows
-	h := make(eventHeap, 0, rows)
+	h := scratch.events[:0]
+	defer func() { scratch.events = h[:0] }()
 	var (
 		next          trace.Record
 		havePending   bool
@@ -332,7 +440,7 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			return st, err
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
 	// drainScrub runs every patrol tick due at or before until, interleaved
 	// with the trace so accesses and patrol reads stay in time order. It runs
@@ -428,7 +536,7 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		nextCP = opts.CheckpointEvery * (math.Floor(now/opts.CheckpointEvery) + 1)
 	}
 
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		if err := ctx.Err(); err != nil {
 			// A final snapshot lets the caller persist the state the run
 			// stopped in, so an interrupted run resumes instead of restarts.
@@ -456,7 +564,7 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			}
 			nextCP += opts.CheckpointEvery
 		}
-		ev := heap.Pop(&h).(event)
+		ev := h.pop()
 		if ev.t >= opts.Duration {
 			continue
 		}
@@ -517,7 +625,7 @@ func RunContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		st.BusyCycles += int64(op.Cycles)
 		st.ChargeRestored += res.ChargeRestored
 		busyUntil = ev.t + float64(op.Cycles)*opts.TCK
-		heap.Push(&h, event{t: ev.t + sched.Period(ev.row), row: ev.row})
+		h.push(event{t: ev.t + sched.Period(ev.row), row: ev.row})
 	}
 	if err := drainScrub(opts.Duration); err != nil {
 		finalize(opts.Duration)

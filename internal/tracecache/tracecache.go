@@ -1,0 +1,55 @@
+// Package tracecache memoizes synthetic trace generation. The experiment
+// grids in internal/exp run the same (benchmark, rows, duration, seed)
+// workload against several schedulers - the Figure 4 grid alone used to
+// regenerate each benchmark's trace once per scheduler - and trace synthesis
+// (tens of thousands of records, globally sorted) is one of the most
+// expensive setup steps a cell pays. The cache generates each distinct trace
+// once per process and hands every caller a shared, read-only view, safe
+// under the parallel sweep engine's concurrent cells.
+package tracecache
+
+import (
+	"vrldram/internal/memo"
+	"vrldram/internal/trace"
+)
+
+// key is the full identity of a generated trace. The whole BenchmarkSpec
+// participates (not just its name) so ad-hoc specs - e.g. the coverage
+// sweep's synthetic workloads - can never collide with each other or with a
+// PARSEC spec that happens to share a name.
+type key struct {
+	spec     trace.BenchmarkSpec
+	rows     int
+	duration float64
+	seed     int64
+}
+
+var cache memo.Map[key, []trace.Record]
+
+// Records returns the records of spec.Generate(rows, duration, seed),
+// generating them on first use and returning the same shared slice
+// afterwards. The slice is READ-ONLY: callers must not modify, sort, or
+// append to it (append aliases the backing array). Wrap it in a
+// trace.NewSliceSource - the source keeps its own cursor - or copy it before
+// mutating.
+func Records(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) ([]trace.Record, error) {
+	return cache.Get(key{spec: spec, rows: rows, duration: duration, seed: seed}, func() ([]trace.Record, error) {
+		return spec.Generate(rows, duration, seed)
+	})
+}
+
+// Source returns a fresh single-use trace.Source over the memoized records.
+func Source(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) (trace.Source, error) {
+	recs, err := Records(spec, rows, duration, seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewSliceSource(recs), nil
+}
+
+// Len reports the number of cached traces.
+func Len() int { return cache.Len() }
+
+// Flush drops every cached trace. Long-lived processes can call it between
+// campaigns to bound memory; tests use it for isolation.
+func Flush() { cache.Flush() }

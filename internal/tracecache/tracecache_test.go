@@ -1,0 +1,115 @@
+package tracecache
+
+import (
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vrldram/internal/trace"
+)
+
+func TestRecordsSharedAndDeterministic(t *testing.T) {
+	Flush()
+	t.Cleanup(Flush)
+	spec := trace.PARSEC()[0]
+
+	a, err := Records(spec, 1024, 0.064, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Records(spec, 1024, 0.064, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second lookup did not return the shared slice")
+	}
+	if Len() != 1 {
+		t.Fatalf("Len = %d, want 1", Len())
+	}
+
+	direct, err := spec.Generate(1024, 0.064, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, direct) {
+		t.Fatal("cached trace differs from direct generation")
+	}
+}
+
+func TestRecordsDistinctKeys(t *testing.T) {
+	Flush()
+	t.Cleanup(Flush)
+	specs := trace.PARSEC()
+
+	a, err := Records(specs[0], 1024, 0.064, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Records(specs[0], 1024, 0.064, 43) // different seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Records(specs[1], 1024, 0.064, 42) // different spec
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) > 0 && len(b) > 0 && &a[0] == &b[0] {
+		t.Fatal("different seeds share a trace")
+	}
+	if len(a) > 0 && len(c) > 0 && &a[0] == &c[0] {
+		t.Fatal("different specs share a trace")
+	}
+	if Len() != 3 {
+		t.Fatalf("Len = %d, want 3", Len())
+	}
+}
+
+func TestSourceIndependentCursors(t *testing.T) {
+	Flush()
+	t.Cleanup(Flush)
+	spec := trace.PARSEC()[0]
+
+	const n = 8
+	var wg sync.WaitGroup
+	counts := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, err := Source(spec, 1024, 0.064, 42)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for {
+				if _, err := src.Next(); err != nil {
+					if err != io.EOF {
+						errs[i] = err
+					}
+					return
+				}
+				counts[i]++
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("reader %d drained %d records, reader 0 drained %d", i, counts[i], counts[0])
+		}
+	}
+	if counts[0] == 0 {
+		t.Fatal("readers drained no records")
+	}
+}
