@@ -18,11 +18,20 @@ go build ./...
 echo "== go test -race =="
 go test -race -shuffle=on -timeout 5m ./...
 
-# Smoke benchmark: one iteration of the hot simulator loop, so a change
-# that breaks the benchmark harness (or regresses it into pathology) fails
-# the gate without paying for a full -bench=. sweep.
-echo "== bench smoke (BenchmarkSimRefreshOnly) =="
-go test -run='^$' -bench='^BenchmarkSimRefreshOnly$' -benchtime=1x -benchmem .
+# Bench regression smoke: re-measure the kernel benchmarks quickly and gate
+# them against the committed BENCH_PR5.json baseline through vrlbench
+# -compare. The 1.5x tolerance is deliberately generous - it catches hard
+# regressions (an accidental O(n^2), lost buffer reuse, new allocations on
+# the hot path) without flaking on runner noise. Alloc counts are
+# deterministic and gate at the same ratio plus a small absolute slack.
+echo "== bench smoke (vrlbench -compare vs BENCH_PR5.json) =="
+SMOKE_LEDGER=$(mktemp /tmp/vrlbench-smoke.XXXXXX.json)
+rm -f "$SMOKE_LEDGER" # vrlbench creates it; mktemp only reserved the name
+trap 'rm -f "$SMOKE_LEDGER"' EXIT
+go run ./cmd/vrlbench -label smoke -o "$SMOKE_LEDGER" -count 1 -benchtime 5x \
+    -bench '^(BenchmarkSpicePreSense|BenchmarkSpicePreSenseCold|BenchmarkSimRefreshOnly|BenchmarkSimRefreshOnlyReusable|BenchmarkComputeMPRSF)$'
+go run ./cmd/vrlbench -compare -base-label pr5 -head-label smoke -tolerance 1.5 \
+    BENCH_PR5.json "$SMOKE_LEDGER"
 
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// compareOpts configures the -compare gate.
+type compareOpts struct {
+	basePath, headPath   string
+	baseLabel, headLabel string
+	// tolerance is the allowed head/base ratio on ns/op (min over runs) and
+	// allocs/op before a benchmark counts as a regression. 1.0 means "no
+	// slower at all"; the check.sh gate uses 1.5 to absorb machine noise.
+	tolerance float64
+	// allocSlack is an absolute allocs/op allowance on top of the ratio, so
+	// a 0->1 or 9->10 alloc drift in tiny counts does not trip the ratio
+	// gate (which is meaningless near zero).
+	allocSlack float64
+}
+
+// loadSnapshot reads a ledger and selects one snapshot. An empty label picks
+// the ledger's only snapshot and errors when the choice is ambiguous.
+func loadSnapshot(path, label string) (*Snapshot, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var ledger Ledger
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if len(ledger.Snapshots) == 0 {
+		return nil, "", fmt.Errorf("%s: ledger has no snapshots", path)
+	}
+	if label == "" {
+		if len(ledger.Snapshots) == 1 {
+			for l, s := range ledger.Snapshots {
+				return s, l, nil
+			}
+		}
+		labels := make([]string, 0, len(ledger.Snapshots))
+		for l := range ledger.Snapshots {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		return nil, "", fmt.Errorf("%s holds %d snapshots %v; pick one with -base-label/-head-label", path, len(labels), labels)
+	}
+	s := ledger.Snapshots[label]
+	if s == nil {
+		return nil, "", fmt.Errorf("%s: no snapshot labeled %q", path, label)
+	}
+	return s, label, nil
+}
+
+// runCompare diffs two snapshots benchmark by benchmark, prints per-metric
+// deltas, and returns the number of regressions (ns/op or allocs/op past
+// tolerance). B/op is reported but never gates: byte deltas track allocs and
+// double-counting them would double-report one underlying change.
+func runCompare(o compareOpts) (int, error) {
+	base, baseLabel, err := loadSnapshot(o.basePath, o.baseLabel)
+	if err != nil {
+		return 0, err
+	}
+	head, headLabel, err := loadSnapshot(o.headPath, o.headLabel)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("vrlbench compare: base=%s[%s] head=%s[%s] tolerance=%.2fx\n",
+		o.basePath, baseLabel, o.headPath, headLabel, o.tolerance)
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		if head.Benchmarks[n] != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("snapshots share no benchmarks")
+	}
+
+	regressions := 0
+	for _, n := range names {
+		b, h := base.Benchmarks[n], head.Benchmarks[n]
+		nsRatio := ratio(h.MinNsOp, b.MinNsOp)
+		verdict := "ok"
+		if nsRatio > o.tolerance {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-32s ns/op %12.0f -> %12.0f  (%s, %s)\n",
+			n, b.MinNsOp, h.MinNsOp, ratioStr(nsRatio), verdict)
+		if b.MeanBOp != 0 || h.MeanBOp != 0 {
+			fmt.Printf("  %-32s B/op  %12.0f -> %12.0f  (%s)\n",
+				"", b.MeanBOp, h.MeanBOp, ratioStr(ratio(h.MeanBOp, b.MeanBOp)))
+		}
+		if b.MeanAllocsOp != 0 || h.MeanAllocsOp != 0 {
+			allocVerdict := "ok"
+			if h.MeanAllocsOp > b.MeanAllocsOp*o.tolerance+o.allocSlack {
+				allocVerdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("  %-32s allocs%12.0f -> %12.0f  (%s, %s)\n",
+				"", b.MeanAllocsOp, h.MeanAllocsOp, ratioStr(ratio(h.MeanAllocsOp, b.MeanAllocsOp)), allocVerdict)
+		}
+	}
+	for n := range base.Benchmarks {
+		if head.Benchmarks[n] == nil {
+			fmt.Printf("  %-32s only in base snapshot\n", n)
+		}
+	}
+	for n := range head.Benchmarks {
+		if base.Benchmarks[n] == nil {
+			fmt.Printf("  %-32s only in head snapshot\n", n)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("vrlbench compare: %d regression(s) past %.2fx tolerance\n", regressions, o.tolerance)
+	} else {
+		fmt.Printf("vrlbench compare: no regressions across %d benchmark(s)\n", len(names))
+	}
+	return regressions, nil
+}
+
+// ratio returns head/base, treating a zero base as "no change" when head is
+// also zero and as infinitely worse otherwise.
+func ratio(head, base float64) float64 {
+	if base == 0 {
+		if head == 0 {
+			return 1
+		}
+		return 1e308
+	}
+	return head / base
+}
+
+func ratioStr(r float64) string {
+	if r >= 1e300 {
+		return "0 -> nonzero"
+	}
+	if r <= 1 {
+		return fmt.Sprintf("%.2fx faster", 1/r)
+	}
+	return fmt.Sprintf("%.2fx slower", r)
+}

@@ -12,6 +12,16 @@
 // Snapshots merge into the ledger by label: re-running with the same label
 // replaces that snapshot and leaves the others untouched, so a "before" taken
 // at the base commit survives any number of "after" refreshes.
+//
+// The -compare mode diffs two snapshots and gates on regressions:
+//
+//	vrlbench -compare old.json new.json                      # one snapshot each
+//	vrlbench -compare -base-label pr4 -head-label pr5 BENCH.json BENCH.json
+//	vrlbench -compare -tolerance 1.5 old.json new.json       # CI noise margin
+//
+// It prints per-benchmark ns/op, B/op, and allocs/op deltas and exits nonzero
+// when head ns/op (min over runs) or allocs/op exceeds base by more than
+// -tolerance; check.sh uses this against the committed BENCH_PR5.json.
 package main
 
 import (
@@ -73,8 +83,34 @@ func main() {
 		benchtime = flag.String("benchtime", "2x", "per-benchmark budget (go test -benchtime)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		note      = flag.String("note", "", "free-form note stored with the snapshot")
+
+		compare    = flag.Bool("compare", false, "compare two ledgers: vrlbench -compare [flags] base.json head.json")
+		baseLabel  = flag.String("base-label", "", "snapshot label in the base ledger (default: its only snapshot)")
+		headLabel  = flag.String("head-label", "", "snapshot label in the head ledger (default: its only snapshot)")
+		tolerance  = flag.Float64("tolerance", 1.1, "allowed head/base ratio on ns/op and allocs/op before failing")
+		allocSlack = flag.Float64("alloc-slack", 2, "absolute allocs/op allowance on top of -tolerance")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two ledger paths, got %d", flag.NArg()))
+		}
+		regressions, err := runCompare(compareOpts{
+			basePath:   flag.Arg(0),
+			headPath:   flag.Arg(1),
+			baseLabel:  *baseLabel,
+			headLabel:  *headLabel,
+			tolerance:  *tolerance,
+			allocSlack: *allocSlack,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *label == "" {
 		fatal(fmt.Errorf("-label is required"))
 	}

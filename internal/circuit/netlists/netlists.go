@@ -191,12 +191,41 @@ type PreSenseMeasurement struct {
 // MeasurePreSense simulates the charge-sharing array and measures the time
 // for the slowest bitline's developed signal to reach target (e.g. 0.95) of
 // its final value - the Table 1 "pre-sensing time" under transient
-// simulation.
+// simulation. It is a one-shot wrapper over PreSenseMeter; repeated
+// measurements of the same configuration should hold a meter, which reuses
+// the netlist and all transient-solver state.
 func MeasurePreSense(p device.Params, geom device.BankGeometry, pattern string, target float64) (PreSenseMeasurement, error) {
 	start := time.Now()
-	ckt, err := ChargeSharing(p, ChargeSharingOpts{Geom: geom, Pattern: pattern})
+	m, err := NewPreSenseMeter(p, geom, pattern, target)
 	if err != nil {
 		return PreSenseMeasurement{}, err
+	}
+	meas, err := m.Measure()
+	if err != nil {
+		return PreSenseMeasurement{}, err
+	}
+	meas.WallClock = time.Since(start) // include netlist construction, as before
+	return meas, nil
+}
+
+// PreSenseMeter is the steady-state form of MeasurePreSense: it builds the
+// charge-sharing netlist and its persistent transient solver once, and each
+// Measure call reruns the analysis on the reused solver state, so repeated
+// measurements allocate (almost) nothing.
+type PreSenseMeter struct {
+	p      device.Params
+	geom   device.BankGeometry
+	target float64
+	solver *spice.Solver
+	opts   spice.TransientOpts
+}
+
+// NewPreSenseMeter prepares a reusable pre-sensing measurement for one
+// (parameter set, geometry, pattern, target) configuration.
+func NewPreSenseMeter(p device.Params, geom device.BankGeometry, pattern string, target float64) (*PreSenseMeter, error) {
+	ckt, err := ChargeSharing(p, ChargeSharingOpts{Geom: geom, Pattern: pattern})
+	if err != nil {
+		return nil, err
 	}
 	probes := make([]string, geom.Cols)
 	for i := range probes {
@@ -208,13 +237,25 @@ func MeasurePreSense(p device.Params, geom device.BankGeometry, pattern string, 
 	if tstop < 10e-9 {
 		tstop = 10e-9
 	}
-	res, err := ckt.Transient(spice.TransientOpts{TStop: tstop, H: tstop / 4000, Probes: probes})
+	return &PreSenseMeter{
+		p:      p,
+		geom:   geom,
+		target: target,
+		solver: spice.NewSolver(ckt),
+		opts:   spice.TransientOpts{TStop: tstop, H: tstop / 4000, Probes: probes},
+	}, nil
+}
+
+// Measure runs the transient analysis and extracts the pre-sensing time.
+func (m *PreSenseMeter) Measure() (PreSenseMeasurement, error) {
+	start := time.Now()
+	res, err := m.solver.Transient(m.opts)
 	if err != nil {
 		return PreSenseMeasurement{}, err
 	}
-	veq := p.Veq()
+	veq := m.p.Veq()
 	worst := 0.0
-	for _, probe := range probes {
+	for _, probe := range m.opts.Probes {
 		final, err := res.Final(probe)
 		if err != nil {
 			return PreSenseMeasurement{}, err
@@ -223,7 +264,7 @@ func MeasurePreSense(p device.Params, geom device.BankGeometry, pattern string, 
 		if swing == 0 {
 			continue
 		}
-		level := veq + target*swing
+		level := veq + m.target*swing
 		t, err := res.FirstCrossing(probe, level, swing > 0)
 		if err != nil {
 			return PreSenseMeasurement{}, err
@@ -233,9 +274,9 @@ func MeasurePreSense(p device.Params, geom device.BankGeometry, pattern string, 
 		}
 	}
 	return PreSenseMeasurement{
-		Geom:      geom,
+		Geom:      m.geom,
 		T95:       worst,
-		Cycles:    p.Cycles(worst),
+		Cycles:    m.p.Cycles(worst),
 		WallClock: time.Since(start),
 	}, nil
 }

@@ -12,9 +12,9 @@ type resistor struct {
 	g    float64
 }
 
-func (r *resistor) stamp(c *stampCtx) { c.addG(r.a, r.b, r.g) }
-func (r *resistor) nodes() []int      { return []int{r.a, r.b} }
-func (r *resistor) linear() bool      { return true }
+func (r *resistor) stampConst(c *stampCtx) { c.addG(r.a, r.b, r.g) }
+func (r *resistor) nodes() []int           { return []int{r.a, r.b} }
+func (r *resistor) linear() bool           { return true }
 
 // R adds a resistor of ohms between nodes a and b.
 func (ckt *Circuit) R(a, b string, ohms float64) {
@@ -27,23 +27,31 @@ func (ckt *Circuit) R(a, b string, ohms float64) {
 // --- Capacitor ------------------------------------------------------------
 
 // Backward-Euler companion: i = C/h * (v - vPrev), stamped as a conductance
-// C/h in parallel with a history current source.
+// C/h (constant per step configuration) in parallel with a history current
+// source (refreshed per step).
 type capacitor struct {
 	a, b int
 	cap  float64
+	idx  int // slot in the solver's trapezoidal current-memory slice
 }
 
-func (d *capacitor) stamp(c *stampCtx) {
-	vPrev := c.voltPrev(d.a) - c.voltPrev(d.b)
+func (d *capacitor) stampConst(c *stampCtx) {
+	g := d.cap / c.h
 	if c.method == Trapezoidal {
 		// Trapezoidal companion: i_n = (2C/h)*vd_n - (2C/h*vd_(n-1) + i_(n-1)).
+		g = 2 * d.cap / c.h
+	}
+	c.addG(d.a, d.b, g)
+}
+
+func (d *capacitor) stampStep(c *stampCtx) {
+	vPrev := c.voltPrev(d.a) - c.voltPrev(d.b)
+	if c.method == Trapezoidal {
 		g := 2 * d.cap / c.h
-		c.addG(d.a, d.b, g)
-		c.addI(d.b, d.a, g*vPrev+c.capI[d])
+		c.addI(d.b, d.a, g*vPrev+c.capI[d.idx])
 		return
 	}
 	g := d.cap / c.h
-	c.addG(d.a, d.b, g)
 	// History term: a source g*vPrev flowing from b into a keeps the
 	// capacitor voltage continuous.
 	c.addI(d.b, d.a, g*vPrev)
@@ -56,7 +64,7 @@ func (ckt *Circuit) C(a, b string, farads float64) {
 	if farads <= 0 {
 		panic(fmt.Sprintf("spice: capacitor %s-%s must be positive, got %g", a, b, farads))
 	}
-	ckt.add(&capacitor{ckt.Node(a), ckt.Node(b), farads})
+	ckt.add(&capacitor{a: ckt.Node(a), b: ckt.Node(b), cap: farads})
 }
 
 // --- Capacitor to a driven waveform ----------------------------------------
@@ -71,11 +79,14 @@ type capDriven struct {
 	wave Waveform
 }
 
-func (d *capDriven) stamp(c *stampCtx) {
-	g := d.cap / c.h
+func (d *capDriven) stampConst(c *stampCtx) {
 	if d.a >= 0 {
-		c.m.AddAt(d.a, d.a, g)
+		c.m.AddAt(d.a, d.a, d.cap/c.h)
 	}
+}
+
+func (d *capDriven) stampStep(c *stampCtx) {
+	g := d.cap / c.h
 	// i(out of a) = g*(va - vDrv(t)) - g*(vaPrev - vDrv(t-h)).
 	// Move the known terms to the RHS as a source into a.
 	known := g*d.wave(c.t) + g*(c.voltPrev(d.a)-d.wave(c.t-c.h))
@@ -102,14 +113,15 @@ type vsource struct {
 	wave Waveform
 }
 
-func (d *vsource) stamp(c *stampCtx) {
+func (d *vsource) stampConst(c *stampCtx) {
 	if d.a >= 0 {
 		c.m.AddAt(d.a, d.a, d.g)
 	}
-	c.addI(-1, d.a, d.g*d.wave(c.t))
 }
-func (d *vsource) nodes() []int { return []int{d.a} }
-func (d *vsource) linear() bool { return true }
+
+func (d *vsource) stampStep(c *stampCtx) { c.addI(-1, d.a, d.g*d.wave(c.t)) }
+func (d *vsource) nodes() []int          { return []int{d.a} }
+func (d *vsource) linear() bool          { return true }
 
 // DefaultSourceR is the series resistance of voltage sources: negligible
 // against the kilo-ohm impedances of DRAM netlists.
@@ -136,15 +148,19 @@ type timeSwitch struct {
 	onAt, offAt float64
 }
 
-func (d *timeSwitch) stamp(c *stampCtx) {
+func (d *timeSwitch) stampStep(c *stampCtx) {
 	g := d.goff
 	if c.t >= d.onAt && c.t < d.offAt {
 		g = d.gon
 	}
 	c.addG(d.a, d.b, g)
 }
-func (d *timeSwitch) nodes() []int { return []int{d.a, d.b} }
-func (d *timeSwitch) linear() bool { return true }
+
+// stampsMatrixPerStep marks the switch conductance as a per-step matrix
+// stamp, so the solver refactors on every timestep it is present.
+func (d *timeSwitch) stampsMatrixPerStep() {}
+func (d *timeSwitch) nodes() []int         { return []int{d.a, d.b} }
+func (d *timeSwitch) linear() bool         { return true }
 
 // SW adds a switch between a and b that is closed (resistance ron) during
 // [onAt, offAt) and open (roff) otherwise.
@@ -225,7 +241,7 @@ func (m *mosfet) gateV(c *stampCtx) float64 {
 // with gds', gm' evaluated in normalized space (the sign squared cancels),
 // and the residual current Ieq = i - gds'*vds_real' - gm'*vgs_real' where
 // the "real'" voltages are the real node voltages of D*, S*, G.
-func (m *mosfet) stamp(c *stampCtx) {
+func (m *mosfet) stampIter(c *stampCtx) {
 	vd, vs := c.volt(m.d), c.volt(m.s)
 	vg := m.gateV(c)
 
@@ -306,7 +322,7 @@ type satSwitch struct {
 	onAt  float64
 }
 
-func (d *satSwitch) stamp(c *stampCtx) {
+func (d *satSwitch) stampIter(c *stampCtx) {
 	if c.t < d.onAt {
 		c.addG(d.a, d.b, 1e-12)
 		return

@@ -14,9 +14,9 @@ type isource struct {
 	wave Waveform
 }
 
-func (d *isource) stamp(c *stampCtx) { c.addI(d.a, d.b, d.wave(c.t)) }
-func (d *isource) nodes() []int      { return []int{d.a, d.b} }
-func (d *isource) linear() bool      { return true }
+func (d *isource) stampStep(c *stampCtx) { c.addI(d.a, d.b, d.wave(c.t)) }
+func (d *isource) nodes() []int          { return []int{d.a, d.b} }
+func (d *isource) linear() bool          { return true }
 
 // I adds an independent current source driving wave(t) amperes from node a
 // into node b.

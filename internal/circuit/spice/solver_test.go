@@ -1,0 +1,147 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// ladder builds a linear RC ladder large enough to take the banded path.
+func ladder(n int) (*Circuit, string) {
+	ckt := New()
+	ckt.V("n0", DC(1))
+	prev := "n0"
+	for i := 1; i <= n; i++ {
+		name := "n" + itoa(i)
+		ckt.R(prev, name, 100)
+		ckt.C(name, "0", 1e-15)
+		prev = name
+	}
+	return ckt, prev
+}
+
+// nonlinearCell builds a small nonlinear circuit (saturating access switch
+// dumping a cell onto an RC-loaded bitline) that exercises the Newton loop.
+func nonlinearCell() (*Circuit, string) {
+	ckt := New()
+	ckt.C("cell", "0", 30e-15)
+	ckt.SetIC("cell", 1.2)
+	ckt.SatSwitch("cell", "bl", 5e3, 40e-6, 1e-9)
+	ckt.C("bl", "0", 90e-15)
+	ckt.SetIC("bl", 0.6)
+	return ckt, "bl"
+}
+
+// A Solver rerun must reproduce the one-shot Transient bit for bit: reused
+// buffers and factorizations must not leak state between runs.
+func TestSolverRerunMatchesOneShot(t *testing.T) {
+	builders := []struct {
+		name   string
+		build  func() (*Circuit, string)
+		method Method
+	}{
+		{"linear-banded", func() (*Circuit, string) { return ladder(100) }, BackwardEuler},
+		{"linear-trapezoidal", func() (*Circuit, string) { return ladder(100) }, Trapezoidal},
+		{"nonlinear-dense", nonlinearCell, BackwardEuler},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			ckt, probe := b.build()
+			if err := ckt.SetMethod(b.method); err != nil {
+				t.Fatal(err)
+			}
+			opts := TransientOpts{TStop: 5e-9, H: 10e-12, Probes: []string{probe}}
+			ref, err := ckt.Transient(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refWave := append([]float64(nil), ref.Probes[probe]...)
+
+			s := NewSolver(ckt)
+			for run := 0; run < 3; run++ {
+				res, err := s.Transient(opts)
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				if len(res.Probes[probe]) != len(refWave) {
+					t.Fatalf("run %d: %d samples, want %d", run, len(res.Probes[probe]), len(refWave))
+				}
+				for i, v := range res.Probes[probe] {
+					if v != refWave[i] {
+						t.Fatalf("run %d: sample %d = %v, want %v (solver reuse drifted)", run, i, v, refWave[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// The persistent solver's steady state must be allocation-free: after a
+// warm-up run, a full transient analysis (hundreds of timesteps, Newton
+// iterations included) performs zero heap allocations.
+func TestSolverSteadyStateZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Circuit, string)
+	}{
+		{"linear-banded", func() (*Circuit, string) { return ladder(100) }},
+		{"nonlinear-dense", nonlinearCell},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ckt, probe := tc.build()
+			s := NewSolver(ckt)
+			opts := TransientOpts{TStop: 5e-9, H: 10e-12, Probes: []string{probe}}
+			if _, err := s.Transient(opts); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := s.Transient(opts); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Transient allocates %v per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// Forcing each backend on the same linear ladder must agree to solver
+// precision, with the residual check validating every solve.
+func TestBackendOverrideAgrees(t *testing.T) {
+	ckt, probe := ladder(100)
+	opts := TransientOpts{TStop: 5e-9, H: 10e-12, Probes: []string{probe}, CheckResidual: true}
+
+	opts.Backend = BackendDense
+	dense, err := ckt.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseWave := append([]float64(nil), dense.Probes[probe]...)
+
+	opts.Backend = BackendBanded
+	banded, err := ckt.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range banded.Probes[probe] {
+		if math.Abs(v-denseWave[i]) > 1e-9 {
+			t.Fatalf("sample %d: banded %v vs dense %v", i, v, denseWave[i])
+		}
+	}
+
+	// One Solver must also survive switching backends between runs.
+	s := NewSolver(ckt)
+	for _, b := range []Backend{BackendBanded, BackendDense, BackendBanded} {
+		opts.Backend = b
+		res, err := s.Transient(opts)
+		if err != nil {
+			t.Fatalf("backend %d: %v", b, err)
+		}
+		for i, v := range res.Probes[probe] {
+			if math.Abs(v-denseWave[i]) > 1e-9 {
+				t.Fatalf("backend %d sample %d: %v vs dense %v", b, i, v, denseWave[i])
+			}
+		}
+	}
+}

@@ -14,29 +14,27 @@
 //     circuit node or a driven waveform (the latter models a wordline driver
 //     without creating a dense matrix row across every bitline).
 //
-// Small circuits (the equalizer and the latch sense amplifier, which contain
-// the nonlinear devices) solve through dense LU with partial pivoting; large
-// cell-array netlists are linear by construction and solve through a banded
-// no-pivot factorization, so transient cost is O(nodes * bandwidth^2) per
-// step. This is what makes the engine usable for Table 1's bank-size sweep
-// while still being orders of magnitude slower than the analytical model -
-// the trade-off Table 1 exists to demonstrate.
+// Circuits containing MOSFETs (whose stamps are asymmetric and need partial
+// pivoting) solve through dense LU; large pivot-free cell-array netlists
+// solve through a no-pivot banded factorization, so transient cost is
+// O(nodes * bandwidth^2) per step. This is what makes the engine usable for
+// Table 1's bank-size sweep while still being orders of magnitude slower
+// than the analytical model - the trade-off Table 1 exists to demonstrate.
+//
+// The transient engine lives in Solver (see solver.go), which persists the
+// stamped system and all working buffers across timesteps and runs;
+// Circuit.Transient is a one-shot convenience wrapper around it.
 package spice
 
 import (
 	"errors"
 	"fmt"
 	"math"
-
-	"vrldram/internal/linalg"
 )
 
 // Gmin is the minimum conductance tied from every node to ground for
 // numerical robustness, as in production SPICE implementations.
 const Gmin = 1e-12
-
-// denseCutoff is the node count above which the banded solver is used.
-const denseCutoff = 64
 
 // Waveform is a time-dependent source value in volts.
 type Waveform func(t float64) float64
@@ -92,7 +90,11 @@ type matrix interface {
 	Zero()
 }
 
-// stampCtx carries the per-iteration assembly state handed to devices.
+// stampCtx carries the assembly state handed to devices. Depending on the
+// stamp class being assembled (see the device interface below), only a
+// subset of the fields is meaningful: constant stamps may read only h and
+// method (rhs is nil there, so touching it faults fast), per-step stamps
+// additionally t and xPrev, per-iteration stamps everything.
 type stampCtx struct {
 	m      matrix
 	rhs    []float64
@@ -101,7 +103,7 @@ type stampCtx struct {
 	t      float64   // time at the end of the current step
 	h      float64   // step size
 	method Method
-	capI   map[*capacitor]float64 // trapezoidal current memory
+	capI   []float64 // trapezoidal current memory, indexed by capacitor.idx
 }
 
 // volt returns the iterate voltage of a node index (ground = -1 reads 0).
@@ -144,12 +146,37 @@ func (c *stampCtx) addI(a, b int, i float64) {
 	}
 }
 
-// device is the element interface: contribute companion-model stamps for
-// the current Newton iterate.
+// device is the common element interface. Stamping is not part of it:
+// each device implements one or more of the lifetime-classified stamp
+// interfaces below, and the Solver schedules them accordingly.
 type device interface {
-	stamp(c *stampCtx)
 	nodes() []int // for bandwidth computation
 	linear() bool
+}
+
+// constStamper contributes matrix stamps that are constant for a given
+// (step size, integration method) pair: conductances of resistors,
+// capacitor companions, and sources. Stamped once into the base matrix.
+type constStamper interface {
+	stampConst(c *stampCtx)
+}
+
+// stepStamper contributes stamps that change between timesteps but are
+// fixed within one: history and source currents, time-switch conductances.
+type stepStamper interface {
+	stampStep(c *stampCtx)
+}
+
+// stepMatrixStamper marks stepStampers whose per-step stamp touches the
+// matrix (not just the RHS), forcing a refactorization every timestep.
+type stepMatrixStamper interface {
+	stampsMatrixPerStep()
+}
+
+// iterStamper contributes stamps that depend on the Newton iterate: the
+// relinearized companion models of the nonlinear devices.
+type iterStamper interface {
+	stampIter(c *stampCtx)
 }
 
 // Circuit is a netlist under construction and the engine that simulates it.
@@ -197,6 +224,7 @@ func (ckt *Circuit) SetIC(name string, v float64) {
 func (ckt *Circuit) add(d device) {
 	ckt.devices = append(ckt.devices, d)
 	if c, ok := d.(*capacitor); ok {
+		c.idx = len(ckt.caps)
 		ckt.caps = append(ckt.caps, c)
 	}
 	if !d.linear() {
@@ -259,163 +287,19 @@ type TransientOpts struct {
 	Probes  []string
 	MaxIter int     // Newton iterations per step (default 60)
 	AbsTol  float64 // Newton voltage convergence (default 1 uV)
+	Backend Backend // linear-solver backend (default BackendAuto)
+	// CheckResidual re-verifies every linear solve against the assembled
+	// system through an infinity-norm residual check. Diagnostic/test use.
+	CheckResidual bool
 }
 
 // Transient runs backward-Euler transient analysis from the configured
 // initial conditions ("UIC" mode: no DC operating-point solve; the DRAM
-// netlists always specify consistent initial states).
+// netlists always specify consistent initial states). It is a one-shot
+// convenience wrapper over NewSolver(ckt).Transient; repeated analyses of
+// the same circuit should hold a Solver, which reuses all solver state.
 func (ckt *Circuit) Transient(opts TransientOpts) (*Result, error) {
-	if opts.TStop <= 0 || opts.H <= 0 {
-		return nil, fmt.Errorf("spice: TStop and H must be positive (got %g, %g)", opts.TStop, opts.H)
-	}
-	if opts.MaxIter == 0 {
-		opts.MaxIter = 60
-	}
-	if opts.AbsTol == 0 {
-		opts.AbsTol = 1e-6
-	}
-	n := ckt.NumNodes()
-	if n == 0 {
-		return nil, errors.New("spice: circuit has no nodes")
-	}
-
-	useDense := n <= denseCutoff
-	var band int
-	if !useDense {
-		for _, d := range ckt.devices {
-			ns := d.nodes()
-			for i := 0; i < len(ns); i++ {
-				for j := i + 1; j < len(ns); j++ {
-					if ns[i] >= 0 && ns[j] >= 0 {
-						if w := absInt(ns[i] - ns[j]); w > band {
-							band = w
-						}
-					}
-				}
-			}
-		}
-	}
-
-	x := make([]float64, n)
-	for node, v := range ckt.ic {
-		x[node] = v
-	}
-	xPrev := append([]float64(nil), x...)
-
-	probeIdx := make(map[string]int, len(opts.Probes))
-	for _, p := range opts.Probes {
-		idx, ok := ckt.names[p]
-		if !ok {
-			return nil, fmt.Errorf("spice: probe %q names an unknown node", p)
-		}
-		probeIdx[p] = idx
-	}
-
-	steps := int(math.Ceil(opts.TStop/opts.H - 1e-9))
-	res := &Result{Probes: make(map[string][]float64, len(opts.Probes))}
-	record := func(t float64) {
-		res.Times = append(res.Times, t)
-		for p, idx := range probeIdx {
-			res.Probes[p] = append(res.Probes[p], x[idx])
-		}
-	}
-	record(0)
-
-	capI := make(map[*capacitor]float64, len(ckt.caps))
-
-	var dm *linalg.Dense
-	var bm *linalg.Banded
-	var mat matrix
-	if useDense {
-		dm = linalg.NewDense(n)
-		mat = dm
-	} else {
-		bm = linalg.NewBanded(n, band)
-		mat = bm
-	}
-	rhs := make([]float64, n)
-
-	solve := func() ([]float64, error) {
-		if useDense {
-			return linalg.SolveDense(dm, rhs)
-		}
-		return linalg.SolveBandedNoPivot(bm, rhs)
-	}
-
-	tPrev := 0.0
-	for s := 1; s <= steps; s++ {
-		t := float64(s) * opts.H
-		if t > opts.TStop {
-			t = opts.TStop
-		}
-		h := t - tPrev
-		if h <= 0 {
-			break
-		}
-		converged := false
-		for it := 0; it < opts.MaxIter; it++ {
-			mat.Zero()
-			for i := range rhs {
-				rhs[i] = 0
-			}
-			// The trapezoidal rule needs a current history; the first step
-			// runs backward Euler and seeds it.
-			method := ckt.method
-			if s == 1 {
-				method = BackwardEuler
-			}
-			c := &stampCtx{m: mat, rhs: rhs, x: x, xPrev: xPrev, t: t, h: h, method: method, capI: capI}
-			for i := 0; i < n; i++ {
-				mat.AddAt(i, i, Gmin)
-			}
-			for _, d := range ckt.devices {
-				d.stamp(c)
-			}
-			xNew, err := solve()
-			if err != nil {
-				return nil, fmt.Errorf("spice: t=%.4g s: %w", t, err)
-			}
-			// Damp large Newton steps for the nonlinear devices.
-			var delta float64
-			for i := range xNew {
-				d := xNew[i] - x[i]
-				if d > 0.5 {
-					d = 0.5
-				} else if d < -0.5 {
-					d = -0.5
-				}
-				x[i] += d
-				if a := math.Abs(d); a > delta {
-					delta = a
-				}
-			}
-			if !ckt.hasNL || delta < opts.AbsTol {
-				converged = true
-				break
-			}
-		}
-		if !converged {
-			return nil, fmt.Errorf("spice: Newton failed to converge at t=%.4g s", t)
-		}
-		if ckt.method == Trapezoidal {
-			for _, cp := range ckt.caps {
-				vd := voltOf(x, cp.a) - voltOf(x, cp.b)
-				vdPrev := voltOf(xPrev, cp.a) - voltOf(xPrev, cp.b)
-				if s == 1 {
-					// Seed the current memory from the backward-Euler step:
-					// i_1 = C (vd_1 - vd_0) / h.
-					capI[cp] = cp.cap / h * (vd - vdPrev)
-				} else {
-					// i_n = (2C/h)(vd_n - vd_(n-1)) - i_(n-1).
-					capI[cp] = 2*cp.cap/h*(vd-vdPrev) - capI[cp]
-				}
-			}
-		}
-		copy(xPrev, x)
-		tPrev = t
-		record(t)
-	}
-	return res, nil
+	return NewSolver(ckt).Transient(opts)
 }
 
 func absInt(v int) int {

@@ -385,8 +385,8 @@ func TestBandedLadderSettles(t *testing.T) {
 		ckt.C(name, "0", 1e-15)
 		prev = name
 	}
-	if ckt.NumNodes() <= denseCutoff {
-		t.Fatalf("test circuit too small to exercise the banded path: %d nodes", ckt.NumNodes())
+	if NewSolver(ckt).autoBackend() != BackendBanded {
+		t.Fatalf("test circuit does not exercise the banded path: %d nodes", ckt.NumNodes())
 	}
 	res, err := ckt.Transient(TransientOpts{TStop: 50e-12 * n, H: 10e-12, Probes: []string{prev}})
 	if err != nil {

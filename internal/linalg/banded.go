@@ -57,11 +57,221 @@ func (m *Banded) Zero() {
 	}
 }
 
+// CopyFrom overwrites m with src in place. The matrices must have identical
+// size and bandwidth.
+func (m *Banded) CopyFrom(src *Banded) error {
+	if m.N != src.N || m.K != src.K {
+		return fmt.Errorf("linalg: banded CopyFrom shape mismatch: %dx%d(k=%d) vs %dx%d(k=%d)",
+			m.N, m.N, m.K, src.N, src.N, src.K)
+	}
+	copy(m.Data, src.Data)
+	return nil
+}
+
+// MulVecInto computes dst = m * x without allocating. dst and x must both
+// have length N and must not alias.
+func (m *Banded) MulVecInto(dst, x []float64) error {
+	if len(x) != m.N || len(dst) != m.N {
+		return fmt.Errorf("linalg: banded MulVecInto size mismatch: matrix %d, x %d, dst %d", m.N, len(x), len(dst))
+	}
+	n, k := m.N, m.K
+	w := 2*k + 1
+	for i := 0; i < n; i++ {
+		lo, hi := i-k, i+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var s float64
+		row := m.Data[i*w:]
+		for j := lo; j <= hi; j++ {
+			s += row[j-i+k] * x[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// BandedLU is a reusable no-pivot banded LU factorization workspace: the
+// structure-aware counterpart of LU for the narrow-banded conductance
+// matrices of bitline-ladder netlists, where factor+solve costs O(N*K^2)
+// instead of O(N^3). Like SolveBandedNoPivot it does not pivot, so the
+// caller must guarantee the matrix is safely factorable without pivoting
+// (circuit conductance matrices with a gmin on every diagonal are). The zero
+// value is a valid empty workspace: Refactor sizes and thereafter reuses the
+// internal storage.
+type BandedLU struct {
+	n, k int
+	lu   []float64 // banded storage, multipliers of L below the diagonal
+	dinv []float64 // reciprocal U diagonal: one divide per pivot at factor
+	// time instead of one per row per solve - FP division is an order of
+	// magnitude slower than multiplication and dominated repeated solves.
+}
+
+// Refactor computes the no-pivot banded LU factorization of m inside this
+// workspace, reusing its storage when m has the shape of the previous
+// factorization. m is not modified. It returns ErrSingular if a pivot
+// underflows working precision; the workspace contents are then undefined
+// and a fresh Refactor is required before SolveInto.
+func (f *BandedLU) Refactor(m *Banded) error {
+	n, k := m.N, m.K
+	w := 2*k + 1
+	if cap(f.lu) >= n*w {
+		f.lu = f.lu[:n*w]
+	} else {
+		f.lu = make([]float64, n*w)
+	}
+	if cap(f.dinv) >= n {
+		f.dinv = f.dinv[:n]
+	} else {
+		f.dinv = make([]float64, n)
+	}
+	f.n, f.k = n, k
+	var scale float64
+	for i, v := range m.Data {
+		f.lu[i] = v
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return ErrSingular
+	}
+	return factorBand(f.lu, f.dinv, n, k, scale*1e-15)
+}
+
+// RefactorInPlace is Refactor without the defensive copy: it factors m's own
+// storage (destroying m) and leaves the workspace aliasing it, which repeated
+// Newton solvers exploit because their scratch matrix is rebuilt from a clean
+// copy every iteration anyway. scale, when positive, supplies the matrix
+// magnitude for the singularity threshold so the per-call O(n*k) scan is
+// amortized by the caller; pass 0 to have it computed here. The factorization
+// is valid only until m's storage is next written.
+func (f *BandedLU) RefactorInPlace(m *Banded, scale float64) error {
+	n, k := m.N, m.K
+	w := 2*k + 1
+	if cap(f.dinv) >= n {
+		f.dinv = f.dinv[:n]
+	} else {
+		f.dinv = make([]float64, n)
+	}
+	f.n, f.k = n, k
+	f.lu = m.Data[:n*w]
+	if scale <= 0 {
+		for _, v := range m.Data {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+	}
+	if scale == 0 {
+		return ErrSingular
+	}
+	return factorBand(f.lu, f.dinv, n, k, scale*1e-15)
+}
+
+// factorBand runs the no-pivot banded elimination in place on lu, storing L's
+// multipliers in the subdiagonal slots and the reciprocal U diagonal in dinv.
+func factorBand(lu, dinv []float64, n, k int, eps float64) error {
+	w := 2*k + 1
+	for col := 0; col < n; col++ {
+		cw := lu[col*w : col*w+w]
+		pivot := cw[k]
+		if math.Abs(pivot) <= eps {
+			return ErrSingular
+		}
+		pinv := 1 / pivot
+		dinv[col] = pinv
+		last := col + k
+		if last >= n {
+			last = n - 1
+		}
+		span := last - col
+		for row := col + 1; row <= last; row++ {
+			rw := lu[row*w : row*w+w]
+			i0 := col - row + k
+			l := rw[i0] * pinv
+			rw[i0] = l // keep the multiplier for SolveInto
+			if l == 0 {
+				continue
+			}
+			// Fill-free update: eliminating within the band only touches
+			// columns (col, col+span] of the affected row, all in band.
+			a := rw[i0+1 : i0+1+span]
+			b := cw[k+1 : k+1+span]
+			for j, bv := range b {
+				a[j] -= l * bv
+			}
+		}
+	}
+	return nil
+}
+
+// SolveInto computes dst with A*dst = b for the factored matrix A without
+// allocating. dst and b must both have length N; dst may alias b.
+func (f *BandedLU) SolveInto(dst, b []float64) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("linalg: banded solve size mismatch: matrix %d, rhs %d, dst %d", f.n, len(b), len(dst))
+	}
+	n, k := f.n, f.k
+	if n == 0 {
+		return nil
+	}
+	w := 2*k + 1
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	// Forward substitution with the stored multipliers (unit diagonal L).
+	// The multiplier for row r sits at lu[r*w + (col-r+k)], so walking rows
+	// within a column advances the flat index by w-1; structural zeros
+	// (independent sub-circuits packed into one band) are skipped.
+	for col := 0; col < n; col++ {
+		xc := dst[col]
+		if xc == 0 {
+			continue
+		}
+		last := col + k
+		if last >= n {
+			last = n - 1
+		}
+		idx := col*w + w + k - 1
+		for row := col + 1; row <= last; row++ {
+			if v := f.lu[idx]; v != 0 {
+				dst[row] -= v * xc
+			}
+			idx += w - 1
+		}
+	}
+	// Back substitution on U, multiplying by the precomputed reciprocal
+	// diagonal instead of dividing. Each row's superdiagonal entries are
+	// contiguous in the band layout.
+	for row := n - 1; row >= 0; row-- {
+		hi := row + k
+		if hi >= n {
+			hi = n - 1
+		}
+		s := dst[row]
+		if span := hi - row; span > 0 {
+			u := f.lu[row*w+k+1 : row*w+k+1+span]
+			d := dst[row+1 : row+1+span]
+			for j, uv := range u {
+				s -= uv * d[j]
+			}
+		}
+		dst[row] = s * f.dinv[row]
+	}
+	return nil
+}
+
 // SolveBandedNoPivot factors and solves m*x = b in place using banded
 // Gaussian elimination WITHOUT pivoting. The caller must guarantee the
 // matrix is safely factorable without pivoting - circuit conductance
 // matrices with a gmin on every diagonal are. The matrix is destroyed. It
-// returns ErrSingular if a pivot underflows working precision.
+// returns ErrSingular if a pivot underflows working precision. Repeated
+// solves should use a BandedLU workspace instead, which preserves the input
+// and allocates nothing in steady state.
 func SolveBandedNoPivot(m *Banded, b []float64) ([]float64, error) {
 	n, k := m.N, m.K
 	if len(b) != n {
@@ -80,18 +290,20 @@ func SolveBandedNoPivot(m *Banded, b []float64) ([]float64, error) {
 		return nil, ErrSingular
 	}
 	eps := scale * 1e-15
-	// Forward elimination.
+	// Forward elimination. The reciprocal-pivot form mirrors BandedLU
+	// exactly (same operation sequence), keeping the two paths bit-identical.
 	for col := 0; col < n; col++ {
 		pivot := m.Data[col*w+k]
 		if math.Abs(pivot) <= eps {
 			return nil, ErrSingular
 		}
+		pinv := 1 / pivot
 		last := col + k
 		if last >= n {
 			last = n - 1
 		}
 		for row := col + 1; row <= last; row++ {
-			l := m.Data[row*w+(col-row+k)] / pivot
+			l := m.Data[row*w+(col-row+k)] * pinv
 			if l == 0 {
 				continue
 			}
@@ -110,7 +322,7 @@ func SolveBandedNoPivot(m *Banded, b []float64) ([]float64, error) {
 		for j := row + 1; j <= row+k && j < n; j++ {
 			s -= m.Data[row*w+(j-row+k)] * x[j]
 		}
-		x[row] = s / m.Data[row*w+k]
+		x[row] = s * (1 / m.Data[row*w+k])
 	}
 	return x, nil
 }

@@ -1,0 +1,43 @@
+package linalg
+
+import "testing"
+
+// benchBanded mirrors the pre-sense hot loop: n=160, k=5, refactor + solve
+// per Newton iteration.
+func benchBanded(b *testing.B, refactorEach bool) {
+	const n, k = 160, 5
+	m := NewBanded(n, k)
+	for i := 0; i < n; i++ {
+		m.AddAt(i, i, 4+float64(i%7))
+		for d := 1; d <= k; d++ {
+			if i+d < n {
+				m.AddAt(i, i+d, -0.5)
+				m.AddAt(i+d, i, -0.5)
+			}
+		}
+	}
+	rhs := make([]float64, n)
+	x := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	var lu BandedLU
+	if err := lu.Refactor(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if refactorEach {
+			if err := lu.Refactor(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := lu.SolveInto(x, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBandedRefactorSolve(b *testing.B) { benchBanded(b, true) }
+func BenchmarkBandedSolveOnly(b *testing.B)     { benchBanded(b, false) }

@@ -70,12 +70,20 @@ func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
 // Set assigns element (i, j).
 func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
 
-// Add accumulates v into element (i, j); the stamping primitive MNA uses.
-func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
-
-// AddAt is Add under the name the circuit assembler's matrix interface
-// shares with Banded.
+// AddAt accumulates v into element (i, j): the stamping primitive of MNA
+// assembly, under the name the circuit assembler's matrix interface shares
+// with Banded.
 func (m *Dense) AddAt(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// CopyFrom overwrites m with src in place. The matrices must be the same
+// size.
+func (m *Dense) CopyFrom(src *Dense) error {
+	if m.N != src.N {
+		return fmt.Errorf("linalg: CopyFrom size mismatch: %d vs %d", m.N, src.N)
+	}
+	copy(m.Data, src.Data)
+	return nil
+}
 
 // Zero clears the matrix in place, preserving its storage.
 func (m *Dense) Zero() {
@@ -91,25 +99,37 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
-// MulVec returns m * x.
+// MulVec returns m * x in a freshly allocated vector. Hot paths should use
+// MulVecInto, which reuses the caller's destination buffer.
 func (m *Dense) MulVec(x []float64) ([]float64, error) {
-	if len(x) != m.N {
-		return nil, fmt.Errorf("linalg: MulVec size mismatch: matrix %d, vector %d", m.N, len(x))
-	}
 	y := make([]float64, m.N)
+	if err := m.MulVecInto(y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// MulVecInto computes dst = m * x without allocating. dst and x must both
+// have length N and must not alias.
+func (m *Dense) MulVecInto(dst, x []float64) error {
+	if len(x) != m.N || len(dst) != m.N {
+		return fmt.Errorf("linalg: MulVecInto size mismatch: matrix %d, x %d, dst %d", m.N, len(x), len(dst))
+	}
 	for i := 0; i < m.N; i++ {
 		row := m.Data[i*m.N : (i+1)*m.N]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y, nil
+	return nil
 }
 
 // LU holds an LU factorization with partial pivoting, reusable across
-// multiple right-hand sides.
+// multiple right-hand sides. The zero value is a valid empty workspace:
+// Refactor sizes (and thereafter reuses) the internal storage, so one LU can
+// factor an unbounded sequence of same-sized systems without allocating.
 type LU struct {
 	n    int
 	lu   []float64
@@ -117,12 +137,32 @@ type LU struct {
 	sign int
 }
 
-// Factor computes the LU factorization of m with partial pivoting. m is not
-// modified. It returns ErrSingular when a pivot vanishes at working
-// precision relative to the matrix scale.
+// Factor computes the LU factorization of m with partial pivoting in a new
+// workspace. m is not modified. It returns ErrSingular when a pivot vanishes
+// at working precision relative to the matrix scale.
 func Factor(m *Dense) (*LU, error) {
+	f := &LU{}
+	if err := f.Refactor(m); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor computes the LU factorization of m with partial pivoting inside
+// this workspace, reusing its storage when m has the size of the previous
+// factorization. m is not modified. On error the workspace contents are
+// undefined and a fresh Refactor is required before Solve/SolveInto.
+func (f *LU) Refactor(m *Dense) error {
 	n := m.N
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	if cap(f.lu) >= n*n && cap(f.piv) >= n {
+		f.lu = f.lu[:n*n]
+		f.piv = f.piv[:n]
+	} else {
+		f.lu = make([]float64, n*n)
+		f.piv = make([]int, n)
+	}
+	f.n = n
+	f.sign = 1
 	copy(f.lu, m.Data)
 	for i := range f.piv {
 		f.piv[i] = i
@@ -135,7 +175,7 @@ func Factor(m *Dense) (*LU, error) {
 		}
 	}
 	if scale == 0 {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	eps := scale * 1e-14
 	for k := 0; k < n; k++ {
@@ -147,7 +187,7 @@ func Factor(m *Dense) (*LU, error) {
 			}
 		}
 		if pmax <= eps {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -168,36 +208,48 @@ func Factor(m *Dense) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
-// Solve returns x with A*x = b for the factored matrix A.
+// Solve returns x with A*x = b for the factored matrix A in a freshly
+// allocated vector. Hot paths should use SolveInto.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	if len(b) != f.n {
-		return nil, fmt.Errorf("linalg: LU solve size mismatch: matrix %d, rhs %d", f.n, len(b))
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto computes dst with A*dst = b for the factored matrix A without
+// allocating. dst and b must both have length N and must not alias.
+func (f *LU) SolveInto(dst, b []float64) error {
+	if len(b) != f.n || len(dst) != f.n {
+		return fmt.Errorf("linalg: LU solve size mismatch: matrix %d, rhs %d, dst %d", f.n, len(b), len(dst))
 	}
 	n := f.n
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
-		x[i] = b[f.piv[i]]
+		dst[i] = b[f.piv[i]]
 	}
 	// Forward substitution (L has implicit unit diagonal).
 	for i := 1; i < n; i++ {
 		var s float64
-		for j := 0; j < i; j++ {
-			s += f.lu[i*n+j] * x[j]
+		row := f.lu[i*n : i*n+i]
+		for j, l := range row {
+			s += l * dst[j]
 		}
-		x[i] -= s
+		dst[i] -= s
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
 		var s float64
-		for j := i + 1; j < n; j++ {
-			s += f.lu[i*n+j] * x[j]
+		row := f.lu[i*n+i+1 : (i+1)*n]
+		for j, u := range row {
+			s += u * dst[i+1+j]
 		}
-		x[i] = (x[i] - s) / f.lu[i*n+i]
+		dst[i] = (dst[i] - s) / f.lu[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveDense factors m and solves m*x = b in one step.

@@ -173,7 +173,7 @@ func TestLUSolveSizeMismatch(t *testing.T) {
 
 func TestDenseHelpers(t *testing.T) {
 	m := NewDense(2)
-	m.Add(0, 1, 3)
+	m.AddAt(0, 1, 3)
 	m.AddAt(0, 1, 2)
 	if m.At(0, 1) != 5 {
 		t.Fatalf("At(0,1) = %v, want 5", m.At(0, 1))
@@ -185,6 +185,80 @@ func TestDenseHelpers(t *testing.T) {
 	}
 	if _, err := m.MulVec([]float64{1}); err == nil {
 		t.Fatal("want MulVec size error")
+	}
+	if err := m.MulVecInto(make([]float64, 2), []float64{1}); err == nil {
+		t.Fatal("want MulVecInto size error")
+	}
+	if err := m.CopyFrom(NewDense(3)); err == nil {
+		t.Fatal("want CopyFrom size error")
+	}
+}
+
+// TestInPlaceVariantsMatchAllocating pins the *Into variants against their
+// allocating counterparts on random systems, and asserts they are
+// allocation-free in steady state.
+func TestInPlaceVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	m := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.Float64()-0.5)
+		}
+		m.AddAt(i, i, float64(n)) // dominant
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+
+	y1, err := m.MulVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2 := make([]float64, n)
+	if err := m.MulVecInto(y2, b); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(y1, y2); d != 0 {
+		t.Fatalf("MulVecInto differs from MulVec by %v", d)
+	}
+
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws LU
+	if err := ws.Refactor(m); err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, n)
+	if err := ws.SolveInto(x2, b); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(x1, x2); d != 0 {
+		t.Fatalf("SolveInto differs from Solve by %v", d)
+	}
+
+	// Steady state: refactor + solve + mulvec in reused workspaces must not
+	// allocate.
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ws.Refactor(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.SolveInto(x2, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.MulVecInto(y2, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dense refactor/solve allocates %v per run, want 0", allocs)
 	}
 }
 
@@ -270,6 +344,129 @@ func TestBandedMatchesDense(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: the reusable BandedLU workspace agrees with the dense solver
+// (and with repeated right-hand sides) on random diagonally dominant banded
+// systems, without destroying its input.
+func TestBandedLUMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		k := 1 + rng.Intn(3)
+		if k >= n {
+			k = n - 1
+		}
+		bm := NewBanded(n, k)
+		dm := NewDense(n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := i - k; j <= i+k; j++ {
+				if j < 0 || j >= n || j == i {
+					continue
+				}
+				v := rng.Float64() - 0.5
+				bm.AddAt(i, j, v)
+				dm.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			d := rowSum + 1 + rng.Float64()
+			bm.AddAt(i, i, d)
+			dm.Set(i, i, d)
+		}
+		before := append([]float64(nil), bm.Data...)
+		var ws BandedLU
+		if err := ws.Refactor(bm); err != nil {
+			return false
+		}
+		for i, v := range bm.Data {
+			if before[i] != v {
+				return false // Refactor must not destroy its input
+			}
+		}
+		x := make([]float64, n)
+		for trial := 0; trial < 2; trial++ {
+			rhs := make([]float64, n)
+			for i := range rhs {
+				rhs[i] = rng.Float64()*2 - 1
+			}
+			xd, err := SolveDense(dm, rhs)
+			if err != nil {
+				return false
+			}
+			if err := ws.SolveInto(x, rhs); err != nil {
+				return false
+			}
+			if d, err := MaxAbsDiff(xd, x); err != nil || d >= 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedLUSteadyStateAllocs(t *testing.T) {
+	n, k := 32, 3
+	m := NewBanded(n, k)
+	for i := 0; i < n; i++ {
+		m.AddAt(i, i, 4)
+		if i > 0 {
+			m.AddAt(i, i-1, -1)
+			m.AddAt(i-1, i, -1)
+		}
+	}
+	b := make([]float64, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	var ws BandedLU
+	if err := ws.Refactor(m); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ws.Refactor(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.MulVecInto(y, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state banded refactor/solve allocates %v per run, want 0", allocs)
+	}
+	if d, _ := MaxAbsDiff(y, b); d > 1e-9 {
+		t.Fatalf("residual after banded solve = %v", d)
+	}
+}
+
+func TestBandedLUErrors(t *testing.T) {
+	var ws BandedLU
+	if err := ws.Refactor(NewBanded(2, 1)); err != ErrSingular {
+		t.Fatalf("zero matrix: want ErrSingular, got %v", err)
+	}
+	m := NewBanded(2, 1)
+	m.AddAt(0, 0, 1)
+	m.AddAt(1, 1, 1)
+	if err := ws.Refactor(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.SolveInto(make([]float64, 2), []float64{1}); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+	if err := m.MulVecInto(make([]float64, 1), []float64{1, 2}); err == nil {
+		t.Fatal("want MulVecInto size error")
+	}
+	if err := m.CopyFrom(NewBanded(3, 1)); err == nil {
+		t.Fatal("want CopyFrom shape error")
 	}
 }
 

@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// BandedSymbolic is a no-pivot banded LU factorization that has been analyzed
+// symbolically: given the structural nonzero pattern of a matrix (which for a
+// circuit is fixed by the netlist topology while the values change every
+// Newton iteration), it precomputes the fill-in and flattens the true nonzero
+// positions into index lists once. The numeric factor+solve then visits
+// exactly those positions instead of scanning full band rows, which on
+// circuit matrices — a handful of nonzeros per band row — skips most of the
+// arithmetic a dense-band elimination performs on structural zeros.
+//
+// The pattern is a superset contract: every position the caller might ever
+// stamp must be declared, and positions that happen to hold a numeric zero in
+// some iteration are simply computed (a zero multiplier updates nothing), so
+// results match the dense-band elimination to within the ±0 sign of skipped
+// terms. Like BandedLU it does not pivot; the caller must guarantee the
+// matrix is safely factorable without pivoting.
+type BandedSymbolic struct {
+	n, k int
+	// Column-compressed multiplier pattern: for column c, subRow[subStart[c]:
+	// subStart[c+1]] lists the rows below c whose (row, c) entry is
+	// structurally nonzero after fill-in.
+	subStart []int32
+	subRow   []int32
+	// Row-compressed U pattern: for row r, uOff[uStart[r]:uStart[r+1]] lists
+	// the offsets j >= 1 with (r, r+j) structurally nonzero after fill-in.
+	// The same list serves elimination (row r's U is the update template of
+	// its pivot column) and back substitution.
+	uStart []int32
+	uOff   []int32
+	dinv   []float64
+}
+
+// NewBandedSymbolic analyzes the pattern of an n x n matrix with bandwidth k
+// whose structural nonzeros are the diagonal plus the given (i, j) positions
+// (each pair is mirrored; out-of-range and out-of-band pairs are rejected).
+// The analysis runs the elimination once over booleans to find every fill-in
+// position, then freezes the result into compressed index lists.
+func NewBandedSymbolic(n, k int, pairs [][2]int) (*BandedSymbolic, error) {
+	if k >= n {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	w := 2*k + 1
+	p := make([]bool, n*w)
+	for i := 0; i < n; i++ {
+		p[i*w+k] = true
+	}
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		if i < 0 || j < 0 || i >= n || j >= n {
+			return nil, fmt.Errorf("linalg: symbolic pattern position (%d,%d) outside %dx%d", i, j, n, n)
+		}
+		if d := j - i; d < -k || d > k {
+			return nil, fmt.Errorf("linalg: symbolic pattern position (%d,%d) outside bandwidth %d", i, j, k)
+		}
+		p[i*w+(j-i+k)] = true
+		p[j*w+(i-j+k)] = true
+	}
+	// Symbolic elimination: a nonzero multiplier at (row, col) spreads column
+	// col's U pattern into row `row`, exactly as the numeric update will.
+	for col := 0; col < n; col++ {
+		last := col + k
+		if last >= n {
+			last = n - 1
+		}
+		for row := col + 1; row <= last; row++ {
+			if !p[row*w+(col-row+k)] {
+				continue
+			}
+			for j := 1; j <= k && col+j < n; j++ {
+				if p[col*w+(j+k)] {
+					p[row*w+(col+j-row+k)] = true
+				}
+			}
+		}
+	}
+	s := &BandedSymbolic{n: n, k: k, dinv: make([]float64, n)}
+	s.subStart = make([]int32, n+1)
+	s.uStart = make([]int32, n+1)
+	for col := 0; col < n; col++ {
+		s.subStart[col] = int32(len(s.subRow))
+		last := col + k
+		if last >= n {
+			last = n - 1
+		}
+		for row := col + 1; row <= last; row++ {
+			if p[row*w+(col-row+k)] {
+				s.subRow = append(s.subRow, int32(row))
+			}
+		}
+		s.uStart[col] = int32(len(s.uOff))
+		for j := 1; j <= k && col+j < n; j++ {
+			if p[col*w+(j+k)] {
+				s.uOff = append(s.uOff, int32(j))
+			}
+		}
+	}
+	s.subStart[n] = int32(len(s.subRow))
+	s.uStart[n] = int32(len(s.uOff))
+	return s, nil
+}
+
+// Nonzeros reports the number of structural sub-diagonal multipliers and
+// upper-triangle entries after fill-in, for diagnostics and tests.
+func (s *BandedSymbolic) Nonzeros() (sub, upper int) {
+	return len(s.subRow), len(s.uOff)
+}
+
+// FactorSolve factors m in place (destroying it) and solves the original
+// m * dst = rhs, visiting only the precomputed structural nonzeros. m must
+// match the analyzed shape and its nonzeros must lie inside the declared
+// pattern; scale is the matrix magnitude for the singularity threshold (a
+// non-positive value triggers a scan). dst and rhs must have length N and
+// may alias. Returns ErrSingular when a pivot underflows working precision.
+func (s *BandedSymbolic) FactorSolve(m *Banded, scale float64, dst, rhs []float64) error {
+	n, k := s.n, s.k
+	if m.N != n || m.K != k {
+		return fmt.Errorf("linalg: symbolic factor shape mismatch: analyzed %dx%d(k=%d), got %dx%d(k=%d)",
+			n, n, s.k, m.N, m.N, m.K)
+	}
+	if len(rhs) != n || len(dst) != n {
+		return fmt.Errorf("linalg: banded solve size mismatch: matrix %d, rhs %d, dst %d", n, len(rhs), len(dst))
+	}
+	if scale <= 0 {
+		for _, v := range m.Data {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+	}
+	if scale == 0 {
+		return ErrSingular
+	}
+	if n == 0 {
+		return nil
+	}
+	if &dst[0] != &rhs[0] {
+		copy(dst, rhs)
+	}
+	eps := scale * 1e-15
+	w := 2*k + 1
+	lu, dinv := m.Data, s.dinv
+	for col := 0; col < n; col++ {
+		cu := lu[col*w+k : col*w+w]
+		pivot := cu[0]
+		if math.Abs(pivot) <= eps {
+			return ErrSingular
+		}
+		pinv := 1 / pivot
+		dinv[col] = pinv
+		us := s.uOff[s.uStart[col]:s.uStart[col+1]]
+		xc := dst[col]
+		for _, r := range s.subRow[s.subStart[col]:s.subStart[col+1]] {
+			row := int(r)
+			base := row*w + col - row + k
+			l := lu[base] * pinv
+			lu[base] = l
+			a := lu[base:]
+			for _, j := range us {
+				a[j] -= l * cu[j]
+			}
+			dst[row] -= l * xc
+		}
+	}
+	for row := n - 1; row >= 0; row-- {
+		sum := dst[row]
+		u := lu[row*w+k:]
+		d := dst[row:]
+		for _, j := range s.uOff[s.uStart[row]:s.uStart[row+1]] {
+			sum -= u[j] * d[j]
+		}
+		dst[row] = sum * dinv[row]
+	}
+	return nil
+}

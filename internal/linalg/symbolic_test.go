@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPattern draws m distinct in-band off-diagonal positions.
+func randomPattern(rng *rand.Rand, n, k, m int) [][2]int {
+	seen := map[[2]int]bool{}
+	var pairs [][2]int
+	for len(pairs) < m {
+		i := rng.Intn(n)
+		lo, hi := i-k, i+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		j := lo + rng.Intn(hi-lo+1)
+		p := [2]int{i, j}
+		if i == j || seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+// assemble builds a diagonally dominant banded matrix with random values on
+// the declared pattern (mirrored), leaving a random subset of declared
+// positions numerically zero to exercise the superset contract.
+func assemble(rng *rand.Rand, n, k int, pairs [][2]int) *Banded {
+	m := NewBanded(n, k)
+	for _, p := range pairs {
+		v := rng.NormFloat64()
+		if rng.Intn(4) == 0 {
+			v = 0 // declared but unstamped this "iteration"
+		}
+		m.AddAt(p[0], p[1], v)
+		m.AddAt(p[1], p[0], rng.NormFloat64())
+	}
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := i - k; j <= i+k; j++ {
+			if j >= 0 && j < n && j != i {
+				rowSum += math.Abs(m.At(i, j))
+			}
+		}
+		m.AddAt(i, i, rowSum+1+rng.Float64())
+	}
+	return m
+}
+
+func TestBandedSymbolicMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ n, k, nnz int }{
+		{8, 2, 6}, {40, 5, 60}, {160, 5, 200}, {30, 1, 20}, {25, 7, 70},
+	} {
+		for trial := 0; trial < 5; trial++ {
+			pairs := randomPattern(rng, tc.n, tc.k, tc.nnz)
+			sym, err := NewBandedSymbolic(tc.n, tc.k, pairs)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+			}
+			m := assemble(rng, tc.n, tc.k, pairs)
+			d := NewDense(tc.n)
+			for i := 0; i < tc.n; i++ {
+				for j := 0; j < tc.n; j++ {
+					if v := m.At(i, j); v != 0 {
+						d.AddAt(i, j, v)
+					}
+				}
+			}
+			rhs := make([]float64, tc.n)
+			for i := range rhs {
+				rhs[i] = rng.NormFloat64()
+			}
+			got := make([]float64, tc.n)
+			if err := sym.FactorSolve(m, 0, got, rhs); err != nil {
+				t.Fatalf("n=%d k=%d trial=%d: FactorSolve: %v", tc.n, tc.k, trial, err)
+			}
+			var lu LU
+			if err := lu.Refactor(d); err != nil {
+				t.Fatalf("dense refactor: %v", err)
+			}
+			want := make([]float64, tc.n)
+			if err := lu.SolveInto(want, rhs); err != nil {
+				t.Fatalf("dense solve: %v", err)
+			}
+			for i := range got {
+				if diff := math.Abs(got[i] - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d k=%d trial=%d: x[%d] = %g, dense %g (diff %g)",
+						tc.n, tc.k, trial, i, got[i], want[i], diff)
+				}
+			}
+		}
+	}
+}
+
+// TestBandedSymbolicFillIn pins the case symbolic analysis exists for: an
+// elimination that creates a nonzero where no device ever stamps. With
+// entries at (1,0) and (0,2), eliminating column 0 fills (1,2); dropping that
+// position from the index lists would silently corrupt the solve.
+func TestBandedSymbolicFillIn(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {0, 2}}
+	sym, err := NewBandedSymbolic(3, 2, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewBanded(3, 2)
+	vals := [][3]float64{{4, 1, 2}, {1, 5, 0}, {2, 0, 6}}
+	d := NewDense(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if vals[i][j] != 0 {
+				m.AddAt(i, j, vals[i][j])
+				d.AddAt(i, j, vals[i][j])
+			}
+		}
+	}
+	rhs := []float64{1, 2, 3}
+	got := make([]float64, 3)
+	if err := sym.FactorSolve(m, 0, got, rhs); err != nil {
+		t.Fatal(err)
+	}
+	var lu LU
+	if err := lu.Refactor(d); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 3)
+	if err := lu.SolveInto(want, rhs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Eliminating column 0 fills (1,2) in U and (2,1) in L (the latter then a
+	// multiplier for column 1), on top of the four declared off-diagonals.
+	if sub, upper := sym.Nonzeros(); sub != 3 || upper != 3 {
+		t.Fatalf("Nonzeros() = (%d, %d), want (3, 3): fill positions missing", sub, upper)
+	}
+}
+
+func TestBandedSymbolicErrors(t *testing.T) {
+	if _, err := NewBandedSymbolic(4, 1, [][2]int{{0, 3}}); err == nil {
+		t.Fatal("out-of-band pattern position accepted")
+	}
+	if _, err := NewBandedSymbolic(4, 1, [][2]int{{0, 4}}); err == nil {
+		t.Fatal("out-of-range pattern position accepted")
+	}
+	sym, err := NewBandedSymbolic(4, 1, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 4)
+	if err := sym.FactorSolve(NewBanded(5, 1), 0, x, x); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := sym.FactorSolve(NewBanded(4, 1), 0, x[:2], x[:2]); err == nil {
+		t.Fatal("rhs size mismatch accepted")
+	}
+	if err := sym.FactorSolve(NewBanded(4, 1), 0, x, x); err != ErrSingular {
+		t.Fatalf("zero matrix: got %v, want ErrSingular", err)
+	}
+}
+
+func TestBandedSymbolicSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 160, 5
+	pairs := randomPattern(rng, n, k, 200)
+	sym, err := NewBandedSymbolic(n, k, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := assemble(rng, n, k, pairs)
+	work := NewBanded(n, k)
+	rhs := make([]float64, n)
+	x := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		work.CopyFrom(src)
+		if err := sym.FactorSolve(work, 0, x, rhs); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state FactorSolve allocates %.0f times per solve", allocs)
+	}
+}

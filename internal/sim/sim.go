@@ -218,21 +218,21 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Scratch holds the simulator's reusable per-run allocations - today the
-// refresh event queue, the dominant steady allocation of a run. A Scratch
-// may be reused across any number of sequential runs; concurrent runs need
-// one Scratch each. The zero value is usable.
+// Scratch holds the simulator's reusable per-run allocations - the refresh
+// event queue (a timing wheel; see wheel.go), the dominant steady allocation
+// of a run. A Scratch may be reused across any number of sequential runs;
+// concurrent runs need one Scratch each. The zero value is usable.
 type Scratch struct {
-	events eventHeap
+	queue eventQueue
 }
 
-// NewScratch returns a Scratch pre-sized for a bank with the given number of
-// rows (the event queue holds at most one outstanding refresh per row).
+// NewScratch returns a Scratch for a bank with the given number of rows (the
+// event queue holds at most one outstanding refresh per row).
 func NewScratch(rows int) *Scratch {
 	if rows < 0 {
 		rows = 0
 	}
-	return &Scratch{events: make(eventHeap, 0, rows)}
+	return &Scratch{queue: eventQueue{heap: make(eventHeap, 0, rows)}}
 }
 
 // scratchPool recycles Scratch buffers across Run/RunContext calls, so even
@@ -255,7 +255,7 @@ func NewReusable(rows int) *Reusable {
 	if rows < 0 {
 		rows = 0
 	}
-	return &Reusable{scratch: Scratch{events: make(eventHeap, 0, rows)}}
+	return &Reusable{scratch: Scratch{queue: eventQueue{heap: make(eventHeap, 0, rows)}}}
 }
 
 // Run is Run with this context's buffers.
@@ -361,8 +361,8 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 	}
 
 	rows := bank.Geom.Rows
-	h := scratch.events[:0]
-	defer func() { scratch.events = h[:0] }()
+	q := &scratch.queue
+	q.reset()
 	var (
 		next          trace.Record
 		havePending   bool
@@ -397,7 +397,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		st.Scheduler = sched.Name()
 		st.Duration = opts.Duration
 		for _, ev := range cp.Events {
-			h = append(h, event{t: ev.Time, row: ev.Row})
+			q.push(event{t: ev.Time, row: ev.Row})
 		}
 		// Re-position the (freshly opened) trace source by replaying the
 		// records the checkpointed run had already consumed; the buffered
@@ -423,7 +423,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			if p <= 0 {
 				return Stats{}, fmt.Errorf("sim: scheduler period for row %d is %g", r, p)
 			}
-			h = append(h, event{t: staggerFrac(r) * p, row: r})
+			q.push(event{t: staggerFrac(r) * p, row: r})
 		}
 		// Trace look-ahead record. The readers in internal/trace enforce time
 		// ordering themselves, but a custom Source is only trusted as far as
@@ -440,7 +440,6 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			return st, err
 		}
 	}
-	h.init()
 
 	// drainScrub runs every patrol tick due at or before until, interleaved
 	// with the trace so accesses and patrol reads stay in time order. It runs
@@ -507,7 +506,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			Duration:      opts.Duration,
 			Scheduler:     sched.Name(),
 			Stats:         st,
-			Events:        make([]PendingEvent, len(h)),
+			Events:        q.pendingSorted(),
 			Bank:          bank.State(),
 			TraceRead:     traceRead,
 			HavePending:   havePending,
@@ -523,9 +522,6 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		if havePending {
 			cp.Pending = next
 		}
-		for i, ev := range h {
-			cp.Events[i] = PendingEvent{Time: ev.t, Row: ev.row}
-		}
 		return cp, nil
 	}
 
@@ -536,7 +532,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		nextCP = opts.CheckpointEvery * (math.Floor(now/opts.CheckpointEvery) + 1)
 	}
 
-	for len(h) > 0 {
+	for q.size() > 0 {
 		if err := ctx.Err(); err != nil {
 			// A final snapshot lets the caller persist the state the run
 			// stopped in, so an interrupted run resumes instead of restarts.
@@ -553,7 +549,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			finalize(now)
 			return st, fmt.Errorf("sim: cancelled at t=%.6g: %w", now, err)
 		}
-		for opts.CheckpointSink != nil && nextCP < opts.Duration && h[0].t >= nextCP {
+		for opts.CheckpointSink != nil && nextCP < opts.Duration && q.peekTime() >= nextCP {
 			cp, err := capture(nextCP)
 			if err == nil {
 				err = opts.CheckpointSink(cp)
@@ -564,7 +560,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			}
 			nextCP += opts.CheckpointEvery
 		}
-		ev := h.pop()
+		ev := q.pop()
 		if ev.t >= opts.Duration {
 			continue
 		}
@@ -625,7 +621,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		st.BusyCycles += int64(op.Cycles)
 		st.ChargeRestored += res.ChargeRestored
 		busyUntil = ev.t + float64(op.Cycles)*opts.TCK
-		h.push(event{t: ev.t + sched.Period(ev.row), row: ev.row})
+		q.push(event{t: ev.t + sched.Period(ev.row), row: ev.row})
 	}
 	if err := drainScrub(opts.Duration); err != nil {
 		finalize(opts.Duration)

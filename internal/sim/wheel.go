@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Timing-wheel event queue. Refresh events are overwhelmingly periodic with
+// periods that are multiples of tREFI, so hashing them into tREFI-wide time
+// buckets makes push and pop O(1) amortized instead of the binary heap's
+// O(log rows), with no comparator calls on the hot path. Events beyond the
+// wheel's horizon wait in an overflow ring (a min-heap) and are
+// redistributed when the wheel wraps.
+//
+// Ordering invariant: the wheel pops in exactly the same total (time, row)
+// order as the reference binary heap. Buckets partition time, the wheel
+// consumes them left to right, each bucket is itself a (time, row) min-heap,
+// and every overflow event lies strictly past every bucketed event - so the
+// pop sequence is uniquely determined by the comparator, and Stats,
+// checkpoints, and resume blobs stay bit-identical across queue
+// implementations.
+const (
+	// wheelWidth is one tREFI at the default 64 ms / 8K-row tREFW: the
+	// natural spacing of refresh events.
+	wheelWidth = 64e-3 / 8192
+	// wheelBuckets gives a 128 ms horizon - two tREFW generations - so even
+	// the slowest multi-bin periods mostly land in the wheel directly.
+	wheelBuckets = 16384
+)
+
+type timingWheel struct {
+	buckets  []eventHeap // lazily allocated; each bucket is a (t,row) min-heap
+	base     float64     // time at the left edge of bucket 0
+	cursor   int         // first bucket that may still hold events
+	count    int         // events currently stored in buckets
+	overflow eventHeap   // events at t >= base + horizon, min-heap
+}
+
+// reset empties the wheel while keeping every allocation for reuse.
+func (w *timingWheel) reset() {
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	w.base, w.cursor, w.count = 0, 0, 0
+	w.overflow = w.overflow[:0]
+}
+
+func (w *timingWheel) size() int { return w.count + len(w.overflow) }
+
+func (w *timingWheel) push(e event) {
+	if w.buckets == nil {
+		w.buckets = make([]eventHeap, wheelBuckets)
+	}
+	idx := int((e.t - w.base) / wheelWidth)
+	if idx >= wheelBuckets {
+		w.overflow.push(e)
+		return
+	}
+	if idx < w.cursor {
+		// Floating-point edge: an event due "now" may hash one bucket left
+		// of the cursor. Clamping keeps it poppable; the bucket's internal
+		// (t,row) order still emits it at the right position.
+		idx = w.cursor
+	}
+	w.buckets[idx].push(e)
+	w.count++
+}
+
+// advance moves the cursor to the first non-empty bucket, rebasing the wheel
+// onto the overflow ring's earliest event when the buckets run dry.
+func (w *timingWheel) advance() {
+	for {
+		for w.count > 0 {
+			if len(w.buckets[w.cursor]) > 0 {
+				return
+			}
+			w.cursor++
+		}
+		if len(w.overflow) == 0 {
+			return
+		}
+		// Rebase: align bucket 0 with the earliest outstanding event and
+		// pull everything within the new horizon out of the overflow ring.
+		// The ring is a min-heap, so the drain stops at the first event past
+		// the horizon.
+		w.base = math.Floor(w.overflow[0].t/wheelWidth) * wheelWidth
+		w.cursor = 0
+		for len(w.overflow) > 0 {
+			idx := int((w.overflow[0].t - w.base) / wheelWidth)
+			if idx >= wheelBuckets {
+				break
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			w.buckets[idx].push(w.overflow.pop())
+			w.count++
+		}
+	}
+}
+
+// peekTime returns the earliest outstanding event time, or +Inf when empty.
+func (w *timingWheel) peekTime() float64 {
+	w.advance()
+	if w.count > 0 {
+		return w.buckets[w.cursor][0].t
+	}
+	return math.Inf(1)
+}
+
+// pop removes and returns the earliest event. The wheel must be non-empty.
+func (w *timingWheel) pop() event {
+	w.advance()
+	e := w.buckets[w.cursor].pop()
+	w.count--
+	return e
+}
+
+// eventQueue is the simulator's refresh event queue: a timing wheel by
+// default, with the reference binary heap selectable (useHeap) so the
+// equivalence tests can pin one implementation against the other on
+// identical runs.
+type eventQueue struct {
+	useHeap bool
+	heap    eventHeap
+	wheel   timingWheel
+}
+
+// reset empties the queue, keeping allocations.
+func (q *eventQueue) reset() {
+	q.heap = q.heap[:0]
+	q.wheel.reset()
+}
+
+func (q *eventQueue) size() int {
+	if q.useHeap {
+		return len(q.heap)
+	}
+	return q.wheel.size()
+}
+
+func (q *eventQueue) push(e event) {
+	if q.useHeap {
+		q.heap.push(e)
+		return
+	}
+	q.wheel.push(e)
+}
+
+func (q *eventQueue) pop() event {
+	if q.useHeap {
+		return q.heap.pop()
+	}
+	return q.wheel.pop()
+}
+
+func (q *eventQueue) peekTime() float64 {
+	if q.useHeap {
+		if len(q.heap) == 0 {
+			return math.Inf(1)
+		}
+		return q.heap[0].t
+	}
+	return q.wheel.peekTime()
+}
+
+// pendingSorted returns the outstanding events in canonical (time, row)
+// order. Checkpoints store this form, so checkpoint blobs are independent of
+// the queue implementation and of any queue-internal layout.
+func (q *eventQueue) pendingSorted() []PendingEvent {
+	out := make([]PendingEvent, 0, q.size())
+	if q.useHeap {
+		for _, e := range q.heap {
+			out = append(out, PendingEvent{Time: e.t, Row: e.row})
+		}
+	} else {
+		for i := q.wheel.cursor; i < len(q.wheel.buckets); i++ {
+			for _, e := range q.wheel.buckets[i] {
+				out = append(out, PendingEvent{Time: e.t, Row: e.row})
+			}
+		}
+		for _, e := range q.wheel.overflow {
+			out = append(out, PendingEvent{Time: e.t, Row: e.row})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out
+}

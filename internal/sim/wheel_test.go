@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
+	"vrldram/internal/fault"
+	"vrldram/internal/profiler"
+	"vrldram/internal/retention"
+	"vrldram/internal/scrub"
+	"vrldram/internal/trace"
+)
+
+// TestWheelMatchesHeapPopOrder is the queue-level property: against random
+// workloads of periodic refresh-style events - including periods far past
+// the wheel horizon, ties in time, and interleaved push/pop - the timing
+// wheel must emit exactly the (time, row) sequence the reference binary
+// heap does.
+func TestWheelMatchesHeapPopOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(200)
+		wheel := eventQueue{}
+		heap := eventQueue{useHeap: true}
+		periods := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			// Periods from one bucket width up to ~4x the wheel horizon.
+			periods[r] = wheelWidth * math.Pow(2, 16*rng.Float64())
+			e := event{t: staggerFrac(r) * periods[r], row: r}
+			wheel.push(e)
+			heap.push(e)
+		}
+		horizon := 0.7
+		for heap.size() > 0 {
+			if wheel.size() != heap.size() {
+				return false
+			}
+			if wheel.peekTime() != heap.peekTime() {
+				return false
+			}
+			we, he := wheel.pop(), heap.pop()
+			if we != he {
+				return false
+			}
+			if he.t+periods[he.row] < horizon {
+				next := event{t: he.t + periods[he.row], row: he.row}
+				wheel.push(next)
+				heap.push(next)
+			}
+		}
+		return wheel.size() == 0 && math.IsInf(wheel.peekTime(), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWheelTieOrder pins the tie-break: events sharing one timestamp pop in
+// row order from both implementations.
+func TestWheelTieOrder(t *testing.T) {
+	wheel := eventQueue{}
+	heap := eventQueue{useHeap: true}
+	for _, r := range []int{5, 1, 9, 3, 7} {
+		e := event{t: 0.125, row: r}
+		wheel.push(e)
+		heap.push(e)
+	}
+	for _, want := range []int{1, 3, 5, 7, 9} {
+		we, he := wheel.pop(), heap.pop()
+		if we != he || we.row != want {
+			t.Fatalf("tie pop diverged: wheel %+v heap %+v want row %d", we, he, want)
+		}
+	}
+}
+
+// TestWheelSteadyStateZeroAllocs is the per-event allocation gate: once the
+// wheel's buckets have warmed through a few horizons of a realistic
+// periodic workload (including overflow rebases), a pop+push cycle must not
+// allocate at all.
+func TestWheelSteadyStateZeroAllocs(t *testing.T) {
+	const rows = 2048
+	var wheel eventQueue
+	periods := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		periods[r] = 64e-3 * float64(1+r%8) // 64..512 ms, spanning rebases
+		wheel.push(event{t: staggerFrac(r) * periods[r], row: r})
+	}
+	cycle := func(n int) {
+		for i := 0; i < n; i++ {
+			e := wheel.pop()
+			wheel.push(event{t: e.t + periods[e.row], row: e.row})
+		}
+	}
+	cycle(10 * rows) // warm every bucket and the overflow ring
+	allocs := testing.AllocsPerRun(5, func() { cycle(rows) })
+	if allocs != 0 {
+		t.Fatalf("steady-state wheel pop+push allocates %v per %d events, want 0", allocs, rows)
+	}
+}
+
+// wheelHarness builds one fully-featured run configuration: a mis-binned
+// retention profile (so ECC classification and repair actually fire), a
+// choice of scheduler, an access trace, checkpointing, and optionally the
+// patrol scrubber.
+type wheelHarness struct {
+	geom    device.BankGeometry
+	profile *retention.BankProfile
+	rm      core.RestoreModel
+	recs    []trace.Record
+	opts    Options
+}
+
+func newWheelHarness(t *testing.T, seed int64) *wheelHarness {
+	t.Helper()
+	p := device.Default90nm()
+	geom := device.BankGeometry{Rows: 512, Cols: 32}
+	prof, err := retention.NewSampledProfile(geom, retention.DefaultCellDistribution(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, err := fault.MisBinProfile(prof, 0.05, retention.RAIDRBins, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]trace.Record, 2000)
+	for i := range recs {
+		op := trace.Read
+		if i%3 == 0 {
+			op = trace.Write
+		}
+		recs[i] = trace.Record{Time: float64(i) * 0.768 / float64(len(recs)), Op: op, Row: (i * 37) % geom.Rows}
+	}
+	cls := ecc.DefaultClassifier()
+	return &wheelHarness{
+		geom:    geom,
+		profile: bad,
+		rm:      rm,
+		recs:    recs,
+		opts:    Options{Duration: 0.768, TCK: p.TCK, ECC: &cls},
+	}
+}
+
+func (h *wheelHarness) sched(t *testing.T, name string) core.Scheduler {
+	t.Helper()
+	cfg := core.Config{Restore: h.rm}
+	var (
+		s   core.Scheduler
+		err error
+	)
+	switch name {
+	case "jedec":
+		s, err = core.NewJEDEC(device.Default90nm().TRetNom, h.rm)
+	case "raidr":
+		s, err = core.NewRAIDR(h.profile, cfg)
+	case "vrl":
+		s, err = core.NewVRL(h.profile, cfg)
+	case "vrl-access":
+		s, err = core.NewVRLAccess(h.profile, cfg)
+	default:
+		t.Fatalf("unknown scheduler %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runOnce executes one full checkpointed run on the requested queue
+// implementation and returns the stats plus the gob-encoded checkpoint
+// stream.
+func (h *wheelHarness) runOnce(t *testing.T, schedName string, withScrub, useHeap bool) (Stats, [][]byte) {
+	t.Helper()
+	bank, err := dram.NewBank(h.profile, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := h.sched(t, schedName)
+	opts := h.opts
+	if withScrub {
+		store, err := scrub.NewBankStore(bank, *opts.ECC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr, err := scrub.New(store, scrub.Config{
+			Sched:  sched,
+			Spares: 64,
+			Reprofile: func(row int) (float64, error) {
+				return profiler.ProfileRow(h.profile, retention.ExpDecay{}, row, profiler.Options{})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Scrub = scr
+	}
+	var blobs [][]byte
+	opts.CheckpointEvery = opts.Duration / 4
+	opts.CheckpointSink = func(cp *Checkpoint) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+			return err
+		}
+		blobs = append(blobs, buf.Bytes())
+		return nil
+	}
+	r := NewReusable(h.geom.Rows)
+	r.scratch.queue.useHeap = useHeap
+	st, err := r.Run(bank, sched, trace.NewSliceSource(h.recs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, blobs
+}
+
+// TestWheelMatchesHeapFullRuns is the keystone equivalence property of the
+// queue swap: across all four schedulers, scrub on and off, and two profile
+// seeds, a run on the timing wheel must produce bit-identical Stats and
+// bit-identical serialized checkpoints to the same run on the reference
+// binary heap.
+func TestWheelMatchesHeapFullRuns(t *testing.T) {
+	for _, seed := range []int64{7, 21} {
+		h := newWheelHarness(t, seed)
+		for _, schedName := range []string{"jedec", "raidr", "vrl", "vrl-access"} {
+			for _, withScrub := range []bool{false, true} {
+				name := fmt.Sprintf("seed%d/%s/scrub=%v", seed, schedName, withScrub)
+				t.Run(name, func(t *testing.T) {
+					heapStats, heapBlobs := h.runOnce(t, schedName, withScrub, true)
+					wheelStats, wheelBlobs := h.runOnce(t, schedName, withScrub, false)
+					if !reflect.DeepEqual(heapStats, wheelStats) {
+						t.Fatalf("stats diverged:\nheap:  %+v\nwheel: %+v", heapStats, wheelStats)
+					}
+					if len(heapBlobs) != len(wheelBlobs) {
+						t.Fatalf("checkpoint counts diverged: %d vs %d", len(heapBlobs), len(wheelBlobs))
+					}
+					if len(heapBlobs) == 0 {
+						t.Fatal("run produced no checkpoints; the blob comparison is vacuous")
+					}
+					for i := range heapBlobs {
+						if !bytes.Equal(heapBlobs[i], wheelBlobs[i]) {
+							t.Fatalf("checkpoint %d blob diverged between queue implementations", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}
