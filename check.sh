@@ -35,18 +35,48 @@ go run ./cmd/vrlbench -compare -base-label pr5 -head-label smoke -tolerance 1.5 
 
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per
-# invocation, hence the loops.
-for target in FuzzReader FuzzBinaryReader; do
-    echo "== fuzz $target (internal/trace) =="
-    go test -run='^$' -fuzz="^${target}\$" -fuzztime=3s ./internal/trace
+# invocation, so one pkg:target list drives one loop - add new targets here,
+# not as new stanzas.
+FUZZ_TARGETS="
+internal/trace:FuzzReader
+internal/trace:FuzzBinaryReader
+internal/circuit/spice:FuzzParseDeck
+internal/circuit/spice:FuzzParseValue
+internal/checkpoint:FuzzCheckpointDecode
+internal/scrub:FuzzScrubStateDecode
+internal/serve:FuzzFrameDecode
+"
+for entry in $FUZZ_TARGETS; do
+    pkg=${entry%%:*}
+    target=${entry##*:}
+    echo "== fuzz $target ($pkg) =="
+    go test -run='^$' -fuzz="^${target}\$" -fuzztime=3s "./$pkg"
 done
-for target in FuzzParseDeck FuzzParseValue; do
-    echo "== fuzz $target (internal/circuit/spice) =="
-    go test -run='^$' -fuzz="^${target}\$" -fuzztime=3s ./internal/circuit/spice
+
+# Drain smoke: a live vrlserved on an ephemeral port runs one tiny remote
+# campaign, takes a SIGTERM, and must exit 0 (clean drain) promptly.
+echo "== vrlserved drain smoke =="
+SERVED_DATA=$(mktemp -d /tmp/vrlserved-smoke.XXXXXX)
+SERVED_OUT=$(mktemp /tmp/vrlserved-smoke-out.XXXXXX)
+trap 'rm -f "$SMOKE_LEDGER" "$SERVED_OUT"; rm -rf "$SERVED_DATA"; kill "$SERVED_PID" 2>/dev/null || true' EXIT
+go build -o "$SERVED_DATA/vrlserved" ./cmd/vrlserved
+"$SERVED_DATA/vrlserved" -data "$SERVED_DATA/state" -listen 127.0.0.1:0 >"$SERVED_OUT" 2>&1 &
+SERVED_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening //p' "$SERVED_OUT")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
 done
-echo "== fuzz FuzzCheckpointDecode (internal/checkpoint) =="
-go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=3s ./internal/checkpoint
-echo "== fuzz FuzzScrubStateDecode (internal/scrub) =="
-go test -run='^$' -fuzz='^FuzzScrubStateDecode$' -fuzztime=3s ./internal/scrub
+[ -n "$ADDR" ] || { echo "vrlserved never reported its address"; cat "$SERVED_OUT"; exit 1; }
+go run ./cmd/vrlexp -remote "$ADDR" -exp fig1a -duration 0.05 >/dev/null
+kill -TERM "$SERVED_PID"
+SERVED_STATUS=0
+wait "$SERVED_PID" || SERVED_STATUS=$?
+if [ "$SERVED_STATUS" -ne 0 ]; then
+    echo "vrlserved did not drain cleanly (exit $SERVED_STATUS)"
+    cat "$SERVED_OUT"
+    exit 1
+fi
 
 echo "== all checks passed =="

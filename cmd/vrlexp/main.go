@@ -12,6 +12,13 @@
 //	vrlexp -exp all -seed 7 -duration 0.768
 //	vrlexp -exp all -timeout 2m -checkpoint campaign.ckpt
 //	vrlexp -exp all -checkpoint campaign.ckpt -resume
+//	vrlexp -exp all -remote 127.0.0.1:7421
+//
+// With -remote the campaign runs on a vrlserved instance instead of in
+// process: the client retries through connection loss and server restarts,
+// and the server checkpoints per experiment, so the command survives both
+// ends crashing. -checkpoint, -resume, -timeout, and -workers are
+// server-side concerns and do not combine with -remote.
 //
 // Exit status: 0 on success, 1 on a usage or I/O error or an interrupted
 // campaign, 4 when the campaign finished but one or more experiments
@@ -25,16 +32,16 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
-	"syscall"
 	"time"
 
 	"vrldram"
 	"vrldram/internal/checkpoint"
+	"vrldram/internal/cli"
 	"vrldram/internal/exp"
+	"vrldram/internal/serve"
 )
 
 func main() {
@@ -48,6 +55,7 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "persist completed results to this file (atomic, CRC-checked)")
 		resume     = flag.Bool("resume", false, "reuse completed results from -checkpoint instead of re-running them")
 		workers    = flag.Int("workers", 0, "concurrent cells per experiment (0 = GOMAXPROCS; also VRLDRAM_WORKERS env; results are identical for any value)")
+		remote     = flag.String("remote", "", "run the campaign on a vrlserved instance at this address")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
@@ -69,6 +77,13 @@ func main() {
 	var ids []string // nil = whole registry, in the paper's order
 	if *expID != "all" {
 		ids = []string{*expID}
+	}
+
+	if *remote != "" {
+		if *ckptPath != "" || *resume || *timeout != 0 || *workers != 0 {
+			fatal(errors.New("-remote runs the campaign server-side; -checkpoint, -resume, -timeout, and -workers do not apply"))
+		}
+		os.Exit(runRemote(*remote, ids, *seed, *duration, *format))
 	}
 
 	cfg := exp.Default()
@@ -111,7 +126,7 @@ func main() {
 		os.Exit(code)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	opts := exp.CampaignOptions{IDs: ids, Timeout: *timeout}
@@ -150,18 +165,7 @@ func main() {
 
 	start := time.Now()
 	results, err := exp.RunCampaign(ctx, cfg, opts)
-	for _, res := range results {
-		var perr error
-		switch *format {
-		case "table":
-			perr = res.Fprint(os.Stdout)
-		case "csv":
-			perr = res.FprintCSV(os.Stdout)
-		}
-		if perr != nil {
-			fatal(perr)
-		}
-	}
+	printResults(results, *format)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "vrlexp: campaign interrupted after %d experiment(s) (%v elapsed)\n", len(results), time.Since(start).Round(time.Second))
@@ -172,6 +176,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
 		finish(1)
 	}
+	if countFailed(results) > 0 {
+		finish(4)
+	}
+	finish(0)
+}
+
+// runRemote submits the campaign to a vrlserved instance and returns the
+// process exit code. The client retries through connection loss and server
+// restarts; SIGINT/SIGTERM abandons the wait (the session keeps running
+// server-side and a rerun with the same parameters starts a new one).
+func runRemote(addr string, ids []string, seed int64, duration float64, format string) int {
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	cl := serve.NewClient(serve.ClientOptions{
+		Addr: addr,
+		Logf: func(f string, args ...any) { fmt.Fprintf(os.Stderr, "vrlexp: remote: "+f+"\n", args...) },
+	})
+	results, err := cl.RunCampaign(ctx, serve.CampaignSpec{IDs: ids, Seed: seed, Duration: duration})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "vrlexp: interrupted while waiting on %s\n", addr)
+			return cli.StatusInterrupted
+		}
+		fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
+		return 1
+	}
+	printResults(results, format)
+	if countFailed(results) > 0 {
+		return 4
+	}
+	return 0
+}
+
+func printResults(results []*exp.Result, format string) {
+	for _, res := range results {
+		var perr error
+		switch format {
+		case "table":
+			perr = res.Fprint(os.Stdout)
+		case "csv":
+			perr = res.FprintCSV(os.Stdout)
+		}
+		if perr != nil {
+			fatal(perr)
+		}
+	}
+}
+
+func countFailed(results []*exp.Result) int {
 	failed := 0
 	for _, res := range results {
 		if res.Failed() {
@@ -179,10 +232,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vrlexp: experiment %s failed (see its notes)\n", res.ID)
 		}
 	}
-	if failed > 0 {
-		finish(4)
-	}
-	finish(0)
+	return failed
 }
 
 // resolveWorkers applies the precedence -workers flag > VRLDRAM_WORKERS env >
@@ -202,7 +252,4 @@ func resolveWorkers(flagVal int) int {
 	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vrlexp: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("vrlexp", err) }

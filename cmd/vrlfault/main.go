@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"vrldram/internal/cli"
 	"vrldram/internal/core"
 	"vrldram/internal/device"
 	"vrldram/internal/dram"
@@ -43,9 +44,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// The campaign loops are not context-aware, so a delivered signal ends
+	// the run with the conventional interrupted status instead of a kill.
+	cli.InterruptExit("vrlfault")
+
 	if err := run(*injector, *rate, *dtemp, *seed, *duration, *scrubOn, *spares, *sweep); err != nil {
-		fmt.Fprintf(os.Stderr, "vrlfault: %v\n", err)
-		os.Exit(1)
+		cli.Fatal("vrlfault", err)
 	}
 }
 

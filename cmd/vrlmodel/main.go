@@ -12,10 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"vrldram/internal/circuit/analytic"
 	"vrldram/internal/circuit/netlists"
+	"vrldram/internal/cli"
 	"vrldram/internal/device"
 )
 
@@ -27,6 +27,7 @@ func main() {
 		target   = flag.Float64("target", 0.95, "restore/signal development target fraction")
 	)
 	flag.Parse()
+	cli.InterruptExit("vrlmodel")
 
 	p := device.Default90nm()
 	geom := device.BankGeometry{Rows: *rows, Cols: *cols}
@@ -74,7 +75,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vrlmodel: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("vrlmodel", err) }

@@ -12,9 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
+	"vrldram/internal/cli"
 	"vrldram/internal/device"
 	"vrldram/internal/profiler"
 	"vrldram/internal/retention"
@@ -28,6 +28,7 @@ func main() {
 		margin = flag.Float64("margin", retention.ProfilerGuardband, "profiling margin (intervals tested at interval/margin)")
 	)
 	flag.Parse()
+	cli.InterruptExit("vrlprof")
 
 	geom := device.BankGeometry{Rows: *rows, Cols: *cols}
 	dist := retention.DefaultCellDistribution()
@@ -68,7 +69,4 @@ func main() {
 		vals[0]*1000, vals[len(vals)/2]*1000, vals[len(vals)-1]*1000)
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vrlprof: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("vrlprof", err) }

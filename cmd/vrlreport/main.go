@@ -10,9 +10,9 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
+	"vrldram/internal/cli"
 	"vrldram/internal/exp"
 )
 
@@ -23,6 +23,7 @@ func main() {
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	cli.InterruptExit("vrlreport")
 
 	cfg := exp.Default()
 	if *seed != 0 {
@@ -50,7 +51,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vrlreport: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("vrlreport", err) }

@@ -1,0 +1,86 @@
+// Command vrlserved is the crash-tolerant simulation service: clients
+// (vrlexp -remote, or anything speaking the serve wire protocol) submit
+// simulation and campaign sessions, stream traces incrementally, disconnect,
+// reconnect, and pick their session back up - across server restarts
+// included, because every session's spec, trace spool, and job progress are
+// durable under -data.
+//
+// Usage:
+//
+//	vrlserved -data /var/lib/vrlserved
+//	vrlserved -data ./state -listen 127.0.0.1:7421 -max-sessions 32
+//
+// SIGINT/SIGTERM drains gracefully: running jobs write a final checkpoint
+// and park, attached clients are told to retry, and the process exits 0
+// once everything has stopped. A later vrlserved over the same -data
+// resumes every in-flight session.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"vrldram/internal/cli"
+	"vrldram/internal/serve"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7421", "TCP listen address (port 0 = ephemeral, printed at startup)")
+		dataDir     = flag.String("data", "", "durable session state directory (required)")
+		maxSessions = flag.Int("max-sessions", 0, "live session bound (0 = default)")
+		workers     = flag.Int("workers", 0, "shared job worker pool size (0 = GOMAXPROCS)")
+		idle        = flag.Duration("idle-timeout", 0, "half-open connection reaping timeout (0 = default)")
+		ckptEvery   = flag.Float64("checkpoint-every", 0, "simulated seconds between job checkpoints (0 = duration/8)")
+		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+	)
+	flag.Parse()
+
+	if *dataDir == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vrlserved: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	srv, err := serve.New(serve.Options{
+		DataDir:         *dataDir,
+		MaxSessions:     *maxSessions,
+		Workers:         *workers,
+		IdleTimeout:     *idle,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	// The resolved address goes to stdout so scripts using an ephemeral port
+	// (-listen 127.0.0.1:0) can discover where to connect.
+	fmt.Printf("listening %s\n", ln.Addr())
+
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+
+	start := time.Now()
+	if err := srv.Serve(ctx, ln); err != nil {
+		fatal(err)
+	}
+	if logf != nil {
+		logf("drained cleanly after %v", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) { cli.Fatal("vrlserved", err) }

@@ -25,10 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"vrldram"
+	"vrldram/internal/cli"
 	"vrldram/internal/trace"
 )
 
@@ -54,6 +53,17 @@ func main() {
 
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+
+	// Catch SIGINT/SIGTERM before the (possibly long) trace build: an early
+	// interrupt then cancels the run - which still writes a final checkpoint
+	// when -checkpoint is set - instead of killing the process outright.
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	sys, err := vrldram.NewSystem(vrldram.Options{
@@ -98,15 +108,6 @@ func main() {
 		}
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	st, err := sys.SimulateControlled(vrldram.SchedulerKind(*sched), accesses, *duration, vrldram.RunControl{
 		Context:         ctx,
 		CheckpointPath:  *ckptPath,
@@ -144,7 +145,4 @@ func printStats(w io.Writer, st vrldram.Stats) {
 	fmt.Fprintf(w, "violations:         %d\n", st.Violations)
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vrlsim: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("vrlsim", err) }

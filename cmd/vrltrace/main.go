@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"vrldram/internal/cli"
 	"vrldram/internal/device"
 	"vrldram/internal/trace"
 )
@@ -30,6 +31,7 @@ func main() {
 		stats    = flag.String("stats", "", "analyze an existing trace file and exit")
 	)
 	flag.Parse()
+	cli.InterruptExit("vrltrace")
 
 	switch {
 	case *list:
@@ -130,7 +132,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "vrltrace: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("vrltrace", err) }

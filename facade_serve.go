@@ -1,0 +1,68 @@
+package vrldram
+
+import (
+	"context"
+	"io"
+	"net"
+	"time"
+
+	"vrldram/internal/serve"
+)
+
+// This file is the facade over the service layer (internal/serve): running
+// the crash-tolerant simulation daemon in-process, and driving experiments
+// on a remote one. cmd/vrlserved and vrlexp -remote are thin wrappers over
+// the same internals; see ARCHITECTURE.md, "The service layer".
+
+// ServeOptions configures an embedded simulation service. The zero value
+// of every field except DataDir resolves to a usable default.
+type ServeOptions struct {
+	// DataDir roots all durable session state (required). A later Serve
+	// over the same directory resumes every in-flight session.
+	DataDir string
+	// MaxSessions bounds concurrently live sessions (0 = default).
+	MaxSessions int
+	// Workers sizes the shared job worker pool (0 = GOMAXPROCS).
+	Workers int
+	// IdleTimeout reaps half-open connections (0 = default).
+	IdleTimeout time.Duration
+	// Logf receives operational one-liners (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Serve runs the crash-tolerant simulation service on ln until ctx is
+// cancelled, then drains gracefully: running jobs write a final checkpoint
+// and park, attached clients are told to retry, and Serve returns once
+// everything has stopped. The listener is closed by Serve.
+func Serve(ctx context.Context, ln net.Listener, opts ServeOptions) error {
+	srv, err := serve.New(serve.Options{
+		DataDir:     opts.DataDir,
+		MaxSessions: opts.MaxSessions,
+		Workers:     opts.Workers,
+		IdleTimeout: opts.IdleTimeout,
+		Logf:        opts.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ctx, ln)
+}
+
+// RunRemoteExperiments submits experiment IDs to a service at addr, waits
+// for the results - retrying with backoff through connection loss and
+// server restarts, resuming its session via a server-issued token - and
+// renders each to w. A nil ids runs the whole registry in the paper's
+// order; zero seed and duration keep the paper defaults.
+func RunRemoteExperiments(ctx context.Context, w io.Writer, addr string, ids []string, seed int64, duration float64) error {
+	cl := serve.NewClient(serve.ClientOptions{Addr: addr})
+	results, err := cl.RunCampaign(ctx, serve.CampaignSpec{IDs: ids, Seed: seed, Duration: duration})
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if err := res.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

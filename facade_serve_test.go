@@ -1,0 +1,48 @@
+package vrldram_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"vrldram"
+)
+
+// TestServeAndRunRemoteExperiments drives the facade end to end: an
+// embedded service on an ephemeral port runs one small experiment for a
+// remote client, matching the same experiment run locally, then drains
+// cleanly when its context is cancelled.
+func TestServeAndRunRemoteExperiments(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- vrldram.Serve(ctx, ln, vrldram.ServeOptions{DataDir: t.TempDir()})
+	}()
+
+	var remote bytes.Buffer
+	if err := vrldram.RunRemoteExperiments(context.Background(), &remote, ln.Addr().String(), []string{"fig1a"}, 0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+
+	var local bytes.Buffer
+	if err := vrldram.RunExperimentSeeded("fig1a", &local, 0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if remote.String() != local.String() {
+		t.Fatalf("remote rendering diverges from local:\n got:\n%s\nwant:\n%s", remote.String(), local.String())
+	}
+	if !strings.Contains(remote.String(), "fig1a") {
+		t.Fatal("rendered output does not name the experiment")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -4,9 +4,10 @@
 // never destroys the last good snapshot, and a corrupted newest generation
 // falls back to the one before it.
 //
-// Two payload kinds share the container: a sim.Checkpoint (the full
-// resumable state of one RunContext invocation) and a campaign progress
-// record (the completed exp.Results of a vrlexp run). The container is
+// Several payload kinds share the container: a sim.Checkpoint (the full
+// resumable state of one RunContext invocation), a campaign progress record
+// (the completed exp.Results of a vrlexp run), and the service session
+// metadata of internal/serve (framed via EncodeBlob). The container is
 //
 //	magic   "VRLC"    [4]byte
 //	version uint16    little-endian
@@ -38,10 +39,13 @@ var magic = [4]byte{'V', 'R', 'L', 'C'}
 // Version is the container format version this package reads and writes.
 const Version = 1
 
-// Payload kinds.
+// Payload kinds. The container framing is shared by every durable artifact
+// in the repository; new subsystems claim a kind here so a file of one kind
+// can never be decoded as another (the kind byte is covered by the CRC).
 const (
-	kindSim      = 1
-	kindCampaign = 2
+	KindSim      = 1 // a sim.Checkpoint (EncodeSim/DecodeSim)
+	KindCampaign = 2 // completed exp.Results of a campaign (EncodeCampaign/DecodeCampaign)
+	KindSession  = 3 // a service session's metadata record (internal/serve)
 )
 
 const headerLen = 4 + 2 + 1 + 8 // magic + version + kind + length
@@ -50,6 +54,20 @@ const headerLen = 4 + 2 + 1 + 8 // magic + version + kind + length
 // snapshots are a few hundred KiB, so 1 GiB only guards against a corrupt
 // or hostile length field.
 const maxPayload = 1 << 30
+
+// EncodeBlob frames and checksums an opaque payload as one container of the
+// given kind. Callers that define their own payload codecs (e.g. the service
+// session records in internal/serve) use this to inherit the container's
+// atomicity-friendly framing, version check, and CRC coverage.
+func EncodeBlob(w io.Writer, kind byte, payload []byte) error {
+	return writeContainer(w, kind, payload)
+}
+
+// DecodeBlob reads and verifies a container of the given kind, returning its
+// payload. It is the read side of EncodeBlob.
+func DecodeBlob(r io.Reader, kind byte) ([]byte, error) {
+	return readContainer(r, kind)
+}
 
 // writeContainer frames and checksums a payload.
 func writeContainer(w io.Writer, kind byte, payload []byte) error {
@@ -169,12 +187,12 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 
 	e.Bytes(cp.SchedState)
 	e.Bytes(cp.ScrubState)
-	return writeContainer(w, kindSim, e.Data())
+	return writeContainer(w, KindSim, e.Data())
 }
 
 // DecodeSim reads and verifies a simulation checkpoint.
 func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
-	payload, err := readContainer(r, kindSim)
+	payload, err := readContainer(r, KindSim)
 	if err != nil {
 		return nil, err
 	}
@@ -327,12 +345,12 @@ func EncodeCampaign(w io.Writer, results []*exp.Result) error {
 		}
 		strs(res.Notes)
 	}
-	return writeContainer(w, kindCampaign, e.Data())
+	return writeContainer(w, KindCampaign, e.Data())
 }
 
 // DecodeCampaign reads and verifies a campaign progress record.
 func DecodeCampaign(r io.Reader) ([]*exp.Result, error) {
-	payload, err := readContainer(r, kindCampaign)
+	payload, err := readContainer(r, KindCampaign)
 	if err != nil {
 		return nil, err
 	}

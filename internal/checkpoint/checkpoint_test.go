@@ -103,7 +103,7 @@ func TestDecodeRejectsWrongVersionAndKind(t *testing.T) {
 	}
 
 	bad = append([]byte(nil), good...)
-	bad[6] = kindCampaign // valid kind, wrong codec
+	bad[6] = KindCampaign // valid kind, wrong codec
 	if _, err := DecodeSim(bytes.NewReader(bad)); err == nil {
 		t.Error("campaign kind fed to DecodeSim unexpectedly succeeded")
 	}

@@ -1,0 +1,51 @@
+// Package cli carries the conventions shared by every vrldram command:
+// signal-aware contexts and the common exit paths, so each binary wires
+// SIGINT/SIGTERM the same way instead of growing its own variant.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// StatusInterrupted is the conventional exit status for a run ended by a
+// signal or deadline (vrlsim established it; every command follows).
+const StatusInterrupted = 3
+
+// SignalContext derives a context that is cancelled on SIGINT or SIGTERM.
+// The returned stop function restores default signal delivery, so a second
+// signal kills the process the usual way.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitOnSignal lets a command whose inner loops are not context-aware still
+// honor SignalContext: when ctx dies, one line goes to stderr and the
+// process exits with StatusInterrupted. The caller must NOT cancel ctx on
+// its normal completion path (normal process exit simply abandons the
+// watcher); cancel only to mean "stop now".
+func ExitOnSignal(ctx context.Context, name string) {
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+		os.Exit(StatusInterrupted)
+	}()
+}
+
+// InterruptExit is the whole signal story for a command with no
+// context-aware inner loops: SignalContext plus ExitOnSignal, with the stop
+// function deliberately discarded so normal completion can never race the
+// watcher into a spurious interrupted exit.
+func InterruptExit(name string) {
+	ctx, _ := SignalContext(context.Background())
+	ExitOnSignal(ctx, name)
+}
+
+// Fatal prints the command's standard one-line error and exits 1.
+func Fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(1)
+}

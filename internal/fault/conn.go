@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file extends the injector family to the service transport
+// (internal/serve): a deterministic flaky-connection wrapper modelling the
+// network failures a long-lived simulation service must survive - mid-frame
+// cuts, stalls long enough to look half-open, and byte corruption that the
+// wire protocol's CRC must catch. Like every injector in this package, a
+// given (seed, faults) configuration misbehaves identically on every run.
+
+// ConnFaults configures one connection's misbehavior. The zero value injects
+// nothing.
+type ConnFaults struct {
+	// CutAfterBytes hard-closes the connection after this many bytes have
+	// been written by the wrapped side (0 = never). Cuts land mid-frame by
+	// construction: the threshold ignores frame boundaries.
+	CutAfterBytes int64
+	// StallEvery stalls the connection for StallFor once per every
+	// StallEvery bytes written (0 = never). Stalls exercise heartbeat and
+	// idle-timeout paths without killing the connection.
+	StallEvery int64
+	StallFor   time.Duration
+	// GarbageRate flips one byte per write with this probability (0 = never),
+	// corrupting frames in flight; the receiver's CRC check must reject
+	// them.
+	GarbageRate float64
+	// Seed drives the deterministic corruption choices.
+	Seed int64
+}
+
+// FlakyConn wraps a net.Conn with deterministic write-side faults. Reads
+// pass through untouched: in the serve tests each endpoint wraps its own
+// connection, so write-side faults cover both directions of the wire.
+type FlakyConn struct {
+	net.Conn
+	faults ConnFaults
+
+	mu      sync.Mutex
+	written int64
+	events  uint64 // corruption decision counter (seed, counter) -> unit
+	cut     bool
+}
+
+// NewFlakyConn wraps nc.
+func NewFlakyConn(nc net.Conn, faults ConnFaults) *FlakyConn {
+	return &FlakyConn{Conn: nc, faults: faults}
+}
+
+// Write applies the configured faults, then forwards to the wrapped
+// connection.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	if f.cut {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("fault: connection cut")
+	}
+
+	// Stall first: a stalled connection is alive but silent.
+	var stall time.Duration
+	if f.faults.StallEvery > 0 && f.faults.StallFor > 0 {
+		before := f.written / f.faults.StallEvery
+		after := (f.written + int64(len(p))) / f.faults.StallEvery
+		if after > before {
+			stall = f.faults.StallFor
+		}
+	}
+
+	// Cut mid-frame: write only the bytes up to the threshold, then die.
+	n := len(p)
+	cutNow := false
+	if f.faults.CutAfterBytes > 0 && f.written+int64(n) >= f.faults.CutAfterBytes {
+		n = int(f.faults.CutAfterBytes - f.written)
+		if n < 0 {
+			n = 0
+		}
+		cutNow = true
+	}
+
+	buf := p[:n]
+	if f.faults.GarbageRate > 0 && n > 0 {
+		f.events++
+		if unit(f.faults.Seed, f.events) < f.faults.GarbageRate {
+			f.events++
+			i := int(splitmix64(uint64(f.faults.Seed)^splitmix64(f.events)) % uint64(n))
+			buf = append([]byte(nil), p[:n]...)
+			buf[i] ^= 0x55
+		}
+	}
+	f.written += int64(n)
+	f.mu.Unlock()
+
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	wrote, err := f.Conn.Write(buf)
+	if cutNow {
+		f.mu.Lock()
+		f.cut = true
+		f.mu.Unlock()
+		f.Conn.Close()
+		if err == nil {
+			err = fmt.Errorf("fault: connection cut after %d bytes", f.faults.CutAfterBytes)
+		}
+	}
+	return wrote, err
+}
+
+// NewFlakyDialer wraps a dial function so that the i-th established
+// connection (i from 0) gets faults(i). Passing a ConnFaults zero value for
+// an attempt lets that connection run clean - the usual shape is "first K
+// connections die, then one succeeds", which exercises the client's resume
+// path deterministically.
+func NewFlakyDialer(dial func() (net.Conn, error), faults func(attempt int) ConnFaults) func() (net.Conn, error) {
+	var mu sync.Mutex
+	attempt := 0
+	return func() (net.Conn, error) {
+		mu.Lock()
+		i := attempt
+		attempt++
+		mu.Unlock()
+		nc, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		f := faults(i)
+		if f == (ConnFaults{}) {
+			return nc, nil
+		}
+		return NewFlakyConn(nc, f), nil
+	}
+}

@@ -3,10 +3,16 @@
 // handful of (distribution, seed, geometry) profiles and (params, geometry)
 // restore models, and before this cache each cell rebuilt them from scratch -
 // a Monte Carlo sample over 65k+ rows per profile. The cache builds each
-// distinct input once per process and hands out shared read-only views;
-// profile consumers that need to mutate (clamping, temperature excursions,
-// row upgrades) already copy-on-write, so sharing is safe under the parallel
-// sweep engine.
+// distinct input once and hands out shared read-only views; profile consumers
+// that need to mutate (clamping, temperature excursions, row upgrades)
+// already copy-on-write, so sharing is safe under the parallel sweep engine.
+//
+// Two scopes exist. The package-level functions use one process-wide default
+// cache - the right scope for a one-shot CLI run, where every experiment
+// shares one seed universe. Long-lived processes that serve many independent
+// clients (internal/serve) own Cache instances instead, so each service can
+// bound its memory with Flush and no session's profile population leaks into
+// a global that outlives it.
 package profcache
 
 import (
@@ -35,16 +41,21 @@ type modelKey struct {
 	partialCycles int
 }
 
-var (
+// Cache is one memoization scope for profiles and restore models. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Cache struct {
 	profiles memo.Map[profileKey, *retention.BankProfile]
 	models   memo.Map[modelKey, core.RestoreModel]
-)
+}
+
+// defaultCache backs the package-level functions.
+var defaultCache Cache
 
 // PaperProfile returns the memoized retention.NewPaperProfile(dist, seed).
 // The returned profile is shared and READ-ONLY: use its copy-on-write
 // helpers (AtTemperature, UpgradeRows, ...) rather than mutating fields.
-func PaperProfile(dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
-	return profiles.Get(profileKey{geom: device.PaperBank, dist: dist, seed: seed, paper: true},
+func (c *Cache) PaperProfile(dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	return c.profiles.Get(profileKey{geom: device.PaperBank, dist: dist, seed: seed, paper: true},
 		func() (*retention.BankProfile, error) {
 			return retention.NewPaperProfile(dist, seed)
 		})
@@ -52,17 +63,27 @@ func PaperProfile(dist retention.CellDistribution, seed int64) (*retention.BankP
 
 // SampledProfile returns the memoized retention.NewSampledProfile(geom,
 // dist, seed), shared and READ-ONLY as for PaperProfile.
-func SampledProfile(geom device.BankGeometry, dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
-	return profiles.Get(profileKey{geom: geom, dist: dist, seed: seed},
+func (c *Cache) SampledProfile(geom device.BankGeometry, dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	return c.profiles.Get(profileKey{geom: geom, dist: dist, seed: seed},
 		func() (*retention.BankProfile, error) {
 			return retention.NewSampledProfile(geom, dist, seed)
 		})
 }
 
+// Profile returns the paper profile for the paper bank geometry and a
+// sampled profile for any other, mirroring how the facade and the service
+// construct banks.
+func (c *Cache) Profile(geom device.BankGeometry, dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	if geom == device.PaperBank {
+		return c.PaperProfile(dist, seed)
+	}
+	return c.SampledProfile(geom, dist, seed)
+}
+
 // PaperRestoreModel returns the memoized core.PaperRestoreModel(p, geom).
 // RestoreModel is a value type, so callers get an independent copy.
-func PaperRestoreModel(p device.Params, geom device.BankGeometry) (core.RestoreModel, error) {
-	return models.Get(modelKey{params: p, geom: geom, partialCycles: -1},
+func (c *Cache) PaperRestoreModel(p device.Params, geom device.BankGeometry) (core.RestoreModel, error) {
+	return c.models.Get(modelKey{params: p, geom: geom, partialCycles: -1},
 		func() (core.RestoreModel, error) {
 			return core.PaperRestoreModel(p, geom)
 		})
@@ -72,21 +93,48 @@ func PaperRestoreModel(p device.Params, geom device.BankGeometry) (core.RestoreM
 // partialCycles). partialCycles must be >= 0 (negative values are reserved
 // for the paper default); invalid values are passed through so the
 // underlying constructor reports the error.
-func RestoreModelFor(p device.Params, geom device.BankGeometry, partialCycles int) (core.RestoreModel, error) {
+func (c *Cache) RestoreModelFor(p device.Params, geom device.BankGeometry, partialCycles int) (core.RestoreModel, error) {
 	if partialCycles < 0 {
 		return core.RestoreModelFor(p, geom, partialCycles)
 	}
-	return models.Get(modelKey{params: p, geom: geom, partialCycles: partialCycles},
+	return c.models.Get(modelKey{params: p, geom: geom, partialCycles: partialCycles},
 		func() (core.RestoreModel, error) {
 			return core.RestoreModelFor(p, geom, partialCycles)
 		})
 }
 
 // Len reports the number of cached profiles plus restore models.
-func Len() int { return profiles.Len() + models.Len() }
+func (c *Cache) Len() int { return c.profiles.Len() + c.models.Len() }
 
 // Flush drops all cached profiles and restore models.
-func Flush() {
-	profiles.Flush()
-	models.Flush()
+func (c *Cache) Flush() {
+	c.profiles.Flush()
+	c.models.Flush()
 }
+
+// PaperProfile is Cache.PaperProfile on the process-wide default cache.
+func PaperProfile(dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	return defaultCache.PaperProfile(dist, seed)
+}
+
+// SampledProfile is Cache.SampledProfile on the process-wide default cache.
+func SampledProfile(geom device.BankGeometry, dist retention.CellDistribution, seed int64) (*retention.BankProfile, error) {
+	return defaultCache.SampledProfile(geom, dist, seed)
+}
+
+// PaperRestoreModel is Cache.PaperRestoreModel on the process-wide default
+// cache.
+func PaperRestoreModel(p device.Params, geom device.BankGeometry) (core.RestoreModel, error) {
+	return defaultCache.PaperRestoreModel(p, geom)
+}
+
+// RestoreModelFor is Cache.RestoreModelFor on the process-wide default cache.
+func RestoreModelFor(p device.Params, geom device.BankGeometry, partialCycles int) (core.RestoreModel, error) {
+	return defaultCache.RestoreModelFor(p, geom, partialCycles)
+}
+
+// Len reports the default cache's entry count.
+func Len() int { return defaultCache.Len() }
+
+// Flush drops every entry of the default cache.
+func Flush() { defaultCache.Flush() }

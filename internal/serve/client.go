@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"vrldram/internal/checkpoint"
+	"vrldram/internal/exp"
+	"vrldram/internal/sim"
+	"vrldram/internal/trace"
+)
+
+// ClientOptions configures a Client; every zero field has a default.
+type ClientOptions struct {
+	// Addr is the server's TCP address (required unless Dial is set).
+	Addr string
+	// Dial overrides connection establishment (fault injection, custom
+	// transports). The default dials Addr over TCP.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// MaxAttempts bounds CONSECUTIVE failed connection attempts; any attempt
+	// that reaches a Welcome resets the count, so a long campaign over a
+	// flaky link retries indefinitely while a dead server fails fast.
+	// Default 8.
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the exponential reconnect backoff
+	// (defaults 50ms and 2s); every delay is jittered to avoid reconnect
+	// stampedes.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HeartbeatEvery is the idle ping cadence while waiting for a result
+	// (default 5s); IdleTimeout is how long the connection may go without
+	// any inbound frame before it is declared half-open (default
+	// 3x HeartbeatEvery).
+	HeartbeatEvery time.Duration
+	IdleTimeout    time.Duration
+	// BatchRecords is the trace stream batch size (default 512).
+	BatchRecords int
+	// Seed seeds the client's private jitter RNG - no client touches the
+	// global math/rand state, so simulations stay deterministic around it.
+	Seed int64
+	// Logf receives reconnect/progress one-liners (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 5 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 3 * o.HeartbeatEvery
+	}
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = 512
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Client submits jobs to a vrlserved instance and survives its failures:
+// connections are retried with jittered exponential backoff, sessions resume
+// from the server-issued token, trace streaming restarts from the server's
+// durable watermark, and heartbeats unstick half-open connections. A Client
+// is safe for sequential reuse; run one job at a time per Client.
+type Client struct {
+	opts  ClientOptions
+	mu    sync.Mutex
+	rng   *rand.Rand
+	token string // resume token of the job in flight
+}
+
+// NewClient builds a client; see ClientOptions for defaults.
+func NewClient(opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	return &Client{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// errTransient wraps failures worth a reconnect (cut connections, server
+// drain, admission refusal); anything else aborts the run.
+var errTransient = errors.New("transient")
+
+func transientf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, errTransient)...)
+}
+
+// RunSim submits a simulation spec plus its full trace and blocks until the
+// server reports the final statistics. recs must be time-sorted (the order
+// a trace.Source yields); the slice is retained for re-streaming after a
+// reconnect and never modified.
+func (c *Client) RunSim(ctx context.Context, spec SimSpec, recs []trace.Record) (sim.Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return sim.Stats{}, err
+	}
+	res, err := c.run(ctx, Submit{Kind: JobSim, Sim: spec}, recs)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	if res.Kind != JobSim {
+		return sim.Stats{}, fmt.Errorf("serve: server returned result kind %d for a sim job", res.Kind)
+	}
+	return DecodeStats(res.Blob)
+}
+
+// RunCampaign submits an experiment campaign and blocks until the server
+// returns the completed results.
+func (c *Client) RunCampaign(ctx context.Context, spec CampaignSpec) ([]*exp.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := c.run(ctx, Submit{Kind: JobCampaign, Campaign: spec}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.Kind != JobCampaign {
+		return nil, fmt.Errorf("serve: server returned result kind %d for a campaign job", res.Kind)
+	}
+	return checkpoint.DecodeCampaign(bytes.NewReader(res.Blob))
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// run is the reconnect loop around attempt.
+func (c *Client) run(ctx context.Context, sub Submit, recs []trace.Record) (ResultMsg, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.token = ""
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return ResultMsg{}, err
+		}
+		res, welcomed, err := c.attempt(ctx, sub, recs)
+		if err == nil {
+			c.token = ""
+			return res, nil
+		}
+		if !errors.Is(err, errTransient) {
+			return ResultMsg{}, err
+		}
+		if welcomed {
+			failures = 0 // the server is alive; keep trying indefinitely
+		}
+		failures++
+		if failures >= c.opts.MaxAttempts {
+			return ResultMsg{}, fmt.Errorf("serve: giving up after %d consecutive failed attempts: %w", failures, err)
+		}
+		delay := c.backoff(failures - 1)
+		c.logf("attempt failed (%v); reconnecting in %v", err, delay)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ResultMsg{}, ctx.Err()
+		}
+	}
+}
+
+// backoff returns the jittered exponential delay for the n-th consecutive
+// failure (n from 0).
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opts.BaseBackoff
+	for i := 0; i < n && d < c.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64() // [0.5, 1): never zero, never synchronized
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// wireEvent is one inbound frame (or the read error that ended the stream).
+type wireEvent struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// attempt runs one connection's worth of the protocol. welcomed reports
+// whether the server answered the handshake (used to reset the failure
+// budget).
+func (c *Client) attempt(ctx context.Context, sub Submit, recs []trace.Record) (res ResultMsg, welcomed bool, err error) {
+	nc, err := c.dial(ctx)
+	if err != nil {
+		return ResultMsg{}, false, transientf("dial: %v", err)
+	}
+	defer nc.Close()
+	stop := context.AfterFunc(ctx, func() { nc.Close() })
+	defer stop()
+
+	events := make(chan wireEvent, 16)
+	connDone := make(chan struct{})
+	defer close(connDone) // lets the reader goroutine exit even with a full event queue
+	go func() {
+		br := bufio.NewReader(nc)
+		for {
+			nc.SetReadDeadline(time.Now().Add(c.opts.IdleTimeout))
+			typ, payload, rerr := ReadFrame(br)
+			ev := wireEvent{typ: typ, payload: payload, err: rerr}
+			select {
+			case events <- ev:
+			case <-connDone:
+				return
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}()
+
+	if err := c.write(nc, FrameHello, Hello{Proto: ProtocolVersion, Token: c.token}.encode()); err != nil {
+		return ResultMsg{}, false, transientf("hello: %v", err)
+	}
+	w, err := c.awaitWelcome(ctx, events)
+	if err != nil {
+		return ResultMsg{}, false, err
+	}
+	c.token = w.Token
+
+	if !w.HaveSpec {
+		if err := c.write(nc, FrameSubmit, sub.encode()); err != nil {
+			return ResultMsg{}, true, transientf("submit: %v", err)
+		}
+	}
+	if sub.Kind == JobSim && w.State != StateDone {
+		if res, done, err := c.stream(ctx, nc, events, recs, w.Watermark); done || err != nil {
+			return res, true, err
+		}
+	}
+	res, err = c.awaitResult(ctx, nc, events)
+	return res, true, err
+}
+
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	if c.opts.Dial != nil {
+		return c.opts.Dial(ctx)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", c.opts.Addr)
+}
+
+func (c *Client) write(nc net.Conn, typ byte, payload []byte) error {
+	nc.SetWriteDeadline(time.Now().Add(c.opts.IdleTimeout))
+	return WriteFrame(nc, typ, payload)
+}
+
+// awaitWelcome reads up to the Welcome, classifying pre-welcome errors.
+func (c *Client) awaitWelcome(ctx context.Context, events <-chan wireEvent) (Welcome, error) {
+	for {
+		select {
+		case ev := <-events:
+			switch {
+			case ev.err != nil:
+				return Welcome{}, transientf("awaiting welcome: %v", ev.err)
+			case ev.typ == FrameWelcome:
+				return decodeWelcome(ev.payload)
+			case ev.typ == FrameError:
+				return Welcome{}, c.classify(ev.payload)
+			}
+		case <-ctx.Done():
+			return Welcome{}, ctx.Err()
+		}
+	}
+}
+
+// stream sends recs[from:] in batches and the EOF marker. Inbound events are
+// drained between writes so a Result or fatal Error arriving mid-stream
+// (e.g. a resumed session finishing) is honored immediately; without that
+// drain, server acks would eventually fill both sockets' buffers and
+// deadlock the stream.
+func (c *Client) stream(ctx context.Context, nc net.Conn, events <-chan wireEvent, recs []trace.Record, from int64) (ResultMsg, bool, error) {
+	if from < 0 || from > int64(len(recs)) {
+		return ResultMsg{}, false, fmt.Errorf("serve: server watermark %d outside the %d-record trace", from, len(recs))
+	}
+	for i := from; i < int64(len(recs)); {
+		if res, done, err := drainEvents(events); done || err != nil {
+			return res, done, err
+		}
+		if err := ctx.Err(); err != nil {
+			return ResultMsg{}, false, err
+		}
+		end := i + int64(c.opts.BatchRecords)
+		if end > int64(len(recs)) {
+			end = int64(len(recs))
+		}
+		blob, err := encodeBatchBlob(recs[i:end])
+		if err != nil {
+			return ResultMsg{}, false, err
+		}
+		if err := c.write(nc, FrameTrace, TraceBatch{Start: i, Blob: blob}.encode()); err != nil {
+			return ResultMsg{}, false, transientf("trace stream at %d: %v", i, err)
+		}
+		i = end
+	}
+	if err := c.write(nc, FrameTraceEOF, TraceEOF{Total: int64(len(recs))}.encode()); err != nil {
+		return ResultMsg{}, false, transientf("trace EOF: %v", err)
+	}
+	return ResultMsg{}, false, nil
+}
+
+// drainEvents consumes any pending inbound frames without blocking.
+func drainEvents(events <-chan wireEvent) (ResultMsg, bool, error) {
+	for {
+		select {
+		case ev := <-events:
+			switch {
+			case ev.err != nil:
+				return ResultMsg{}, false, transientf("connection lost: %v", ev.err)
+			case ev.typ == FrameResult:
+				res, err := decodeResult(ev.payload)
+				return res, err == nil, err
+			case ev.typ == FrameError:
+				return ResultMsg{}, false, classifyPayload(ev.payload)
+			}
+			// Ack, Progress, Pong: liveness signals only.
+		default:
+			return ResultMsg{}, false, nil
+		}
+	}
+}
+
+// awaitResult waits for the final Result, pinging on the heartbeat cadence
+// so both ends can tell a slow job from a dead peer.
+func (c *Client) awaitResult(ctx context.Context, nc net.Conn, events <-chan wireEvent) (ResultMsg, error) {
+	ticker := time.NewTicker(c.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	var nonce int64
+	for {
+		select {
+		case ev := <-events:
+			switch {
+			case ev.err != nil:
+				return ResultMsg{}, transientf("awaiting result: %v", ev.err)
+			case ev.typ == FrameResult:
+				return decodeResult(ev.payload)
+			case ev.typ == FrameError:
+				return ResultMsg{}, c.classify(ev.payload)
+			case ev.typ == FrameProgress:
+				if p, err := decodeProgress(ev.payload); err == nil && p.Duration > 0 {
+					c.logf("progress: %.1f%%", 100*p.T/p.Duration)
+				}
+			}
+		case <-ticker.C:
+			nonce++
+			var ping Ack // reuse the int codec for the nonce payload
+			ping.Watermark = nonce
+			if err := c.write(nc, FramePing, ping.encode()); err != nil {
+				return ResultMsg{}, transientf("ping: %v", err)
+			}
+		case <-ctx.Done():
+			return ResultMsg{}, ctx.Err()
+		}
+	}
+}
+
+// classify maps a server ErrorInfo onto the retry policy.
+func (c *Client) classify(payload []byte) error { return classifyPayload(payload) }
+
+func classifyPayload(payload []byte) error {
+	ei, err := decodeError(payload)
+	if err != nil {
+		return transientf("undecodable server error: %v", err)
+	}
+	switch ei.Code {
+	case ErrCodeRetry, ErrCodeFull:
+		return transientf("server: %s", ei.Msg)
+	default:
+		return fmt.Errorf("serve: server rejected the job: %s", ei.Msg)
+	}
+}
+
+// encodeBatchBlob renders records as one complete binary trace blob.
+func encodeBatchBlob(recs []trace.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := trace.NewBinaryWriter(&buf)
+	for _, r := range recs {
+		if err := bw.Write(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// conn is one accepted connection: a read loop (the goroutine that accepted
+// it), a writer goroutine draining the out queue, and at most one attached
+// session. Connections are disposable - every error path closes the
+// connection and leaves the session durable - which is what makes the server
+// indifferent to mid-frame cuts, garbage bytes, and half-open peers.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+
+	out       chan outFrame
+	closedCh  chan struct{}
+	closeOnce sync.Once
+}
+
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:      s,
+		nc:       nc,
+		br:       bufio.NewReader(nc),
+		out:      make(chan outFrame, 64),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// close ends the connection; safe to call from any goroutine, any number of
+// times. The read side unblocks immediately (expired deadline), while the
+// writer goroutine flushes already-queued frames - a refusal or error frame
+// queued just before close still reaches the peer - and then releases the
+// socket.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		c.nc.SetReadDeadline(time.Now())
+	})
+}
+
+// send queues a frame, blocking until the writer takes it or the connection
+// dies. Used for frames that matter (Welcome, Result, Error, Ack, Pong);
+// the writer's write deadline bounds how long a stuck peer can pin the
+// sender.
+func (c *conn) send(typ byte, payload []byte) {
+	select {
+	case c.out <- outFrame{typ, payload}:
+	case <-c.closedCh:
+	}
+}
+
+// trySend queues a frame only if there is room - advisory traffic
+// (Progress) that must never block a worker on a slow reader.
+func (c *conn) trySend(typ byte, payload []byte) {
+	select {
+	case c.out <- outFrame{typ, payload}:
+	case <-c.closedCh:
+	default:
+	}
+}
+
+func (c *conn) sendError(code byte, msg string) {
+	c.send(FrameError, ErrorInfo{Code: code, Msg: msg}.encode())
+}
+
+// serve runs the connection to completion.
+func (c *conn) serve() {
+	defer c.srv.forget(c)
+	defer c.close()
+
+	ctx, cancel := context.WithCancel(c.srv.lifeCtx)
+	defer cancel()
+	go func() { // tie the ingest context to the connection's life
+		select {
+		case <-c.closedCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	// Writer: the only goroutine that touches the socket's write side, and
+	// the one that finally closes it (after flushing the queue).
+	c.srv.wg.Add(1)
+	go func() {
+		defer c.srv.wg.Done()
+		defer c.nc.Close()
+		for {
+			select {
+			case f := <-c.out:
+				c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.IdleTimeout))
+				if err := WriteFrame(c.nc, f.typ, f.payload); err != nil {
+					c.close()
+					return
+				}
+			case <-c.closedCh:
+				for {
+					select {
+					case f := <-c.out:
+						c.nc.SetWriteDeadline(time.Now().Add(time.Second))
+						if WriteFrame(c.nc, f.typ, f.payload) != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	sess, next, ok := c.handshake()
+	if !ok {
+		return
+	}
+	defer sess.detach(c)
+
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.IdleTimeout))
+		typ, payload, err := ReadFrame(c.br)
+		if err != nil {
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				c.srv.logf("conn %s: %v", c.nc.RemoteAddr(), pe)
+				c.sendError(ErrCodeRetry, pe.Msg)
+			}
+			return // cut, timeout, or garbage: the session lives on
+		}
+		switch typ {
+		case FrameSubmit:
+			sub, err := decodeSubmit(payload)
+			if err != nil {
+				c.sendError(ErrCodeRetry, err.Error())
+				return
+			}
+			if err := sess.submit(sub, c); err != nil {
+				// A spec the registry or validator rejects can never
+				// succeed; fail the session so every future attach agrees.
+				sess.fail(err)
+				c.sendError(ErrCodeFatal, err.Error())
+				return
+			}
+		case FrameTrace:
+			b, err := decodeTraceBatch(payload)
+			if err == nil {
+				err = sess.pushBatch(ctx, b, c, &next)
+			}
+			if err != nil {
+				if ctx.Err() == nil {
+					c.sendError(ErrCodeRetry, err.Error())
+				}
+				return
+			}
+		case FrameTraceEOF:
+			t, err := decodeTraceEOF(payload)
+			if err == nil {
+				err = sess.pushEOF(ctx, t.Total, c)
+			}
+			if err != nil {
+				if ctx.Err() == nil {
+					c.sendError(ErrCodeRetry, err.Error())
+				}
+				return
+			}
+		case FramePing:
+			c.send(FramePong, payload)
+		case FramePong:
+			// Any frame, pongs included, already refreshed the read deadline.
+		default:
+			c.sendError(ErrCodeRetry, fmt.Sprintf("unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+// handshake performs admission and attachment, returning the attached
+// session and the connection's initial stream cursor (ok=false: the
+// connection is already dead). A terminal session's result or failure is
+// reported here, and the connection then idles in the normal loop until the
+// satisfied client hangs up - which also guarantees the writer gets to
+// flush those frames before the socket dies.
+func (c *conn) handshake() (sess *session, next int64, ok bool) {
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.IdleTimeout))
+	typ, payload, err := ReadFrame(c.br)
+	if err != nil || typ != FrameHello {
+		return nil, 0, false
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return nil, 0, false // not our protocol; drop silently
+	}
+	if h.Proto != ProtocolVersion {
+		c.sendError(ErrCodeFatal, fmt.Sprintf("protocol version %d not supported (server speaks %d)", h.Proto, ProtocolVersion))
+		return nil, 0, false
+	}
+	if h.Token == "" {
+		sess, err = c.srv.admit()
+		if err != nil {
+			c.sendError(ErrCodeFull, err.Error())
+			return nil, 0, false
+		}
+	} else {
+		if sess = c.srv.lookup(h.Token); sess == nil {
+			c.sendError(ErrCodeFatal, "unknown session token")
+			return nil, 0, false
+		}
+	}
+	w, res, failMsg := sess.attach(c)
+	c.send(FrameWelcome, w.encode())
+	switch {
+	case res != nil:
+		c.send(FrameResult, res.encode())
+	case w.State == StateFailed:
+		c.sendError(ErrCodeFatal, failMsg)
+	}
+	return sess, w.Watermark, true
+}

@@ -1,0 +1,24 @@
+package serve
+
+import (
+	"slices"
+	"testing"
+
+	"vrldram/internal/exp"
+)
+
+// TestCampaignSpecEmptyIDsMeansRegistry pins the "run everything" contract:
+// a campaign submitted with no experiment IDs validates and resolves to the
+// whole registry in the paper's order (what vrlexp -remote -exp all sends).
+func TestCampaignSpecEmptyIDsMeansRegistry(t *testing.T) {
+	if err := (CampaignSpec{}).Validate(); err != nil {
+		t.Fatalf("empty campaign spec must validate, got %v", err)
+	}
+	got := CampaignSpec{}.withDefaults().IDs
+	if !slices.Equal(got, exp.IDs()) {
+		t.Fatalf("empty IDs resolve to %v, want the registry order %v", got, exp.IDs())
+	}
+	if err := (CampaignSpec{IDs: []string{"no-such-exp"}}.Validate()); err == nil {
+		t.Fatal("unknown experiment ID must fail validation")
+	}
+}

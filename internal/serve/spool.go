@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"vrldram/internal/trace"
+)
+
+// spool is a session's durable trace stream: one append-only file in the
+// standard binary trace format (so the simulator reads it back through the
+// ordinary trace.BinaryReader, and an operator can inspect it with vrltrace).
+// The watermark the server acks is exactly the number of records that have
+// survived an fsync here - an acked record can never be lost to a crash, and
+// an unacked one is the client's to resend.
+type spool struct {
+	path string
+	f    *os.File
+
+	mu       sync.Mutex
+	count    int64   // durable records
+	lastTime float64 // time of the last durable record (stream ordering check)
+}
+
+const (
+	spoolHeaderLen = 5  // "VRLT" + version, written once at creation
+	spoolRecordLen = 13 // fixed binary record size
+)
+
+// openSpool opens or creates dir/trace.vrlt and recovers the durable record
+// count. Recovery tolerates a torn tail (a crash mid-append): the file is
+// truncated back to the last whole, valid record and ingestion resumes from
+// there.
+func openSpool(dir string) (*spool, error) {
+	path := filepath.Join(dir, "trace.vrlt")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &spool{path: path, f: f}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the file through the trace reader, counting whole valid
+// records, then truncates any torn or invalid tail.
+func (s *spool) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		// Fresh spool: write the header now so every later append is pure
+		// record bytes and a crash can only ever tear a record, not the
+		// header.
+		var buf bytes.Buffer
+		bw := trace.NewBinaryWriter(&buf)
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if _, err := s.f.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		return s.f.Sync()
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := trace.NewBinaryReader(s.f)
+	for {
+		rec, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			break // torn tail or corruption: keep the valid prefix
+		}
+		s.count++
+		s.lastTime = rec.Time
+	}
+	good := int64(spoolHeaderLen) + s.count*spoolRecordLen
+	if good > info.Size() {
+		return fmt.Errorf("serve: spool %s valid length %d exceeds file size %d", s.path, good, info.Size())
+	}
+	if good < spoolHeaderLen {
+		return fmt.Errorf("serve: spool %s header unreadable", s.path)
+	}
+	if good != info.Size() {
+		if err := s.f.Truncate(good); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	_, err = s.f.Seek(good, io.SeekStart)
+	return err
+}
+
+// watermark returns the durable record count.
+func (s *spool) watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// append durably appends records (already validated and in stream order) and
+// returns the new watermark. The records are re-encoded through the trace
+// binary writer and the 5-byte header it emits is stripped - the spool wrote
+// its own header at creation. There is one appender (the session's spooler
+// goroutine); the lock publishes count/lastTime to concurrent watermark
+// readers on connection goroutines.
+func (s *spool) append(recs []trace.Record) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(recs) == 0 {
+		return s.count, nil
+	}
+	var buf bytes.Buffer
+	bw := trace.NewBinaryWriter(&buf)
+	for _, r := range recs {
+		if r.Time < s.lastTime {
+			return s.count, fmt.Errorf("serve: spool record time goes backwards (%.9f < %.9f)", r.Time, s.lastTime)
+		}
+		if err := bw.Write(r); err != nil {
+			return s.count, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return s.count, err
+	}
+	if _, err := s.f.Write(buf.Bytes()[spoolHeaderLen:]); err != nil {
+		return s.count, err
+	}
+	if err := s.f.Sync(); err != nil {
+		return s.count, err
+	}
+	s.count += int64(len(recs))
+	s.lastTime = recs[len(recs)-1].Time
+	return s.count, nil
+}
+
+// openReader returns a fresh read-only Source over the whole spool. The
+// simulator owns closing it; the spool's own append handle is unaffected.
+func (s *spool) openReader() (trace.Source, io.Closer, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace.NewBinaryReader(f), f, nil
+}
+
+func (s *spool) close() error { return s.f.Close() }

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vrldram/internal/trace"
+)
+
+func mkRecords(n, rows int, duration float64) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		op := trace.Read
+		if i%3 == 0 {
+			op = trace.Write
+		}
+		recs[i] = trace.Record{
+			Time: duration * float64(i) / float64(n),
+			Op:   op,
+			Row:  (i * 37) % rows,
+		}
+	}
+	return recs
+}
+
+func TestSpoolAppendAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecords(100, 64, 0.1)
+	if wm, err := sp.append(recs[:60]); err != nil || wm != 60 {
+		t.Fatalf("append: wm=%d err=%v", wm, err)
+	}
+	if wm, err := sp.append(recs[60:]); err != nil || wm != 100 {
+		t.Fatalf("append: wm=%d err=%v", wm, err)
+	}
+	src, closer, err := sp.openReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	for i, want := range recs {
+		got, err := src.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	sp.close()
+}
+
+func TestSpoolRecoversTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecords(40, 64, 0.1)
+	if _, err := sp.append(recs); err != nil {
+		t.Fatal(err)
+	}
+	sp.close()
+
+	// Tear the file mid-record, as a crash during append would.
+	path := filepath.Join(dir, "trace.vrlt")
+	whole := int64(spoolHeaderLen + 25*spoolRecordLen)
+	if err := os.Truncate(path, whole+7); err != nil {
+		t.Fatal(err)
+	}
+
+	sp2, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.close()
+	if sp2.watermark() != 25 {
+		t.Fatalf("recovered watermark %d, want 25", sp2.watermark())
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != whole {
+		t.Fatalf("torn tail not truncated: size %d, want %d", info.Size(), whole)
+	}
+	// Ingestion resumes exactly where the durable prefix ends.
+	if wm, err := sp2.append(recs[25:]); err != nil || wm != 40 {
+		t.Fatalf("resume append: wm=%d err=%v", wm, err)
+	}
+}
+
+func TestSpoolRejectsTimeRegression(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := openSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.close()
+	if _, err := sp.append([]trace.Record{{Time: 0.5, Op: trace.Read, Row: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.append([]trace.Record{{Time: 0.1, Op: trace.Read, Row: 2}}); err == nil {
+		t.Fatal("a time regression across batches must be rejected")
+	}
+}

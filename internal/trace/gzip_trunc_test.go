@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -128,4 +129,53 @@ func TestGzipTextTraceStillAutodetected(t *testing.T) {
 	if err != io.EOF || n != 2 {
 		t.Fatalf("gzip text trace: %d records, err %v", n, err)
 	}
+}
+
+// TestOpenSourceShortInputs covers the sniffing boundaries: inputs shorter
+// than the two-byte gzip magic must fall through to the text reader without
+// error at open, and the magic alone - a gzip stream with no header, let
+// alone a deflate body - must fail at open with the decorated gzip error
+// rather than panicking or hanging in the decompressor.
+func TestOpenSourceShortInputs(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		src, err := OpenSource(bytes.NewReader(nil))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if n, err := readAll(src); err != io.EOF || n != 0 {
+			t.Fatalf("empty input: %d records, err %v, want clean io.EOF", n, err)
+		}
+	})
+
+	// One byte cannot be gzip (the magic is two), whatever the byte is -
+	// including the first magic byte itself. It parses as text and fails
+	// with the text reader's line diagnostic, not a gzip error.
+	for _, in := range [][]byte{{gzipMagic[0]}, {'x'}} {
+		t.Run(fmt.Sprintf("one-byte-0x%02x", in[0]), func(t *testing.T) {
+			src, err := OpenSource(bytes.NewReader(in))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			_, err = readAll(src)
+			if err == nil || err == io.EOF {
+				t.Fatalf("a one-byte garbage line read cleanly (err %v)", err)
+			}
+			if !strings.Contains(err.Error(), "line 1") {
+				t.Fatalf("want the text reader's line diagnostic, got %v", err)
+			}
+		})
+	}
+
+	t.Run("gzip-magic-only", func(t *testing.T) {
+		_, err := OpenSource(bytes.NewReader(gzipMagic))
+		if err == nil {
+			t.Fatal("two magic bytes with no gzip header must fail at open")
+		}
+		if !strings.Contains(err.Error(), "bad gzip stream") {
+			t.Fatalf("want the decorated gzip open error, got %v", err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want io.ErrUnexpectedEOF underneath, got %v", err)
+		}
+	})
 }

@@ -4,8 +4,14 @@
 // regenerate each benchmark's trace once per scheduler - and trace synthesis
 // (tens of thousands of records, globally sorted) is one of the most
 // expensive setup steps a cell pays. The cache generates each distinct trace
-// once per process and hands every caller a shared, read-only view, safe
-// under the parallel sweep engine's concurrent cells.
+// once and hands every caller a shared, read-only view, safe under the
+// parallel sweep engine's concurrent cells.
+//
+// As with internal/profcache, the package-level functions use one
+// process-wide default cache (right for a one-shot CLI run); long-lived
+// processes serving many independent clients own Cache instances so trace
+// memory stays scoped to the service that generated it and can be bounded
+// with Flush.
 package tracecache
 
 import (
@@ -24,7 +30,14 @@ type key struct {
 	seed     int64
 }
 
-var cache memo.Map[key, []trace.Record]
+// Cache is one memoization scope for generated traces. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Cache struct {
+	m memo.Map[key, []trace.Record]
+}
+
+// defaultCache backs the package-level functions.
+var defaultCache Cache
 
 // Records returns the records of spec.Generate(rows, duration, seed),
 // generating them on first use and returning the same shared slice
@@ -32,15 +45,15 @@ var cache memo.Map[key, []trace.Record]
 // append to it (append aliases the backing array). Wrap it in a
 // trace.NewSliceSource - the source keeps its own cursor - or copy it before
 // mutating.
-func Records(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) ([]trace.Record, error) {
-	return cache.Get(key{spec: spec, rows: rows, duration: duration, seed: seed}, func() ([]trace.Record, error) {
+func (c *Cache) Records(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) ([]trace.Record, error) {
+	return c.m.Get(key{spec: spec, rows: rows, duration: duration, seed: seed}, func() ([]trace.Record, error) {
 		return spec.Generate(rows, duration, seed)
 	})
 }
 
 // Source returns a fresh single-use trace.Source over the memoized records.
-func Source(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) (trace.Source, error) {
-	recs, err := Records(spec, rows, duration, seed)
+func (c *Cache) Source(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) (trace.Source, error) {
+	recs, err := c.Records(spec, rows, duration, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -48,8 +61,24 @@ func Source(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) (t
 }
 
 // Len reports the number of cached traces.
-func Len() int { return cache.Len() }
+func (c *Cache) Len() int { return c.m.Len() }
 
-// Flush drops every cached trace. Long-lived processes can call it between
-// campaigns to bound memory; tests use it for isolation.
-func Flush() { cache.Flush() }
+// Flush drops every cached trace.
+func (c *Cache) Flush() { c.m.Flush() }
+
+// Records is Cache.Records on the process-wide default cache.
+func Records(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) ([]trace.Record, error) {
+	return defaultCache.Records(spec, rows, duration, seed)
+}
+
+// Source is Cache.Source on the process-wide default cache.
+func Source(spec trace.BenchmarkSpec, rows int, duration float64, seed int64) (trace.Source, error) {
+	return defaultCache.Source(spec, rows, duration, seed)
+}
+
+// Len reports the default cache's trace count.
+func Len() int { return defaultCache.Len() }
+
+// Flush drops every trace of the default cache. Long-lived processes can
+// call it between campaigns to bound memory; tests use it for isolation.
+func Flush() { defaultCache.Flush() }
