@@ -45,6 +45,7 @@ internal/circuit/spice:FuzzParseValue
 internal/checkpoint:FuzzCheckpointDecode
 internal/scrub:FuzzScrubStateDecode
 internal/serve:FuzzFrameDecode
+internal/fleet:FuzzManifestDecode
 "
 for entry in $FUZZ_TARGETS; do
     pkg=${entry%%:*}
@@ -78,5 +79,28 @@ if [ "$SERVED_STATUS" -ne 0 ]; then
     cat "$SERVED_OUT"
     exit 1
 fi
+
+# Fleet resume smoke: a tiny campaign takes an induced shard failure plus a
+# driver interrupt (-fail-shard makes vrlfleet cancel itself, exit 3), then
+# a rerun over the same manifest must resume and finish with full coverage.
+echo "== vrlfleet resume smoke =="
+FLEET_DIR=$(mktemp -d /tmp/vrlfleet-smoke.XXXXXX)
+trap 'rm -f "$SMOKE_LEDGER" "$SERVED_OUT"; rm -rf "$SERVED_DATA" "$FLEET_DIR"; kill "$SERVED_PID" 2>/dev/null || true' EXIT
+# Built, not 'go run': go run reports exit 1 for any nonzero child status,
+# and this smoke needs the real exit 3.
+go build -o "$FLEET_DIR/vrlfleet" ./cmd/vrlfleet
+FLEET_ARGS="-devices 4 -shard-size 2 -duration 0.05 -rows 256 -cols 4 -manifest $FLEET_DIR/fleet.manifest -quiet"
+FLEET_STATUS=0
+"$FLEET_DIR/vrlfleet" $FLEET_ARGS -fail-shard 1 || FLEET_STATUS=$?
+if [ "$FLEET_STATUS" -ne 3 ]; then
+    echo "vrlfleet -fail-shard must exit 3 (interrupted), got $FLEET_STATUS"
+    exit 1
+fi
+FLEET_OUT=$("$FLEET_DIR/vrlfleet" $FLEET_ARGS)
+echo "$FLEET_OUT" | grep -q "coverage: 2/2 shards done" || {
+    echo "resumed vrlfleet campaign did not reach full coverage:"
+    echo "$FLEET_OUT"
+    exit 1
+}
 
 echo "== all checks passed =="

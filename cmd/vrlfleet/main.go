@@ -1,0 +1,126 @@
+// Command vrlfleet runs a fault-tolerant campaign over a population of
+// simulated DRAM devices: the population is deterministically derived from
+// the spec (per-device retention seed, operating temperature, fault plan),
+// partitioned into shards, and dispatched across local workers and/or a
+// remote vrlserved instance with per-shard retries, straggler hedging, and
+// poison-shard quarantine. Per-shard state persists in a CRC-checked
+// manifest, so an interrupted campaign rerun with the same -manifest resumes
+// exactly where it died and produces bit-identical statistics.
+//
+// Usage:
+//
+//	vrlfleet -devices 4096 -duration 0.256
+//	vrlfleet -devices 4096 -duration 0.256 -manifest ./fleet.manifest \
+//	         -serve 127.0.0.1:7421 -weak-frac 0.05 -temp-swing 12
+//
+// SIGINT/SIGTERM interrupts the campaign (exit 3) without charging retry
+// budgets; quarantined shards are reported and never fail the run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"vrldram/internal/cli"
+	"vrldram/internal/fleet"
+	"vrldram/internal/serve"
+)
+
+func main() {
+	var (
+		devices   = flag.Int("devices", 0, "population size (required)")
+		seed      = flag.Int64("seed", 0, "campaign master seed (0 = default 42)")
+		scheduler = flag.String("scheduler", "", "refresh policy per device: jedec, raidr, vrl, vrl-access (default vrl)")
+		duration  = flag.Float64("duration", 0, "simulated seconds per device (required)")
+		rows      = flag.Int("rows", 0, "per-device bank rows (0 = default 1024)")
+		cols      = flag.Int("cols", 0, "per-device bank columns (0 = default 8)")
+		shardSize = flag.Int("shard-size", 0, "devices per shard (0 = default 64)")
+		tempMean  = flag.Float64("temp-mean", 0, "mean operating temperature, degC (0 = default 85)")
+		tempSwing = flag.Float64("temp-swing", 0, "per-device temperature spread around the mean, degC")
+		weakFrac  = flag.Float64("weak-frac", 0, "fraction of devices with a transient-weak-cell fault plan")
+
+		manifest    = flag.String("manifest", "", "manifest path for resumable campaign state (empty = in-memory)")
+		maxAttempts = flag.Int("max-attempts", 0, "per-shard attempt budget before quarantine (0 = default 3)")
+		shardTO     = flag.Duration("shard-timeout", 0, "per-attempt deadline (0 = default 10m, negative = none)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "duplicate a shard running this long onto an idle slot (0 = off)")
+
+		local      = flag.Int("local", 0, "local executor slots (0 = GOMAXPROCS, negative = no local execution)")
+		serveAddr  = flag.String("serve", "", "vrlserved address to dispatch shards to (empty = local only)")
+		serveSlots = flag.Int("serve-slots", 4, "concurrent shards against -serve")
+
+		failShard = flag.Int("fail-shard", -1, "chaos drill: fail this shard's first attempt, then interrupt the campaign (exit 3); rerun with the same -manifest to resume")
+		quiet     = flag.Bool("quiet", false, "suppress dispatch log lines")
+	)
+	flag.Parse()
+
+	if *local < 0 && *serveAddr == "" {
+		fatal(fmt.Errorf("no executors: -local is negative and -serve is empty"))
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vrlfleet: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	spec := fleet.Spec{
+		Devices:    *devices,
+		Seed:       *seed,
+		Scheduler:  *scheduler,
+		Duration:   *duration,
+		Rows:       *rows,
+		Cols:       *cols,
+		ShardSize:  *shardSize,
+		TempMeanC:  *tempMean,
+		TempSwingC: *tempSwing,
+		WeakFrac:   *weakFrac,
+	}
+
+	var execs []fleet.Executor
+	if *local >= 0 {
+		execs = append(execs, fleet.NewLocalExecutor(*local))
+	}
+	if *serveAddr != "" {
+		execs = append(execs, serve.NewShardExecutor(serve.ClientOptions{Addr: *serveAddr, Logf: logf}, *serveSlots))
+	}
+
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+
+	opts := fleet.Options{
+		ManifestPath: *manifest,
+		MaxAttempts:  *maxAttempts,
+		ShardTimeout: *shardTO,
+		HedgeAfter:   *hedgeAfter,
+		Logf:         logf,
+	}
+	if *failShard >= 0 {
+		// The chaos drill: the shard's first attempt fails AND the driver
+		// "dies" (context cancel), exercising the failure-then-resume path
+		// end to end without a second process.
+		interrupt := stop
+		opts.PreShard = func(shard, attempt int) error {
+			if shard == *failShard && attempt == 1 {
+				interrupt()
+				return fmt.Errorf("induced failure (-fail-shard %d)", shard)
+			}
+			return nil
+		}
+	}
+
+	rep, err := fleet.Run(ctx, spec, execs, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "vrlfleet: interrupted; rerun with the same -manifest to resume")
+			os.Exit(cli.StatusInterrupted)
+		}
+		fatal(err)
+	}
+	rep.Fprint(os.Stdout)
+}
+
+func fatal(err error) { cli.Fatal("vrlfleet", err) }

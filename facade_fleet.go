@@ -1,0 +1,94 @@
+package vrldram
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"vrldram/internal/fleet"
+	"vrldram/internal/serve"
+)
+
+// This file is the facade over the fleet layer (internal/fleet): dispatching
+// a population of simulated devices across local workers and remote
+// vrlserved instances with retries, quarantine, and a resumable manifest.
+// cmd/vrlfleet is a thin wrapper over the same internals; see
+// ARCHITECTURE.md, "The fleet layer".
+
+// FleetOptions describes a fleet campaign: the device population plus the
+// dispatch policy. Zero values resolve to the fleet defaults (64-device
+// shards, scheduler "vrl", 85 degC nominal temperature, 3 attempts per
+// shard).
+type FleetOptions struct {
+	// Population knobs; Devices and Duration are required.
+	Devices    int
+	Seed       int64
+	Scheduler  string
+	Duration   float64
+	Rows, Cols int
+	ShardSize  int
+	TempMeanC  float64 // mean operating temperature (default 85 degC)
+	TempSwingC float64 // per-device deterministic spread around the mean
+	WeakFrac   float64 // fraction of devices with a transient-weak-cell fault plan
+
+	// ManifestPath persists per-shard campaign state; a rerun with the same
+	// path resumes only unfinished shards. Empty keeps it in memory.
+	ManifestPath string
+
+	// MaxAttempts is the per-shard retry budget; a shard that exhausts it is
+	// quarantined and reported, never fatal. ShardTimeout deadlines each
+	// attempt; HedgeAfter duplicates stragglers onto idle slots (0 = off).
+	MaxAttempts  int
+	ShardTimeout time.Duration
+	HedgeAfter   time.Duration
+
+	// LocalWorkers sizes the in-process executor (0 = GOMAXPROCS, negative
+	// disables local execution). ServeAddr, when set, adds a remote executor
+	// running ServeSlots shards concurrently against that vrlserved
+	// instance.
+	LocalWorkers int
+	ServeAddr    string
+	ServeSlots   int
+
+	// Logf receives dispatch one-liners (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// RunFleetCampaign runs the campaign and renders the coverage report to w.
+// The returned flag reports full coverage: false means the campaign
+// completed but quarantined at least one shard (named in the report). An
+// interrupted campaign (ctx cancelled) returns the context error; rerunning
+// with the same ManifestPath resumes it.
+func RunFleetCampaign(ctx context.Context, w io.Writer, o FleetOptions) (complete bool, err error) {
+	spec := fleet.Spec{
+		Devices:    o.Devices,
+		Seed:       o.Seed,
+		Scheduler:  o.Scheduler,
+		Duration:   o.Duration,
+		Rows:       o.Rows,
+		Cols:       o.Cols,
+		ShardSize:  o.ShardSize,
+		TempMeanC:  o.TempMeanC,
+		TempSwingC: o.TempSwingC,
+		WeakFrac:   o.WeakFrac,
+	}
+	var execs []fleet.Executor
+	if o.LocalWorkers >= 0 {
+		execs = append(execs, fleet.NewLocalExecutor(o.LocalWorkers))
+	}
+	if o.ServeAddr != "" {
+		execs = append(execs, serve.NewShardExecutor(serve.ClientOptions{Addr: o.ServeAddr, Logf: o.Logf}, o.ServeSlots))
+	}
+	rep, err := fleet.Run(ctx, spec, execs, fleet.Options{
+		ManifestPath: o.ManifestPath,
+		MaxAttempts:  o.MaxAttempts,
+		ShardTimeout: o.ShardTimeout,
+		HedgeAfter:   o.HedgeAfter,
+		Logf:         o.Logf,
+	})
+	if err != nil {
+		return false, err
+	}
+	rep.Fprint(w)
+	return rep.Complete(), nil
+}

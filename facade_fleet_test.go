@@ -1,0 +1,51 @@
+package vrldram
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFleetCampaignFacade drives a small population end to end through
+// the public facade: full coverage, a rendered report, and a resumable
+// manifest left behind.
+func TestRunFleetCampaignFacade(t *testing.T) {
+	var buf bytes.Buffer
+	opts := FleetOptions{
+		Devices:      4,
+		Seed:         9,
+		Duration:     0.1,
+		Rows:         256,
+		Cols:         4,
+		ShardSize:    2,
+		TempSwingC:   8,
+		WeakFrac:     0.5,
+		ManifestPath: filepath.Join(t.TempDir(), "fleet.manifest"),
+		LocalWorkers: 2,
+	}
+	complete, err := RunFleetCampaign(context.Background(), &buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatalf("small local campaign must cover everything:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"fleet campaign: 4 devices", "coverage: 2/2 shards done", "quarantine: none"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A rerun over the same manifest resumes instead of recomputing.
+	buf.Reset()
+	complete, err = RunFleetCampaign(context.Background(), &buf, opts)
+	if err != nil || !complete {
+		t.Fatalf("resumed campaign: complete=%v err=%v", complete, err)
+	}
+	if !strings.Contains(buf.String(), "2 shard(s) resumed from manifest") {
+		t.Fatalf("rerun did not resume from the manifest:\n%s", buf.String())
+	}
+}

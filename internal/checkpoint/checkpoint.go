@@ -46,6 +46,7 @@ const (
 	KindSim      = 1 // a sim.Checkpoint (EncodeSim/DecodeSim)
 	KindCampaign = 2 // completed exp.Results of a campaign (EncodeCampaign/DecodeCampaign)
 	KindSession  = 3 // a service session's metadata record (internal/serve)
+	KindManifest = 4 // a fleet campaign manifest (internal/fleet)
 )
 
 const headerLen = 4 + 2 + 1 + 8 // magic + version + kind + length

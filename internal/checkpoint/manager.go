@@ -1,10 +1,19 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 )
+
+// ErrNoSnapshot is the start-fresh signal: every error Load returns wraps
+// it, whether no generation exists at all or every generation on disk is
+// corrupt. Callers that can rebuild their state from scratch test
+// errors.Is(err, ErrNoSnapshot) and begin cold; the error text still carries
+// the newest per-generation failure for diagnostics, but no caller has to
+// parse it to decide what to do.
+var ErrNoSnapshot = errors.New("checkpoint: no usable snapshot")
 
 // DefaultGenerations is how many snapshot generations Manager retains in
 // total when the caller does not say.
@@ -85,8 +94,9 @@ func (m *Manager) Save(encode func(io.Writer) error) error {
 // Load opens the newest good generation and decodes it via the callback.
 // A generation that fails to open or decode (bad CRC, truncation, wrong
 // version) is skipped in favor of the one before it. It returns the path of
-// the generation that loaded, or an error describing the newest failure if
-// every generation is missing or corrupt.
+// the generation that loaded; if every generation is missing or corrupt the
+// error wraps ErrNoSnapshot (the clean start-fresh signal), with the newest
+// failure preserved in the message for diagnostics.
 func (m *Manager) Load(decode func(io.Reader) error) (string, error) {
 	var firstErr error
 	tried := 0
@@ -114,7 +124,7 @@ func (m *Manager) Load(decode func(io.Reader) error) (string, error) {
 		tried++
 	}
 	if firstErr != nil {
-		return "", fmt.Errorf("checkpoint: no loadable snapshot among %d candidate(s); newest failure: %w", tried, firstErr)
+		return "", fmt.Errorf("%w among %d candidate(s); newest failure: %v", ErrNoSnapshot, tried, firstErr)
 	}
-	return "", fmt.Errorf("checkpoint: no snapshot found at %s", m.path)
+	return "", fmt.Errorf("%w at %s", ErrNoSnapshot, m.path)
 }

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/fault"
+	"vrldram/internal/profcache"
+	"vrldram/internal/retention"
+	"vrldram/internal/sim"
+)
+
+// TCK returns the clock period every population member simulates under (the
+// paper's 90nm device parameters): the denominator of the overhead sketch.
+func (s Spec) TCK() float64 { return device.Default90nm().TCK }
+
+// RunDevice simulates one population member and returns its statistics.
+// Everything is rebuilt deterministically from (spec, dev): the retention
+// profile from the device's own Monte Carlo seed, the scheduler from the
+// PROFILED view, and the bank from the TRUE view derated to the device's
+// operating temperature - so a hot device misbehaves behind the scheduler's
+// back exactly the way fault.TemperatureExcursion models. Weak devices
+// additionally carry a VRT process seeded per device. Retrying, hedging, or
+// recomputing a device therefore always yields identical Stats.
+func RunDevice(ctx context.Context, spec Spec, dev Device, cache *profcache.Cache) (sim.Stats, error) {
+	spec = spec.WithDefaults()
+	params := device.Default90nm()
+	geom := device.BankGeometry{Rows: spec.Rows, Cols: spec.Cols}
+	dist := retention.DefaultCellDistribution()
+
+	profile, err := cache.Profile(geom, dist, dev.Seed)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	restore, err := cache.PaperRestoreModel(params, geom)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	var sched core.Scheduler
+	switch spec.Scheduler {
+	case "jedec":
+		sched, err = core.NewJEDEC(params.TRetNom, restore)
+	case "raidr":
+		sched, err = core.NewRAIDR(profile, core.Config{Restore: restore})
+	case "vrl":
+		sched, err = core.NewVRL(profile, core.Config{Restore: restore})
+	case "vrl-access":
+		sched, err = core.NewVRLAccess(profile, core.Config{Restore: restore})
+	default:
+		err = fmt.Errorf("fleet: unknown scheduler %q", spec.Scheduler)
+	}
+	if err != nil {
+		return sim.Stats{}, err
+	}
+
+	// The bank obeys physics at the device's temperature; the scheduler only
+	// ever sees the profiled (reference-temperature) values. Cooler devices
+	// gain margin, hotter ones lose it.
+	bankProf := profile
+	tm := retention.DefaultTempModel()
+	if dev.TempC != tm.RefC {
+		bankProf, err = fault.TemperatureExcursion(profile, tm, dev.TempC)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+	}
+	bank, err := dram.NewBank(bankProf, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	if dev.Weak {
+		if err := bank.SetVRT(fault.DefaultTransientWeakCells(dev.WeakSeed)); err != nil {
+			return sim.Stats{}, err
+		}
+	}
+	return sim.RunContext(ctx, bank, sched, nil, sim.Options{Duration: spec.Duration, TCK: params.TCK})
+}

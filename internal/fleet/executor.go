@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+
+	"vrldram/internal/profcache"
+)
+
+// LocalExecutor runs shards in-process across a bounded number of slots,
+// sharing one profile cache so retried and hedged shards reuse the Monte
+// Carlo constructions instead of resampling them. The zero value is not
+// usable; call NewLocalExecutor.
+type LocalExecutor struct {
+	slots int
+	cache *profcache.Cache
+}
+
+// NewLocalExecutor returns a local executor with the given concurrency
+// (GOMAXPROCS when slots < 1).
+func NewLocalExecutor(slots int) *LocalExecutor {
+	if slots < 1 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	return &LocalExecutor{slots: slots, cache: &profcache.Cache{}}
+}
+
+// Name identifies the executor in logs and reports.
+func (l *LocalExecutor) Name() string { return "local" }
+
+// Slots reports how many shards may run concurrently.
+func (l *LocalExecutor) Slots() int { return l.slots }
+
+// RunShard computes the shard in this process.
+func (l *LocalExecutor) RunShard(ctx context.Context, ss ShardSpec) (ShardResult, error) {
+	return RunShard(ctx, ss, l.cache)
+}

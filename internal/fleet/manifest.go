@@ -1,0 +1,375 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"vrldram/internal/checkpoint"
+	"vrldram/internal/core"
+)
+
+// ShardState is one shard's position in the campaign lifecycle:
+//
+//	planned -> running -> done
+//	              |  ^
+//	              v  |
+//	           retrying -> quarantined
+//
+// Running is a live-process state only; a manifest loaded from disk
+// normalizes it back to planned/retrying, because a shard that was running
+// when the driver died produced nothing durable.
+type ShardState uint8
+
+const (
+	ShardPlanned     ShardState = 1
+	ShardRunning     ShardState = 2
+	ShardRetrying    ShardState = 3
+	ShardQuarantined ShardState = 4
+	ShardDone        ShardState = 5
+)
+
+// String names the state for logs and reports.
+func (st ShardState) String() string {
+	switch st {
+	case ShardPlanned:
+		return "planned"
+	case ShardRunning:
+		return "running"
+	case ShardRetrying:
+		return "retrying"
+	case ShardQuarantined:
+		return "quarantined"
+	case ShardDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", uint8(st))
+}
+
+// shardEntry is one shard's durable record.
+type shardEntry struct {
+	state    ShardState
+	attempts int64  // attempts charged against the budget so far
+	lastErr  string // most recent failure, for the coverage report
+	result   []byte // encoded ShardResult once done
+}
+
+// Manifest is the campaign's durable source of truth: one entry per shard,
+// bound to the Spec's canonical identity, persisted through the CRC-checked
+// checkpoint container (KindManifest) with generation rotation. Every state
+// transition saves atomically, so a driver killed at ANY point resumes with
+// only completed shards marked done - a half-finished attempt leaves no
+// trace, and recomputing it is deterministic anyway.
+//
+// With an empty path the manifest lives in memory only (same lifecycle, no
+// durability) - for tests and throwaway campaigns.
+type Manifest struct {
+	mu      sync.Mutex
+	spec    Spec
+	shards  []shardEntry
+	mgr     *checkpoint.Manager // nil when in-memory
+	resumed int                 // shards loaded as done from a prior run
+}
+
+// NewManifest opens (or creates) the manifest for spec at path. An existing
+// file must carry the exact same canonical Spec - resuming a campaign over a
+// different population is refused, not reconciled. A corrupt-beyond-recovery
+// or missing file is the clean start-fresh signal (checkpoint.ErrNoSnapshot
+// internally) and yields a blank manifest.
+func NewManifest(spec Spec, path string) (*Manifest, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.WithDefaults()
+	m := &Manifest{spec: spec, shards: make([]shardEntry, spec.NumShards())}
+	for i := range m.shards {
+		m.shards[i].state = ShardPlanned
+	}
+	if path == "" {
+		return m, nil
+	}
+	mgr, err := checkpoint.NewManager(path, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.mgr = mgr
+	var mismatch error
+	_, err = mgr.Load(func(r io.Reader) error {
+		payload, err := checkpoint.DecodeBlob(r, checkpoint.KindManifest)
+		if err != nil {
+			return err
+		}
+		loadedSpec, shards, err := decodeManifestPayload(payload)
+		if err != nil {
+			return err
+		}
+		if string(loadedSpec.Canonical()) != string(spec.Canonical()) {
+			mismatch = fmt.Errorf("fleet: manifest at %s belongs to a different campaign spec", path)
+			return mismatch
+		}
+		m.shards = shards
+		return nil
+	})
+	if err != nil {
+		// A wrong-campaign manifest is refused outright, never silently
+		// replaced, even though Load files it with the other corrupt
+		// candidates.
+		if mismatch != nil {
+			return nil, mismatch
+		}
+		if errors.Is(err, checkpoint.ErrNoSnapshot) {
+			return m, nil // start fresh
+		}
+		return nil, err
+	}
+	// Normalize live-only state and count what a resumed driver inherits.
+	for i := range m.shards {
+		switch m.shards[i].state {
+		case ShardRunning:
+			if m.shards[i].attempts > 0 {
+				m.shards[i].state = ShardRetrying
+			} else {
+				m.shards[i].state = ShardPlanned
+			}
+		case ShardDone:
+			m.resumed++
+		}
+	}
+	return m, nil
+}
+
+// Spec returns the campaign spec (defaults resolved).
+func (m *Manifest) Spec() Spec { return m.spec }
+
+// ResumedDone reports how many shards were already done when the manifest
+// was loaded.
+func (m *Manifest) ResumedDone() int { return m.resumed }
+
+// Snapshot returns the current (state, attempts) of every shard.
+func (m *Manifest) Snapshot() []struct {
+	State    ShardState
+	Attempts int
+} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]struct {
+		State    ShardState
+		Attempts int
+	}, len(m.shards))
+	for i, e := range m.shards {
+		out[i].State = e.state
+		out[i].Attempts = int(e.attempts)
+	}
+	return out
+}
+
+// MarkRunning charges one attempt and moves the shard to running.
+func (m *Manifest) MarkRunning(i int) error {
+	return m.transition(i, func(e *shardEntry) error {
+		if e.state == ShardDone || e.state == ShardQuarantined {
+			return fmt.Errorf("fleet: shard %d is terminal (%s)", i, e.state)
+		}
+		e.state = ShardRunning
+		e.attempts++
+		return nil
+	})
+}
+
+// Uncharge refunds one attempt and parks the shard back to planned/retrying:
+// the cancellation path, where an interrupted attempt must not eat into the
+// retry budget it never really used.
+func (m *Manifest) Uncharge(i int) error {
+	return m.transition(i, func(e *shardEntry) error {
+		if e.state != ShardRunning {
+			return nil
+		}
+		if e.attempts > 0 {
+			e.attempts--
+		}
+		if e.attempts > 0 {
+			e.state = ShardRetrying
+		} else {
+			e.state = ShardPlanned
+		}
+		return nil
+	})
+}
+
+// MarkFailed records a failed attempt and moves the shard to retrying.
+func (m *Manifest) MarkFailed(i int, cause string) error {
+	return m.transition(i, func(e *shardEntry) error {
+		if e.state == ShardDone || e.state == ShardQuarantined {
+			return nil // a hedge twin already settled the shard
+		}
+		e.state = ShardRetrying
+		e.lastErr = cause
+		return nil
+	})
+}
+
+// MarkQuarantined retires the shard from the campaign.
+func (m *Manifest) MarkQuarantined(i int, cause string) error {
+	return m.transition(i, func(e *shardEntry) error {
+		if e.state == ShardDone {
+			return nil
+		}
+		e.state = ShardQuarantined
+		e.lastErr = cause
+		return nil
+	})
+}
+
+// MarkDone records the shard's result. First result wins: a hedged
+// duplicate arriving second is dropped without error (the results are
+// byte-identical by construction, so which twin wins is unobservable).
+func (m *Manifest) MarkDone(i int, r ShardResult) error {
+	if r.Shard != i {
+		return fmt.Errorf("fleet: result for shard %d offered to slot %d", r.Shard, i)
+	}
+	return m.transition(i, func(e *shardEntry) error {
+		if e.state == ShardDone {
+			return nil
+		}
+		e.state = ShardDone
+		e.lastErr = ""
+		e.result = r.Encode()
+		return nil
+	})
+}
+
+// Result decodes the stored result of a done shard.
+func (m *Manifest) Result(i int) (ShardResult, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.shards) {
+		return ShardResult{}, false, fmt.Errorf("fleet: shard %d outside manifest of %d", i, len(m.shards))
+	}
+	e := m.shards[i]
+	if e.state != ShardDone {
+		return ShardResult{}, false, nil
+	}
+	r, err := DecodeShardResult(e.result)
+	if err != nil {
+		return ShardResult{}, false, fmt.Errorf("fleet: shard %d stored result: %w", i, err)
+	}
+	return r, true, nil
+}
+
+// Quarantines lists the quarantined shards, ascending.
+func (m *Manifest) Quarantines() []Quarantine {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Quarantine
+	for i, e := range m.shards {
+		if e.state != ShardQuarantined {
+			continue
+		}
+		start := i * m.spec.ShardSize
+		count := m.spec.ShardSize
+		if start+count > m.spec.Devices {
+			count = m.spec.Devices - start
+		}
+		out = append(out, Quarantine{
+			Shard: i, Start: start, Count: count,
+			Attempts: int(e.attempts), LastErr: e.lastErr,
+		})
+	}
+	return out
+}
+
+// transition applies fn to shard i under the lock and persists the new
+// manifest state before returning. On a persistence error the in-memory
+// mutation is kept (the engine carries on; durability degrades, correctness
+// does not) and the error is reported.
+func (m *Manifest) transition(i int, fn func(*shardEntry) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.shards) {
+		return fmt.Errorf("fleet: shard %d outside manifest of %d", i, len(m.shards))
+	}
+	if err := fn(&m.shards[i]); err != nil {
+		return err
+	}
+	return m.saveLocked()
+}
+
+func (m *Manifest) saveLocked() error {
+	if m.mgr == nil {
+		return nil
+	}
+	payload := encodeManifestPayload(m.spec, m.shards)
+	return m.mgr.Save(func(w io.Writer) error {
+		return checkpoint.EncodeBlob(w, checkpoint.KindManifest, payload)
+	})
+}
+
+// --- payload codec -----------------------------------------------------------
+
+func encodeManifestPayload(spec Spec, shards []shardEntry) []byte {
+	var e core.StateEncoder
+	e.Tag("fman1")
+	spec.encodeTo(&e)
+	e.Int(int64(len(shards)))
+	for _, s := range shards {
+		e.Int(int64(s.state))
+		e.Int(s.attempts)
+		e.Bytes([]byte(s.lastErr))
+		e.Bytes(s.result)
+	}
+	return e.Data()
+}
+
+// decodeManifestPayload parses and validates a manifest payload (the bytes
+// inside the checkpoint container). It is the surface FuzzManifestDecode
+// drives: every length is bounded, every state checked, and every stored
+// result re-validated against the spec's own partition plan, so no sequence
+// of bytes can produce a manifest the engine would trip over.
+func decodeManifestPayload(payload []byte) (Spec, []shardEntry, error) {
+	d := core.NewStateDecoder(payload)
+	d.ExpectTag("fman1")
+	spec := decodeSpecFrom(d)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return Spec{}, nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, nil, err
+	}
+	spec = spec.WithDefaults()
+	if n != int64(spec.NumShards()) {
+		return Spec{}, nil, fmt.Errorf("fleet: manifest holds %d shards, spec plans %d", n, spec.NumShards())
+	}
+	shards := make([]shardEntry, n)
+	for i := range shards {
+		s := &shards[i]
+		s.state = ShardState(d.Int())
+		s.attempts = d.Int()
+		s.lastErr = string(d.Bytes())
+		s.result = d.Bytes()
+		if d.Err() != nil {
+			break
+		}
+		if s.state < ShardPlanned || s.state > ShardDone {
+			return Spec{}, nil, fmt.Errorf("fleet: shard %d has invalid state %d", i, s.state)
+		}
+		if s.attempts < 0 {
+			return Spec{}, nil, fmt.Errorf("fleet: shard %d has negative attempts %d", i, s.attempts)
+		}
+		if s.state == ShardDone {
+			r, err := DecodeShardResult(s.result)
+			if err != nil {
+				return Spec{}, nil, fmt.Errorf("fleet: shard %d stored result: %v", i, err)
+			}
+			if r.Shard != i {
+				return Spec{}, nil, fmt.Errorf("fleet: shard %d stores result for shard %d", i, r.Shard)
+			}
+		} else if len(s.result) != 0 {
+			return Spec{}, nil, fmt.Errorf("fleet: non-done shard %d carries a result", i)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return Spec{}, nil, err
+	}
+	return spec, shards, nil
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Quarantine records one shard that exhausted its attempt budget (or failed
+// permanently) and was set aside so the rest of the campaign could finish.
+type Quarantine struct {
+	Shard    int
+	Start    int
+	Count    int
+	Attempts int
+	LastErr  string
+}
+
+// Report is the outcome of a campaign: the merged summary over every
+// completed shard plus the explicit coverage ledger. A campaign with
+// quarantined shards still returns a Report - partial coverage is a result,
+// not an error - and Complete() says whether the whole population was
+// covered.
+type Report struct {
+	Spec        Spec
+	Sum         *Summary
+	ShardsTotal int
+	ShardsDone  int
+	Quarantined []Quarantine // ascending shard index
+
+	Attempts int64 // shard attempts launched, including hedges
+	Retries  int64 // attempts beyond each shard's first
+	Hedges   int64 // duplicate attempts launched against stragglers
+	Resumed  int   // shards whose results were recovered from the manifest
+}
+
+// Complete reports whether every shard finished (nothing quarantined).
+func (r *Report) Complete() bool { return len(r.Quarantined) == 0 }
+
+// QuarantinedShards returns the quarantined shard indices, ascending.
+func (r *Report) QuarantinedShards() []int {
+	out := make([]int, len(r.Quarantined))
+	for i, q := range r.Quarantined {
+		out[i] = q.Shard
+	}
+	return out
+}
+
+// DevicesSkipped counts population members left uncovered by quarantine.
+func (r *Report) DevicesSkipped() int64 {
+	var n int64
+	for _, q := range r.Quarantined {
+		n += int64(q.Count)
+	}
+	return n
+}
+
+func fmtQuantile(h *Hist, q float64, unit string) string {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g%s", v, unit)
+}
+
+// Fprint renders the human-readable campaign report.
+func (r *Report) Fprint(w io.Writer) {
+	s := r.Spec.WithDefaults()
+	fmt.Fprintf(w, "fleet campaign: %d devices, scheduler %s, %.3gs window, seed %d\n",
+		s.Devices, s.Scheduler, s.Duration, s.Seed)
+	fmt.Fprintf(w, "coverage: %d/%d shards done, %d devices covered, %d skipped\n",
+		r.ShardsDone, r.ShardsTotal, r.Sum.Devices, r.DevicesSkipped())
+	fmt.Fprintf(w, "dispatch: %d attempts (%d retries, %d hedges), %d shard(s) resumed from manifest\n",
+		r.Attempts, r.Retries, r.Hedges, r.Resumed)
+	fmt.Fprintf(w, "totals: %d full + %d partial refreshes, %d violations across %d device(s), %d faults injected\n",
+		r.Sum.FullRefreshes, r.Sum.PartialRefreshes, r.Sum.Violations, r.Sum.ViolatingDevices, r.Sum.FaultsInjected)
+	fmt.Fprintf(w, "refresh overhead: p50 %s  p99 %s  p99.9 %s (%% of wall time)\n",
+		fmtQuantile(r.Sum.Overhead, 0.50, ""), fmtQuantile(r.Sum.Overhead, 0.99, ""), fmtQuantile(r.Sum.Overhead, 0.999, ""))
+	fmt.Fprintf(w, "partial-refresh share: p50 %s  p99 %s (%% of refreshes); weak devices: %d\n",
+		fmtQuantile(r.Sum.PartialShare, 0.50, ""), fmtQuantile(r.Sum.PartialShare, 0.99, ""), r.Sum.WeakDevices)
+	if len(r.Quarantined) == 0 {
+		fmt.Fprintf(w, "quarantine: none - full population covered\n")
+		return
+	}
+	fmt.Fprintf(w, "quarantine: %d shard(s) left uncovered\n", len(r.Quarantined))
+	for _, q := range r.Quarantined {
+		fmt.Fprintf(w, "  shard %d (devices %d-%d) after %d attempt(s): %s\n",
+			q.Shard, q.Start, q.Start+q.Count-1, q.Attempts, q.LastErr)
+	}
+}

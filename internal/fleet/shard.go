@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"vrldram/internal/core"
+	"vrldram/internal/profcache"
+)
+
+// ShardSpec identifies one contiguous slice of the population, carrying the
+// full campaign Spec so a shard is self-describing on the wire: a remote
+// executor needs nothing but the blob to recompute the exact same result.
+type ShardSpec struct {
+	Spec  Spec
+	Index int // shard index within Spec.Shards()
+	Start int // first device index
+	Count int // number of devices
+}
+
+// Validate checks the shard against its own spec's partition plan.
+func (ss ShardSpec) Validate() error {
+	if err := ss.Spec.Validate(); err != nil {
+		return err
+	}
+	s := ss.Spec.WithDefaults()
+	if ss.Index < 0 || ss.Index >= s.NumShards() {
+		return fmt.Errorf("fleet: shard index %d outside plan of %d shards", ss.Index, s.NumShards())
+	}
+	start := ss.Index * s.ShardSize
+	count := s.ShardSize
+	if start+count > s.Devices {
+		count = s.Devices - start
+	}
+	if ss.Start != start || ss.Count != count {
+		return fmt.Errorf("fleet: shard %d claims devices [%d,%d), plan says [%d,%d)",
+			ss.Index, ss.Start, ss.Start+ss.Count, start, start+count)
+	}
+	return nil
+}
+
+// Encode renders the shard spec canonically (tag "fsh1").
+func (ss ShardSpec) Encode() []byte {
+	var e core.StateEncoder
+	e.Tag("fsh1")
+	ss.Spec.WithDefaults().encodeTo(&e)
+	e.Int(int64(ss.Index))
+	e.Int(int64(ss.Start))
+	e.Int(int64(ss.Count))
+	return e.Data()
+}
+
+// DecodeShardSpec parses and validates a canonical shard spec blob.
+func DecodeShardSpec(blob []byte) (ShardSpec, error) {
+	d := core.NewStateDecoder(blob)
+	d.ExpectTag("fsh1")
+	var ss ShardSpec
+	ss.Spec = decodeSpecFrom(d)
+	ss.Index = int(d.Int())
+	ss.Start = int(d.Int())
+	ss.Count = int(d.Int())
+	if err := d.Finish(); err != nil {
+		return ShardSpec{}, err
+	}
+	if err := ss.Validate(); err != nil {
+		return ShardSpec{}, err
+	}
+	return ss, nil
+}
+
+// ShardResult is the outcome of one shard: its identity plus the mergeable
+// summary over exactly its devices.
+type ShardResult struct {
+	Shard int // shard index
+	Start int
+	Count int
+	Sum   *Summary
+}
+
+// Encode renders the result canonically (tag "fsr1").
+func (r ShardResult) Encode() []byte {
+	var e core.StateEncoder
+	e.Tag("fsr1")
+	e.Int(int64(r.Shard))
+	e.Int(int64(r.Start))
+	e.Int(int64(r.Count))
+	r.Sum.encodeTo(&e)
+	return e.Data()
+}
+
+// DecodeShardResult parses a canonical shard result blob.
+func DecodeShardResult(blob []byte) (ShardResult, error) {
+	d := core.NewStateDecoder(blob)
+	d.ExpectTag("fsr1")
+	var r ShardResult
+	r.Shard = int(d.Int())
+	r.Start = int(d.Int())
+	r.Count = int(d.Int())
+	r.Sum = decodeSummaryFrom(d)
+	if err := d.Finish(); err != nil {
+		return ShardResult{}, err
+	}
+	if r.Sum.Devices != int64(r.Count) {
+		return ShardResult{}, fmt.Errorf("fleet: shard %d result aggregates %d devices, shard holds %d",
+			r.Shard, r.Sum.Devices, r.Count)
+	}
+	return r, nil
+}
+
+// RunShard simulates every device of the shard in index order and folds the
+// outcomes into one summary. The result is a pure function of the ShardSpec
+// (the context only decides WHETHER it completes, never what it computes),
+// so any executor - local worker, remote service, hedged duplicate, or a
+// post-crash recomputation - produces identical bytes. cache may be nil for
+// a private one-shot cache.
+func RunShard(ctx context.Context, ss ShardSpec, cache *profcache.Cache) (ShardResult, error) {
+	if err := ss.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+	if cache == nil {
+		cache = &profcache.Cache{}
+	}
+	spec := ss.Spec.WithDefaults()
+	sum := NewSummary()
+	for i := ss.Start; i < ss.Start+ss.Count; i++ {
+		dev := spec.Device(i)
+		st, err := RunDevice(ctx, spec, dev, cache)
+		if err != nil {
+			return ShardResult{}, fmt.Errorf("fleet: shard %d device %d: %w", ss.Index, i, err)
+		}
+		sum.AddDevice(dev, st, spec.TCK())
+	}
+	return ShardResult{Shard: ss.Index, Start: ss.Start, Count: ss.Count, Sum: sum}, nil
+}
+
+// RunSequential is the oracle the chaos tests compare against: one process,
+// one goroutine, shards in index order, no retries, no manifest. skip names
+// shard indices to leave out (the quarantined set), so the baseline covers
+// exactly the population an interrupted campaign managed to cover.
+func RunSequential(ctx context.Context, spec Spec, skip map[int]bool) (*Summary, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cache := &profcache.Cache{}
+	sum := NewSummary()
+	for _, ss := range spec.Shards() {
+		if skip[ss.Index] {
+			continue
+		}
+		r, err := RunShard(ctx, ss, cache)
+		if err != nil {
+			return nil, err
+		}
+		if err := sum.Merge(r.Sum); err != nil {
+			return nil, err
+		}
+	}
+	return sum, nil
+}

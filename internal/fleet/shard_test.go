@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// realSpec is a small population that exercises real simulations: hot and
+// cool devices, weak-cell fault plans, a short tail shard.
+func realSpec() Spec {
+	return Spec{
+		Devices:    5,
+		Seed:       11,
+		Scheduler:  "vrl",
+		Duration:   0.2,
+		Rows:       256,
+		Cols:       4,
+		ShardSize:  2,
+		TempSwingC: 10,
+		WeakFrac:   0.5,
+	}
+}
+
+// TestRunShardDeterministic runs the same shard twice with independent
+// caches: byte-identical results are the contract every retry, hedge, and
+// resume in the engine silently relies on.
+func TestRunShardDeterministic(t *testing.T) {
+	ss := realSpec().Shards()[0]
+	a, err := RunShard(context.Background(), ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShard(context.Background(), ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("same shard, independent caches, different bytes")
+	}
+	if a.Sum.Devices != int64(ss.Count) {
+		t.Fatalf("shard summary covers %d devices, shard holds %d", a.Sum.Devices, ss.Count)
+	}
+	if a.Sum.FullRefreshes+a.Sum.PartialRefreshes == 0 {
+		t.Fatal("shard simulated no refreshes; the spec window is too short to test anything")
+	}
+}
+
+// TestLocalCampaignMatchesSequential is the end-to-end determinism property
+// on real simulations: a concurrent engine run over local executors produces
+// byte-identical merged statistics to the single-goroutine sequential loop.
+func TestLocalCampaignMatchesSequential(t *testing.T) {
+	spec := realSpec()
+	want, err := RunSequential(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), spec, []Executor{NewLocalExecutor(3)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("local campaign incomplete: quarantined %v", rep.QuarantinedShards())
+	}
+	if string(rep.Sum.Encode()) != string(want.Encode()) {
+		t.Fatal("concurrent local campaign diverges from sequential oracle")
+	}
+	if rep.Sum.WeakDevices == 0 {
+		t.Fatal("population drew no weak devices; WeakFrac plumbing is dead")
+	}
+}
+
+// TestRunShardHonorsCancellation: a cancelled context stops the shard with
+// the context's error instead of returning a partial summary.
+func TestRunShardHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunShard(ctx, realSpec().Shards()[0], nil); err == nil {
+		t.Fatal("cancelled shard run must fail, not return partial data")
+	}
+}

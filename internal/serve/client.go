@@ -13,6 +13,7 @@ import (
 
 	"vrldram/internal/checkpoint"
 	"vrldram/internal/exp"
+	"vrldram/internal/fleet"
 	"vrldram/internal/sim"
 	"vrldram/internal/trace"
 )
@@ -29,6 +30,13 @@ type ClientOptions struct {
 	// flaky link retries indefinitely while a dead server fails fast.
 	// Default 8.
 	MaxAttempts int
+	// MaxElapsed caps the TOTAL wall time a job may spend retrying, welcomes
+	// or not: where MaxAttempts protects against a dead server, MaxElapsed
+	// protects against a zombie one that keeps answering hellos and failing
+	// everything after. 0 (the default) means no cap. Exceeding it returns a
+	// *GiveUpError (errors.Is ErrGaveUp), distinguishable from a fatal
+	// server reject: giving up says "stop waiting", not "the job is bad".
+	MaxElapsed time.Duration
 	// BaseBackoff/MaxBackoff shape the exponential reconnect backoff
 	// (defaults 50ms and 2s); every delay is jittered to avoid reconnect
 	// stampedes.
@@ -100,6 +108,41 @@ func transientf(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, errTransient)...)
 }
 
+// ErrGaveUp marks a run the client abandoned by policy - attempt budget or
+// MaxElapsed deadline - while the job itself was never pronounced bad by
+// the server. Callers that can reschedule (the fleet engine) match it with
+// errors.Is and retry elsewhere or later; a fatal reject is different and
+// final.
+var ErrGaveUp = errors.New("serve: client gave up")
+
+// GiveUpError carries the give-up evidence; it wraps both ErrGaveUp and the
+// last underlying failure.
+type GiveUpError struct {
+	Attempts int           // consecutive failed attempts at the moment of surrender
+	Elapsed  time.Duration // wall time spent on the job
+	Last     error         // the failure that broke the camel's back
+}
+
+func (e *GiveUpError) Error() string {
+	return fmt.Sprintf("serve: gave up after %d consecutive failed attempt(s) over %v: %v",
+		e.Attempts, e.Elapsed.Round(time.Millisecond), e.Last)
+}
+
+func (e *GiveUpError) Unwrap() []error { return []error{ErrGaveUp, e.Last} }
+
+// ErrTerminalSession marks an ErrCodeState rejection: the session is
+// already done or failed and the client should reconnect for its durable
+// verdict. It is classified transient (the reconnect handshake resolves
+// it), never surfaced as a job failure.
+var ErrTerminalSession = errors.New("serve: session already terminal")
+
+// RejectError is the server's fatal verdict on a job (ErrCodeFatal): the
+// spec is bad or the job failed for keeps, and no amount of reconnecting
+// changes the answer.
+type RejectError struct{ Msg string }
+
+func (e *RejectError) Error() string { return "serve: server rejected the job: " + e.Msg }
+
 // RunSim submits a simulation spec plus its full trace and blocks until the
 // server reports the final statistics. recs must be time-sorted (the order
 // a trace.Source yields); the slice is retained for re-streaming after a
@@ -134,19 +177,48 @@ func (c *Client) RunCampaign(ctx context.Context, spec CampaignSpec) ([]*exp.Res
 	return checkpoint.DecodeCampaign(bytes.NewReader(res.Blob))
 }
 
+// RunShard submits one fleet shard and blocks until the server returns its
+// merged per-shard summary. The shard spec travels as its encoded blob -
+// the same bytes the fleet manifest persists - so client, wire, and server
+// agree on exactly one canonical form.
+func (c *Client) RunShard(ctx context.Context, ss fleet.ShardSpec) (fleet.ShardResult, error) {
+	if err := ss.Validate(); err != nil {
+		return fleet.ShardResult{}, err
+	}
+	res, err := c.run(ctx, Submit{Kind: JobShard, Shard: ss.Encode()}, nil)
+	if err != nil {
+		return fleet.ShardResult{}, err
+	}
+	if res.Kind != JobShard {
+		return fleet.ShardResult{}, fmt.Errorf("serve: server returned result kind %d for a shard job", res.Kind)
+	}
+	sr, err := fleet.DecodeShardResult(res.Blob)
+	if err != nil {
+		return fleet.ShardResult{}, err
+	}
+	if sr.Shard != ss.Index {
+		return fleet.ShardResult{}, fmt.Errorf("serve: server returned shard %d for shard %d", sr.Shard, ss.Index)
+	}
+	return sr, nil
+}
+
 func (c *Client) logf(format string, args ...any) {
 	if c.opts.Logf != nil {
 		c.opts.Logf(format, args...)
 	}
 }
 
-// run is the reconnect loop around attempt.
+// run is the reconnect loop around attempt. Two independent budgets bound
+// it: MaxAttempts counts consecutive failures (reset by any Welcome), and
+// MaxElapsed caps total wall time regardless of Welcomes. Blowing either
+// returns a *GiveUpError.
 func (c *Client) run(ctx context.Context, sub Submit, recs []trace.Record) (ResultMsg, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	c.token = ""
 	failures := 0
+	start := time.Now()
 	for {
 		if err := ctx.Err(); err != nil {
 			return ResultMsg{}, err
@@ -164,9 +236,14 @@ func (c *Client) run(ctx context.Context, sub Submit, recs []trace.Record) (Resu
 		}
 		failures++
 		if failures >= c.opts.MaxAttempts {
-			return ResultMsg{}, fmt.Errorf("serve: giving up after %d consecutive failed attempts: %w", failures, err)
+			return ResultMsg{}, &GiveUpError{Attempts: failures, Elapsed: time.Since(start), Last: err}
 		}
 		delay := c.backoff(failures - 1)
+		if c.opts.MaxElapsed > 0 && time.Since(start)+delay >= c.opts.MaxElapsed {
+			// The next attempt could not even start inside the deadline;
+			// surrender now rather than blow through it asleep.
+			return ResultMsg{}, &GiveUpError{Attempts: failures, Elapsed: time.Since(start), Last: err}
+		}
 		c.logf("attempt failed (%v); reconnecting in %v", err, delay)
 		select {
 		case <-time.After(delay):
@@ -387,8 +464,13 @@ func classifyPayload(payload []byte) error {
 	switch ei.Code {
 	case ErrCodeRetry, ErrCodeFull:
 		return transientf("server: %s", ei.Msg)
+	case ErrCodeState:
+		// The session settled while this connection was mid-flight; the
+		// reconnect handshake will replay its Result or fatal Error, so a
+		// terminal-state rejection is a reason to reconnect, never to fail.
+		return fmt.Errorf("server: %s: %w: %w", ei.Msg, ErrTerminalSession, errTransient)
 	default:
-		return fmt.Errorf("serve: server rejected the job: %s", ei.Msg)
+		return &RejectError{Msg: ei.Msg}
 	}
 }
 

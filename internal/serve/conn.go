@@ -147,6 +147,15 @@ func (c *conn) serve() {
 				return
 			}
 			if err := sess.submit(sub, c); err != nil {
+				var terr *TerminalStateError
+				if errors.As(err, &terr) {
+					// The job already settled; this submit is a reconnect
+					// race, not a bad spec. Point the client back at the
+					// handshake (which replays the durable verdict) and do
+					// NOT touch the session's state.
+					c.sendError(ErrCodeState, err.Error())
+					return
+				}
 				// A spec the registry or validator rejects can never
 				// succeed; fail the session so every future attach agrees.
 				sess.fail(err)
@@ -160,7 +169,12 @@ func (c *conn) serve() {
 			}
 			if err != nil {
 				if ctx.Err() == nil {
-					c.sendError(ErrCodeRetry, err.Error())
+					var terr *TerminalStateError
+					if errors.As(err, &terr) {
+						c.sendError(ErrCodeState, err.Error())
+					} else {
+						c.sendError(ErrCodeRetry, err.Error())
+					}
 				}
 				return
 			}
@@ -171,7 +185,12 @@ func (c *conn) serve() {
 			}
 			if err != nil {
 				if ctx.Err() == nil {
-					c.sendError(ErrCodeRetry, err.Error())
+					var terr *TerminalStateError
+					if errors.As(err, &terr) {
+						c.sendError(ErrCodeState, err.Error())
+					} else {
+						c.sendError(ErrCodeRetry, err.Error())
+					}
 				}
 				return
 			}

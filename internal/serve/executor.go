@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"vrldram/internal/fleet"
+)
+
+// ShardExecutor adapts a vrlserved endpoint to the fleet engine's Executor
+// interface: each RunShard submits one JobShard through a fresh Client, so a
+// connection poisoned by one shard's death never leaks into the next. The
+// fleet engine owns retry policy and quarantine; the executor's job is
+// faithful error translation - a server's fatal reject becomes a permanent
+// error (quarantine now), while give-ups, cuts, and timeouts stay retryable.
+type ShardExecutor struct {
+	opts  ClientOptions
+	slots int
+	seq   atomic.Int64 // per-call jitter-seed discriminator
+}
+
+// NewShardExecutor builds an executor with the given concurrency (slots < 1
+// means 1). opts.Addr or opts.Dial must point at a vrlserved instance;
+// opts.Seed becomes the base of each call's distinct jitter seed.
+func NewShardExecutor(opts ClientOptions, slots int) *ShardExecutor {
+	if slots < 1 {
+		slots = 1
+	}
+	return &ShardExecutor{opts: opts, slots: slots}
+}
+
+// Name identifies the executor in fleet logs and reports.
+func (x *ShardExecutor) Name() string { return "serve" }
+
+// Slots reports how many shards this executor runs concurrently.
+func (x *ShardExecutor) Slots() int { return x.slots }
+
+// RunShard ships one shard to the server and waits for its summary. A
+// *RejectError - the server's final verdict that the shard spec is bad or
+// its job failed for keeps - is marked permanent so the fleet engine
+// quarantines immediately instead of burning its attempt budget.
+func (x *ShardExecutor) RunShard(ctx context.Context, ss fleet.ShardSpec) (fleet.ShardResult, error) {
+	opts := x.opts
+	// Distinct jitter streams per call: concurrent retries must not
+	// stampede the server in lockstep.
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	opts.Seed = opts.Seed*1000003 + x.seq.Add(1)
+	res, err := NewClient(opts).RunShard(ctx, ss)
+	if err != nil {
+		var rej *RejectError
+		if errors.As(err, &rej) {
+			return fleet.ShardResult{}, fleet.MarkPermanent(err)
+		}
+		return fleet.ShardResult{}, err
+	}
+	return res, nil
+}

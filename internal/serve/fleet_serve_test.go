@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vrldram/internal/fault"
+	"vrldram/internal/fleet"
+)
+
+func fleetTestSpec() fleet.Spec {
+	return fleet.Spec{
+		Devices:    12,
+		Seed:       13,
+		Scheduler:  "vrl",
+		Duration:   0.1,
+		Rows:       256,
+		Cols:       4,
+		ShardSize:  2,
+		TempSwingC: 10,
+		WeakFrac:   0.4,
+	}
+}
+
+// TestRemoteShardMatchesLocal pins the remote executor to the local oracle:
+// a shard computed through the wire returns the exact bytes RunShard
+// produces in-process.
+func TestRemoteShardMatchesLocal(t *testing.T) {
+	h := newHarness(t, Options{JobWorkers: 2})
+	ss := fleetTestSpec().Shards()[0]
+	want, err := fleet.RunShard(context.Background(), ss, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.client().RunShard(context.Background(), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Encode()) != string(want.Encode()) {
+		t.Fatal("remote shard result diverges from local computation")
+	}
+}
+
+// countingExec wraps an executor, counting successes and firing a hook after
+// each one - the chaos test's lever for killing the driver mid-campaign.
+type countingExec struct {
+	fleet.Executor
+	done   atomic.Int64
+	onDone func(total int64)
+}
+
+func (c *countingExec) RunShard(ctx context.Context, ss fleet.ShardSpec) (fleet.ShardResult, error) {
+	res, err := c.Executor.RunShard(ctx, ss)
+	if err == nil {
+		n := c.done.Add(1)
+		if c.onDone != nil {
+			c.onDone(n)
+		}
+	}
+	return res, err
+}
+
+// TestFleetChaosCampaign is the acceptance property for the fleet layer: a
+// campaign dispatched over a vrlserved instance survives flaky connections,
+// a server kill -9 mid-shard, a driver kill mid-campaign (context cancel +
+// manifest resume), and a poison shard - and the merged statistics are
+// byte-identical to a single-process sequential run over exactly the
+// non-quarantined population, with the coverage report naming exactly the
+// quarantined shard.
+func TestFleetChaosCampaign(t *testing.T) {
+	spec := fleetTestSpec()
+	const poison = 4
+	want, err := fleet.RunSequential(context.Background(), spec, map[int]bool{poison: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := newHarness(t, Options{JobWorkers: 2})
+
+	// A hostile transport: early connections die mid-frame or corrupt bytes,
+	// later ones are clean. The dialer's attempt counter is shared across
+	// every client the executor spins up.
+	dial := fault.NewFlakyDialer(
+		func() (net.Conn, error) { return net.DialTimeout("tcp", h.addr, 5*time.Second) },
+		func(attempt int) fault.ConnFaults {
+			switch attempt {
+			case 0:
+				return fault.ConnFaults{CutAfterBytes: 200, Seed: 1}
+			case 1:
+				return fault.ConnFaults{GarbageRate: 0.3, Seed: 2}
+			default:
+				return fault.ConnFaults{}
+			}
+		})
+	mkRemote := func() *ShardExecutor {
+		return NewShardExecutor(ClientOptions{
+			Dial:           func(ctx context.Context) (net.Conn, error) { return dial() },
+			MaxAttempts:    50,
+			BaseBackoff:    5 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+			HeartbeatEvery: 200 * time.Millisecond,
+			IdleTimeout:    3 * time.Second,
+			Seed:           7,
+			Logf:           t.Logf,
+		}, 2)
+	}
+
+	manifest := filepath.Join(t.TempDir(), "fleet.manifest")
+	opts := fleet.Options{
+		ManifestPath: manifest,
+		MaxAttempts:  2,
+		BaseBackoff:  2 * time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+		Seed:         3,
+		Logf:         t.Logf,
+		PreShard: func(shard, attempt int) error {
+			if shard == poison {
+				return errors.New("induced poison-shard failure")
+			}
+			return nil
+		},
+	}
+
+	// Phase 1: the driver dies (context cancel) after two shards land.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	var once1 sync.Once
+	counting := &countingExec{Executor: mkRemote(), onDone: func(total int64) {
+		if total >= 2 {
+			once1.Do(cancel1)
+		}
+	}}
+	if _, err := fleet.Run(ctx1, spec, []fleet.Executor{counting}, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign returned %v, want context.Canceled", err)
+	}
+
+	// Phase 2: resume from the manifest; kill -9 the server once mid-stream
+	// and restart it. The mixed local+remote fleet must finish everything
+	// except the poison shard.
+	var once2 sync.Once
+	counting2 := &countingExec{Executor: mkRemote(), onDone: func(total int64) {
+		if total >= 1 {
+			once2.Do(func() {
+				h.crash()
+				h.restart()
+			})
+		}
+	}}
+	rep, err := fleet.Run(context.Background(), spec,
+		[]fleet.Executor{fleet.NewLocalExecutor(1), counting2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed < 2 {
+		t.Fatalf("resumed campaign inherited %d done shards, want >= 2", rep.Resumed)
+	}
+	if got := rep.QuarantinedShards(); len(got) != 1 || got[0] != poison {
+		t.Fatalf("quarantined shards %v, want exactly [%d]", got, poison)
+	}
+	if rep.ShardsDone != spec.NumShards()-1 {
+		t.Fatalf("campaign finished %d/%d shards, want all but the poison one", rep.ShardsDone, rep.ShardsTotal)
+	}
+	if string(rep.Sum.Encode()) != string(want.Encode()) {
+		t.Fatal("chaos campaign statistics diverge from the sequential oracle")
+	}
+}
+
+// --- satellite: typed give-up vs fatal reject --------------------------------
+
+func TestClientGivesUpWithTypedError(t *testing.T) {
+	cl := NewClient(ClientOptions{
+		Dial:        func(ctx context.Context) (net.Conn, error) { return nil, errors.New("nobody home") },
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	_, err := cl.RunSim(context.Background(), testSpec("vrl"), nil)
+	if !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("dead server must yield ErrGaveUp, got %v", err)
+	}
+	var ge *GiveUpError
+	if !errors.As(err, &ge) {
+		t.Fatalf("want *GiveUpError, got %T", err)
+	}
+	if ge.Attempts != 3 || ge.Last == nil {
+		t.Fatalf("give-up evidence incomplete: %+v", ge)
+	}
+	var rej *RejectError
+	if errors.As(err, &rej) {
+		t.Fatal("a give-up must never look like a fatal server reject")
+	}
+}
+
+func TestClientMaxElapsedBoundsRetrying(t *testing.T) {
+	cl := NewClient(ClientOptions{
+		Dial:        func(ctx context.Context) (net.Conn, error) { return nil, errors.New("nobody home") },
+		MaxAttempts: 1 << 20, // attempts alone would retry (effectively) forever
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		MaxElapsed:  150 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := cl.RunSim(context.Background(), testSpec("vrl"), nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("MaxElapsed must yield ErrGaveUp, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("client kept retrying for %v despite a 150ms MaxElapsed", elapsed)
+	}
+	var ge *GiveUpError
+	if !errors.As(err, &ge) || ge.Elapsed <= 0 {
+		t.Fatalf("give-up evidence incomplete: %v", err)
+	}
+}
+
+// TestClassifyPayloadTaxonomy pins the client's three-way error taxonomy:
+// retryable, terminal-session (reconnect cue), and fatal reject.
+func TestClassifyPayloadTaxonomy(t *testing.T) {
+	retry := classifyPayload(ErrorInfo{Code: ErrCodeRetry, Msg: "drain"}.encode())
+	if !errors.Is(retry, errTransient) || errors.Is(retry, ErrTerminalSession) {
+		t.Fatalf("ErrCodeRetry classified as %v", retry)
+	}
+	state := classifyPayload(ErrorInfo{Code: ErrCodeState, Msg: "done"}.encode())
+	if !errors.Is(state, errTransient) || !errors.Is(state, ErrTerminalSession) {
+		t.Fatalf("ErrCodeState must be transient AND terminal-session, got %v", state)
+	}
+	fatal := classifyPayload(ErrorInfo{Code: ErrCodeFatal, Msg: "bad spec"}.encode())
+	var rej *RejectError
+	if !errors.As(fatal, &rej) || errors.Is(fatal, errTransient) {
+		t.Fatalf("ErrCodeFatal must be a non-transient *RejectError, got %v", fatal)
+	}
+	if rej.Msg != "bad spec" {
+		t.Fatalf("reject message %q lost in classification", rej.Msg)
+	}
+}
+
+// --- satellite: terminal sessions reject late frames with a typed code -------
+
+// rawNext reads frames until one of the given types arrives, skipping
+// advisory traffic (progress, acks, pongs).
+func rawNext(t *testing.T, nc net.Conn, want ...byte) (byte, []byte) {
+	t.Helper()
+	for {
+		typ, payload := rawRead(t, nc)
+		for _, w := range want {
+			if typ == w {
+				return typ, payload
+			}
+		}
+		switch typ {
+		case FrameProgress, FrameAck, FramePong, FramePing:
+		default:
+			t.Fatalf("unexpected frame %d while waiting for %v", typ, want)
+		}
+	}
+}
+
+// TestTerminalSessionRejectsLateFrames drives a sim session to completion
+// over the raw wire, then replays each frame kind a lagging or reconnecting
+// client could send - submit, trace batch, trace EOF - and requires the
+// typed ErrCodeState rejection for every one, with the session's durable
+// result still replayed intact at the next handshake.
+func TestTerminalSessionRejectsLateFrames(t *testing.T) {
+	h := newHarness(t, Options{})
+	spec := SimSpec{Scheduler: "jedec", Seed: 3, Duration: 0.05, Rows: 256, Cols: 4}
+	recs := mkRecords(100, spec.Rows, spec.Duration)
+	blob, err := encodeBatchBlob(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the job to completion over one raw connection.
+	nc := rawDial(t, h.addr)
+	defer nc.Close()
+	rawWrite(t, nc, FrameHello, Hello{Proto: ProtocolVersion}.encode())
+	_, wp := rawNext(t, nc, FrameWelcome)
+	w, err := decodeWelcome(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawWrite(t, nc, FrameSubmit, Submit{Kind: JobSim, Sim: spec}.encode())
+	rawWrite(t, nc, FrameTrace, TraceBatch{Start: 0, Blob: blob}.encode())
+	rawWrite(t, nc, FrameTraceEOF, TraceEOF{Total: int64(len(recs))}.encode())
+	_, rp := rawNext(t, nc, FrameResult)
+	if _, err := decodeResult(rp); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := []struct {
+		name string
+		typ  byte
+		body []byte
+	}{
+		{"submit", FrameSubmit, Submit{Kind: JobSim, Sim: spec}.encode()},
+		{"trace batch", FrameTrace, TraceBatch{Start: 0, Blob: blob}.encode()},
+		{"trace EOF", FrameTraceEOF, TraceEOF{Total: int64(len(recs))}.encode()},
+	}
+	for _, p := range probes {
+		t.Run(p.name, func(t *testing.T) {
+			nc := rawDial(t, h.addr)
+			defer nc.Close()
+			rawWrite(t, nc, FrameHello, Hello{Proto: ProtocolVersion, Token: w.Token}.encode())
+			_, wp := rawNext(t, nc, FrameWelcome)
+			w2, err := decodeWelcome(wp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w2.State != StateDone {
+				t.Fatalf("session reloaded in state %d, want done", w2.State)
+			}
+			// The durable verdict replays before anything else.
+			rawNext(t, nc, FrameResult)
+
+			rawWrite(t, nc, p.typ, p.body)
+			_, ep := rawNext(t, nc, FrameError)
+			ei, err := decodeError(ep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ei.Code != ErrCodeState {
+				t.Fatalf("%s to a done session answered with code %d (%s), want ErrCodeState", p.name, ei.Code, ei.Msg)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"vrldram/internal/device"
 	"vrldram/internal/dram"
 	"vrldram/internal/exp"
+	"vrldram/internal/fleet"
 	"vrldram/internal/profcache"
 	"vrldram/internal/retention"
 	"vrldram/internal/sim"
@@ -102,6 +103,19 @@ func (c CampaignSpec) config(workers int) exp.Config {
 	}
 	cfg.Workers = workers
 	return cfg
+}
+
+// validateShard checks a JobShard submit blob: it must decode to a
+// fleet.ShardSpec that is internally consistent with its own partition plan.
+// Validation happens once at submit (so a bad shard is rejected while the
+// client is still listening), and again inside the job run via
+// fleet.DecodeShardSpec - the blob is the durable artifact, not the struct.
+func validateShard(blob []byte) error {
+	if len(blob) == 0 {
+		return fmt.Errorf("serve: shard submit carries no shard spec")
+	}
+	_, err := fleet.DecodeShardSpec(blob)
+	return err
 }
 
 // buildSim constructs the bank, scheduler, and base simulator options for a

@@ -15,6 +15,7 @@ import (
 	"vrldram/internal/checkpoint"
 	"vrldram/internal/core"
 	"vrldram/internal/exp"
+	"vrldram/internal/fleet"
 	"vrldram/internal/sim"
 	"vrldram/internal/trace"
 )
@@ -241,6 +242,33 @@ func (s *session) notify(typ byte, payload []byte) {
 	}
 }
 
+// TerminalStateError rejects a frame addressed to a session that is already
+// done or failed. It is deliberately NOT a job failure: the session's
+// durable verdict (Result or fatal Error) is replayed at the next attach,
+// and the connection relays it as ErrCodeState so the client reconnects for
+// the authoritative answer instead of giving up.
+type TerminalStateError struct {
+	State byte   // StateDone or StateFailed
+	Op    string // what the client tried ("submit", "trace batch", "trace EOF")
+}
+
+func (e *TerminalStateError) Error() string {
+	name := "failed"
+	if e.State == StateDone {
+		name = "done"
+	}
+	return fmt.Sprintf("serve: %s on a %s session; reconnect for its result", e.Op, name)
+}
+
+// terminalErrLocked returns the typed rejection when the session's state is
+// terminal; callers hold s.mu.
+func (s *session) terminalErrLocked(op string) *TerminalStateError {
+	if s.state == StateDone || s.state == StateFailed {
+		return &TerminalStateError{State: s.state, Op: op}
+	}
+	return nil
+}
+
 // submit accepts a job specification. A duplicate Submit on a session that
 // already has one is ignored (the client races Welcome.HaveSpec against its
 // own send); a conflicting one is a client bug and fails the connection.
@@ -256,11 +284,23 @@ func (s *session) submit(sub Submit, c *conn) error {
 			return err
 		}
 		sub.Campaign = sub.Campaign.withDefaults()
+	case JobShard:
+		if err := validateShard(sub.Shard); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("serve: unknown job kind %d", sub.Kind)
 	}
 
 	s.mu.Lock()
+	// Terminal wins over duplicate-tolerance: a submit addressed to a done
+	// or failed session - always a reconnect race, since a live client only
+	// submits right after a HaveSpec=false Welcome - is pointed back at the
+	// handshake, where the durable verdict is replayed.
+	if terr := s.terminalErrLocked("submit"); terr != nil {
+		s.mu.Unlock()
+		return terr
+	}
 	if s.haveSpec {
 		s.mu.Unlock()
 		return nil
@@ -323,9 +363,13 @@ func (s *session) pushBatch(ctx context.Context, b TraceBatch, c *conn, next *in
 		return fmt.Errorf("serve: trace batch without a sim spec")
 	}
 	if s.state != StateIngest {
+		terr := s.terminalErrLocked("trace batch")
 		st := s.state
 		s.mu.Unlock()
-		if st == StateReady || st == StateDone {
+		if terr != nil {
+			return terr // the job already settled; send the client back for its verdict
+		}
+		if st == StateReady {
 			return nil // late resend after EOF; the stream is already complete
 		}
 		return fmt.Errorf("serve: trace batch in state %d", st)
@@ -362,9 +406,13 @@ func (s *session) pushEOF(ctx context.Context, total int64, c *conn) error {
 		return fmt.Errorf("serve: trace EOF without a sim spec")
 	}
 	if s.state != StateIngest {
+		terr := s.terminalErrLocked("trace EOF")
 		st := s.state
 		s.mu.Unlock()
-		if st == StateReady || st == StateDone {
+		if terr != nil {
+			return terr
+		}
+		if st == StateReady {
 			return nil // duplicate EOF after a reconnect race
 		}
 		return fmt.Errorf("serve: trace EOF in state %d", st)
@@ -517,6 +565,8 @@ func (s *session) run(ctx context.Context) {
 		err = s.runSim(ctx, spec.Sim)
 	case JobCampaign:
 		err = s.runCampaign(ctx, spec.Campaign)
+	case JobShard:
+		err = s.runShard(ctx, spec.Shard)
 	default:
 		err = fmt.Errorf("serve: unknown job kind %d", spec.Kind)
 	}
@@ -632,6 +682,22 @@ func (s *session) runCampaign(ctx context.Context, spec CampaignSpec) error {
 		return err
 	}
 	return s.finish(ResultMsg{Kind: JobCampaign, Blob: buf.Bytes()})
+}
+
+// runShard executes a fleet shard job. No mid-shard checkpoint exists or is
+// needed: a shard is a pure function of its spec, so a parked or crashed
+// shard job recomputes from scratch on the next server generation and lands
+// on the same bytes.
+func (s *session) runShard(ctx context.Context, blob []byte) error {
+	ss, err := fleet.DecodeShardSpec(blob)
+	if err != nil {
+		return err
+	}
+	res, err := fleet.RunShard(ctx, ss, s.srv.caches)
+	if err != nil {
+		return err
+	}
+	return s.finish(ResultMsg{Kind: JobShard, Blob: res.Encode()})
 }
 
 // finish records a successful result durably, then announces it.

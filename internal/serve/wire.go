@@ -169,6 +169,7 @@ const (
 const (
 	JobSim      byte = 1 // one scheduler over a streamed trace -> sim.Stats
 	JobCampaign byte = 2 // experiment IDs -> exp.Results (no trace stream)
+	JobShard    byte = 3 // a fleet shard blob -> fleet.ShardResult (no trace stream)
 )
 
 // Error codes.
@@ -176,6 +177,11 @@ const (
 	ErrCodeFatal byte = 1 // the session cannot succeed; give up
 	ErrCodeRetry byte = 2 // transient (draining, superseded connection); back off and reconnect
 	ErrCodeFull  byte = 3 // admission control refused a new session; back off and retry
+	// ErrCodeState rejects a frame addressed to a session that is already
+	// done or failed. It is not a verdict on the job - the authoritative
+	// Result or fatal Error is replayed at the next attach - so clients
+	// treat it as a cue to reconnect, never as a failure of the work.
+	ErrCodeState byte = 4
 )
 
 // --- payload messages --------------------------------------------------------
@@ -194,12 +200,15 @@ type Welcome struct {
 	HaveSpec  bool  // a Submit has been accepted; do not resend
 }
 
-// Submit carries a job specification; exactly one of Sim/Campaign is
-// meaningful, selected by Kind.
+// Submit carries a job specification; exactly one of Sim/Campaign/Shard is
+// meaningful, selected by Kind. Shard is an encoded fleet.ShardSpec kept
+// opaque at the wire layer (the job layer validates it), so the protocol
+// does not chase the fleet codec.
 type Submit struct {
 	Kind     byte
 	Sim      SimSpec
 	Campaign CampaignSpec
+	Shard    []byte
 }
 
 // TraceBatch is a contiguous run of trace records, encoded with the
@@ -298,6 +307,8 @@ func (s Submit) encode() []byte {
 		}
 		e.Int(s.Campaign.Seed)
 		e.Float(s.Campaign.Duration)
+	case JobShard:
+		e.Bytes(s.Shard)
 	}
 	return e.Data()
 }
@@ -324,6 +335,8 @@ func decodeSubmit(p []byte) (Submit, error) {
 		}
 		s.Campaign.Seed = d.Int()
 		s.Campaign.Duration = d.Float()
+	case JobShard:
+		s.Shard = append([]byte(nil), d.Bytes()...)
 	default:
 		if d.Err() == nil {
 			return s, &ProtocolError{Msg: fmt.Sprintf("unknown job kind %d", s.Kind)}
