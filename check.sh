@@ -46,6 +46,7 @@ internal/checkpoint:FuzzCheckpointDecode
 internal/scrub:FuzzScrubStateDecode
 internal/serve:FuzzFrameDecode
 internal/fleet:FuzzManifestDecode
+internal/scenario:FuzzScenarioDecode
 "
 for entry in $FUZZ_TARGETS; do
     pkg=${entry%%:*}
@@ -102,5 +103,24 @@ echo "$FLEET_OUT" | grep -q "coverage: 2/2 shards done" || {
     echo "$FLEET_OUT"
     exit 1
 }
+
+# Scenario catalog smoke: the same built binary runs a fresh campaign over a
+# mixed workload catalog with the guard and scrub pipelines on, and the
+# report must show full coverage plus the scenario/guard/scrub lines.
+echo "== vrlfleet scenario smoke =="
+SCEN_OUT=$("$FLEET_DIR/vrlfleet" -devices 4 -shard-size 2 -duration 0.05 -rows 256 -cols 4 \
+    -scenarios "diurnal=2,vrt-storm=1,kitchen-sink=1" -guard -scrub -quiet)
+echo "$SCEN_OUT" | grep -q "coverage: 2/2 shards done" || {
+    echo "scenario campaign did not reach full coverage:"
+    echo "$SCEN_OUT"
+    exit 1
+}
+for want in "scenario catalog:" "guard:" "scrub:"; do
+    echo "$SCEN_OUT" | grep -q "$want" || {
+        echo "scenario campaign report misses \"$want\":"
+        echo "$SCEN_OUT"
+        exit 1
+    }
+done
 
 echo "== all checks passed =="

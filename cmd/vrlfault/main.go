@@ -10,6 +10,9 @@
 //	vrlfault -injector bank -rate 0.2 -duration 0.256
 //	vrlfault -scrub               # scrub experiment: every injector, patrol scrubber off vs on
 //	vrlfault -injector profile -scrub -spares 32 -sweep 0.128
+//	vrlfault -list-scenarios      # the composite-stress scenario catalog
+//	vrlfault -scenario kitchen-sink -scrub
+//	vrlfault -injector bank -scenario diurnal
 package main
 
 import (
@@ -27,9 +30,18 @@ import (
 	"vrldram/internal/guard"
 	"vrldram/internal/profiler"
 	"vrldram/internal/retention"
+	"vrldram/internal/scenario"
 	"vrldram/internal/scrub"
 	"vrldram/internal/sim"
 )
+
+// title names the campaign for the result header.
+func title(injector, scen string, duration float64) string {
+	if scen != "" {
+		return fmt.Sprintf("injector %q under scenario %q over %.0f ms", injector, scen, 1000*duration)
+	}
+	return fmt.Sprintf("injector %q over %.0f ms", injector, 1000*duration)
+}
 
 func main() {
 	var (
@@ -41,6 +53,9 @@ func main() {
 		scrubOn  = flag.Bool("scrub", false, "add the online ECC patrol scrubber (self-healing repair pipeline)")
 		spares   = flag.Int("spares", 64, "spare-row budget for scrub quarantine (negative = none)")
 		sweep    = flag.Float64("sweep", 0.192, "scrub sweep period: seconds for one full patrol of the bank")
+
+		scen     = flag.String("scenario", "", "run the campaign under a named composite-stress scenario (see -list-scenarios)")
+		listScen = flag.Bool("list-scenarios", false, "print the scenario catalog and exit")
 	)
 	flag.Parse()
 
@@ -48,12 +63,29 @@ func main() {
 	// the run with the conventional interrupted status instead of a kill.
 	cli.InterruptExit("vrlfault")
 
-	if err := run(*injector, *rate, *dtemp, *seed, *duration, *scrubOn, *spares, *sweep); err != nil {
+	if *listScen {
+		scenario.FprintCatalog(os.Stdout)
+		return
+	}
+	if *scen != "" {
+		if _, ok := scenario.Lookup(*scen); !ok {
+			fmt.Fprintf(os.Stderr, "vrlfault: unknown scenario %q; the catalog:\n", *scen)
+			scenario.FprintCatalog(os.Stderr)
+			os.Exit(2)
+		}
+	}
+
+	if err := run(*injector, *rate, *dtemp, *seed, *duration, *scrubOn, *spares, *sweep, *scen); err != nil {
 		cli.Fatal("vrlfault", err)
 	}
 }
 
-func run(injector string, rate, dtemp float64, seed int64, duration float64, scrubOn bool, spares int, sweep float64) error {
+func run(injector string, rate, dtemp float64, seed int64, duration float64, scrubOn bool, spares int, sweep float64, scen string) error {
+	// A scenario campaign defaults to "none": the scenario IS the stress,
+	// and any explicit injector composes on top of it.
+	if scen != "" && injector == "all" {
+		injector = "none"
+	}
 	if injector == "all" {
 		cfg := exp.Default()
 		cfg.Seed = seed
@@ -87,6 +119,8 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64, scr
 	var vrt *retention.VRT
 	var refreshFaults *fault.RefreshFaults
 	switch injector {
+	case "none":
+		// Scenario-only campaign: no additional injector.
 	case "profile":
 		frac := rate
 		if frac == 0 {
@@ -121,7 +155,23 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64, scr
 		}
 		refreshFaults = &f
 	default:
-		return fmt.Errorf("unknown injector %q (want all, profile, bank, temp or refresh)", injector)
+		return fmt.Errorf("unknown injector %q (want all, none, profile, bank, temp or refresh)", injector)
+	}
+
+	var env *scenario.Env
+	if scen != "" {
+		env, err = scenario.BuildEnv(scenario.Ref{Name: scen}, duration, seed)
+		if err != nil {
+			return err
+		}
+		if vrt != nil {
+			// A bank runs one retention view, so the bank injector's VRT
+			// joins the scenario as a stressor and the two modulations
+			// integrate exactly instead of fighting over the bank.
+			env.Stressors = append(env.Stressors, scenario.VRTStressor{Label: "injector/bank", V: *vrt})
+			vrt = nil
+		}
+		fmt.Printf("scenario %s: %d composed stressor(s) over %.0f ms\n\n", env.Ref, len(env.Stressors), 1000*duration)
 	}
 
 	campaign := func(guarded, scrubbed bool) (sim.Stats, error) {
@@ -156,6 +206,11 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64, scr
 				return sim.Stats{}, err
 			}
 		}
+		if env != nil {
+			if err := bank.SetModulator(env); err != nil {
+				return sim.Stats{}, err
+			}
+		}
 		runOpts := opts
 		if scrubbed {
 			cls := ecc.DefaultClassifier()
@@ -182,7 +237,7 @@ func run(injector string, rate, dtemp float64, seed int64, duration float64, scr
 
 	r := &exp.Result{
 		ID:      "vrlfault",
-		Title:   fmt.Sprintf("injector %q over %.0f ms", injector, 1000*duration),
+		Title:   title(injector, scen, duration),
 		Headers: []string{"policy", "violations", "overhead %", "faults inj.", "alarms", "demotions", "escalations", "breaker trips", "degraded ms"},
 	}
 	type variant struct {

@@ -26,6 +26,7 @@ import (
 
 	"vrldram/internal/cli"
 	"vrldram/internal/fleet"
+	"vrldram/internal/scenario"
 	"vrldram/internal/serve"
 )
 
@@ -42,6 +43,12 @@ func main() {
 		tempSwing = flag.Float64("temp-swing", 0, "per-device temperature spread around the mean, degC")
 		weakFrac  = flag.Float64("weak-frac", 0, "fraction of devices with a transient-weak-cell fault plan")
 
+		scenarios  = flag.String("scenarios", "", "workload catalog as a weighted scenario mixture, e.g. diurnal=3,vrt-storm=1 (empty = no scenario layer; see vrlfault -list-scenarios)")
+		guardOn    = flag.Bool("guard", false, "wrap every device's scheduler in the graceful-degradation guard")
+		scrubOn    = flag.Bool("scrub", false, "wire the online ECC patrol scrub and repair pipeline into every device")
+		spares     = flag.Int("spares", 0, "per-device spare-row budget when scrubbing (0 = default, negative = none)")
+		scrubSweep = flag.Float64("scrub-sweep", 0, "patrol sweep period in seconds when scrubbing (0 = default)")
+
 		manifest    = flag.String("manifest", "", "manifest path for resumable campaign state (empty = in-memory)")
 		maxAttempts = flag.Int("max-attempts", 0, "per-shard attempt budget before quarantine (0 = default 3)")
 		shardTO     = flag.Duration("shard-timeout", 0, "per-attempt deadline (0 = default 10m, negative = none)")
@@ -55,6 +62,13 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress dispatch log lines")
 	)
 	flag.Parse()
+
+	// Install the signal handler before anything that can block or fail
+	// (manifest load, executor dial): an early SIGINT must still take the
+	// interrupt path - exit 3, manifest intact and resumable - rather than
+	// the runtime's default kill.
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
 
 	if *local < 0 && *serveAddr == "" {
 		fatal(fmt.Errorf("no executors: -local is negative and -serve is empty"))
@@ -78,6 +92,17 @@ func main() {
 		TempMeanC:  *tempMean,
 		TempSwingC: *tempSwing,
 		WeakFrac:   *weakFrac,
+		Guard:      *guardOn,
+		Scrub:      *scrubOn,
+		Spares:     *spares,
+		ScrubSweep: *scrubSweep,
+	}
+	if *scenarios != "" {
+		mix, err := scenario.ParseMix(*scenarios)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Scenarios = mix
 	}
 
 	var execs []fleet.Executor
@@ -87,9 +112,6 @@ func main() {
 	if *serveAddr != "" {
 		execs = append(execs, serve.NewShardExecutor(serve.ClientOptions{Addr: *serveAddr, Logf: logf}, *serveSlots))
 	}
-
-	ctx, stop := cli.SignalContext(context.Background())
-	defer stop()
 
 	opts := fleet.Options{
 		ManifestPath: *manifest,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vrldram/internal/fleet"
+	"vrldram/internal/scenario"
 	"vrldram/internal/serve"
 )
 
@@ -30,6 +31,22 @@ type FleetOptions struct {
 	TempMeanC  float64 // mean operating temperature (default 85 degC)
 	TempSwingC float64 // per-device deterministic spread around the mean
 	WeakFrac   float64 // fraction of devices with a transient-weak-cell fault plan
+
+	// Scenarios is the workload catalog as a mixture expression, e.g.
+	// "diurnal=3,vrt-storm@v1=1" (see scenario.ParseMix). Each device
+	// deterministically draws one named composite-stress scenario from the
+	// mixture. Empty means no scenario layer.
+	Scenarios string
+
+	// Guard wraps every device's scheduler in the graceful-degradation
+	// guard; Scrub adds the online ECC patrol scrub and repair pipeline.
+	// Spares is the per-device spare-row budget when scrubbing (0 = default,
+	// negative = none) and ScrubSweep the patrol sweep period in seconds
+	// (0 = default).
+	Guard      bool
+	Scrub      bool
+	Spares     int
+	ScrubSweep float64
 
 	// ManifestPath persists per-shard campaign state; a rerun with the same
 	// path resumes only unfinished shards. Empty keeps it in memory.
@@ -71,6 +88,17 @@ func RunFleetCampaign(ctx context.Context, w io.Writer, o FleetOptions) (complet
 		TempMeanC:  o.TempMeanC,
 		TempSwingC: o.TempSwingC,
 		WeakFrac:   o.WeakFrac,
+		Guard:      o.Guard,
+		Scrub:      o.Scrub,
+		Spares:     o.Spares,
+		ScrubSweep: o.ScrubSweep,
+	}
+	if o.Scenarios != "" {
+		mix, err := scenario.ParseMix(o.Scenarios)
+		if err != nil {
+			return false, err
+		}
+		spec.Scenarios = mix
 	}
 	var execs []fleet.Executor
 	if o.LocalWorkers >= 0 {

@@ -127,7 +127,7 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 		return fmt.Errorf("checkpoint: nil checkpoint")
 	}
 	var e core.StateEncoder
-	e.Tag("sim2")
+	e.Tag("sim3")
 	e.Float(cp.Time)
 	e.Float(cp.Duration)
 	e.Bytes([]byte(cp.Scheduler))
@@ -188,6 +188,7 @@ func EncodeSim(w io.Writer, cp *sim.Checkpoint) error {
 
 	e.Bytes(cp.SchedState)
 	e.Bytes(cp.ScrubState)
+	e.Bytes(cp.ScenarioState)
 	return writeContainer(w, KindSim, e.Data())
 }
 
@@ -198,7 +199,7 @@ func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
 		return nil, err
 	}
 	d := core.NewStateDecoder(payload)
-	d.ExpectTag("sim2")
+	d.ExpectTag("sim3")
 	cp := &sim.Checkpoint{}
 	cp.Time = d.Float()
 	cp.Duration = d.Float()
@@ -263,6 +264,7 @@ func DecodeSim(r io.Reader) (*sim.Checkpoint, error) {
 
 	cp.SchedState = d.Bytes()
 	cp.ScrubState = d.Bytes()
+	cp.ScenarioState = d.Bytes()
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}

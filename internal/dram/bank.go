@@ -25,6 +25,15 @@ type Violation struct {
 	Charge float64 // normalized charge at sensing
 }
 
+// Modulator modulates per-row retention over time: DecayFactor integrates
+// the decay of a row with base retention tret across [t0, t1] under the
+// modulation. retention.VRT satisfies it directly; internal/scenario's Env
+// satisfies it for composed stress schedules (the interface lives here,
+// structurally, so neither package imports the other).
+type Modulator interface {
+	DecayFactor(row int, tret, t0, t1 float64, base retention.DecayModel) float64
+}
+
 // Bank tracks per-row weakest-cell charge lazily: each row stores its charge
 // at the time of its last restore, and decay is applied on demand.
 type Bank struct {
@@ -37,6 +46,12 @@ type Bank struct {
 	// random-telegraph process of retention.VRT. Static profiles do not see
 	// it - that is the point of the VRT experiments.
 	VRT *retention.VRT
+
+	// mod, when non-nil, takes precedence over VRT: a composed stress
+	// schedule (internal/scenario) that already folds any VRT process into
+	// its segment integration. A bank runs at most one retention view, so
+	// attaching both is refused.
+	mod Modulator
 
 	charge []float64 // normalized charge at lastT
 	lastT  []float64 // time the charge was last set (s)
@@ -81,14 +96,31 @@ func (b *Bank) effectiveRetention(row int) float64 {
 }
 
 // SetVRT attaches a variable-retention-time process to the bank; pass nil
-// to detach. Returns an error for invalid parameters.
+// to detach. Returns an error for invalid parameters or if a scenario
+// modulator is already attached (fold the VRT into the scenario instead).
 func (b *Bank) SetVRT(v *retention.VRT) error {
 	if v != nil {
 		if err := v.Validate(); err != nil {
 			return err
 		}
+		if b.mod != nil {
+			return fmt.Errorf("dram: bank already carries a scenario modulator; compose the VRT into it")
+		}
 	}
 	b.VRT = v
+	return nil
+}
+
+// SetModulator attaches a composed retention modulation (a scenario Env) to
+// the bank; pass nil to detach. Mutually exclusive with SetVRT: a stress
+// schedule that wants a telegraph process composes it as one of its own
+// stressors, so the decay integration stays exact across overlapping
+// change-points.
+func (b *Bank) SetModulator(m Modulator) error {
+	if m != nil && b.VRT != nil {
+		return fmt.Errorf("dram: bank already carries a VRT process; compose it into the scenario")
+	}
+	b.mod = m
 	return nil
 }
 
@@ -103,6 +135,9 @@ func (b *Bank) ChargeAt(row int, t float64) (float64, error) {
 		return 0, fmt.Errorf("dram: time went backwards for row %d: %.6g < %.6g", row, t, b.lastT[row])
 	}
 	tret := b.effectiveRetention(row)
+	if b.mod != nil {
+		return b.charge[row] * b.mod.DecayFactor(row, tret, b.lastT[row], t, b.Decay), nil
+	}
 	if b.VRT != nil {
 		return b.charge[row] * b.VRT.DecayFactor(row, tret, b.lastT[row], t, b.Decay), nil
 	}

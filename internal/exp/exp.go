@@ -200,6 +200,7 @@ var Registry = []struct {
 	{"abl-coverage", "Ablation: trace row coverage vs VRL-Access benefit", CoverageSweep},
 	{"resilience", "Fault injection vs policy: guarded and unguarded violation/overhead frontier", Resilience},
 	{"scrub", "Online ECC patrol scrub and self-healing repair vs fault injection", Scrub},
+	{"profiling", "Profiling-mechanism survival under composite-stress scenarios", Profiling},
 }
 
 // Find returns the runner with the given ID.

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+
+	"vrldram/internal/scenario"
+)
+
+func TestProfilingExperiment(t *testing.T) {
+	r, err := Profiling(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := scenario.Names()
+	const mechs = 4
+	if len(r.Rows) != len(scenarios)*mechs {
+		t.Fatalf("rows = %d, want %d scenarios x %d mechanisms", len(r.Rows), len(scenarios), mechs)
+	}
+	num := func(row []string, col int) int {
+		n, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatalf("cell %q in row %v: %v", row[col], row, err)
+		}
+		return n
+	}
+	overhead := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("overhead %q in row %v: %v", row[3], row, err)
+		}
+		return v
+	}
+	const (
+		colViol = 2
+		colCorr = 4
+		colRepr = 6
+		colEsc  = 11
+	)
+	for si, sc := range scenarios {
+		oneShot := r.Rows[si*mechs+0]
+		guardband := r.Rows[si*mechs+1]
+		scrub := r.Rows[si*mechs+2]
+		ladder := r.Rows[si*mechs+3]
+		for _, row := range []([]string){oneShot, guardband, scrub, ladder} {
+			if row[0] != sc {
+				t.Fatalf("row grouping broken: row %v under scenario %s", row, sc)
+			}
+		}
+		if oneShot[1] != "one-shot" || guardband[1] != "guardband" || scrub[1] != "scrub-reprofile" || ladder[1] != "guard-ladder" {
+			t.Fatalf("%s: mechanism ordering broken", sc)
+		}
+
+		// The adaptive and guardbanded mechanisms must never LOSE to raw
+		// one-shot profiling under identical stress.
+		for _, row := range []([]string){guardband, scrub, ladder} {
+			if num(row, colViol) > num(oneShot, colViol) {
+				t.Errorf("%s: %s violates more (%s) than one-shot (%s)",
+					sc, row[1], row[colViol], oneShot[colViol])
+			}
+		}
+		// Static guardbanding costs refresh overhead under EVERY scenario,
+		// stressed or not - that is its defining trade-off.
+		if overhead(guardband) <= overhead(oneShot) {
+			t.Errorf("%s: guardband overhead %.3f not above one-shot %.3f",
+				sc, overhead(guardband), overhead(oneShot))
+		}
+		// Mechanisms without a pipeline report no pipeline columns.
+		if oneShot[colCorr] != "-" || guardband[colEsc] != "-" || scrub[colEsc] != "-" || ladder[colCorr] != "-" {
+			t.Errorf("%s: pipeline columns leaked across mechanisms", sc)
+		}
+
+		switch sc {
+		case "nominal":
+			for _, row := range []([]string){oneShot, guardband, scrub, ladder} {
+				if num(row, colViol) != 0 {
+					t.Errorf("nominal/%s: %s violations under no stress", row[1], row[colViol])
+				}
+			}
+		case "kitchen-sink":
+			// The composed stress must bite the static baseline, and the
+			// scrub pipeline must visibly react to it.
+			if num(oneShot, colViol) == 0 {
+				t.Error("kitchen-sink left one-shot profiling unscathed; the scenario is inert")
+			}
+			if num(scrub, colCorr) == 0 || num(scrub, colRepr) == 0 {
+				t.Errorf("kitchen-sink: scrub pipeline idle (corrected=%s reprofiled=%s)",
+					scrub[colCorr], scrub[colRepr])
+			}
+			if num(ladder, colEsc) == 0 {
+				t.Error("kitchen-sink: guard ladder recorded no escalations")
+			}
+		}
+	}
+}

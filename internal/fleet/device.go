@@ -7,9 +7,14 @@ import (
 	"vrldram/internal/core"
 	"vrldram/internal/device"
 	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
 	"vrldram/internal/fault"
+	"vrldram/internal/guard"
 	"vrldram/internal/profcache"
+	"vrldram/internal/profiler"
 	"vrldram/internal/retention"
+	"vrldram/internal/scenario"
+	"vrldram/internal/scrub"
 	"vrldram/internal/sim"
 )
 
@@ -23,8 +28,13 @@ func (s Spec) TCK() float64 { return device.Default90nm().TCK }
 // PROFILED view, and the bank from the TRUE view derated to the device's
 // operating temperature - so a hot device misbehaves behind the scheduler's
 // back exactly the way fault.TemperatureExcursion models. Weak devices
-// additionally carry a VRT process seeded per device. Retrying, hedging, or
-// recomputing a device therefore always yields identical Stats.
+// additionally carry a VRT process seeded per device; devices that drew a
+// scenario from the spec's workload catalog decay under that composed
+// stress schedule (with the weak-cell VRT folded in as one of its
+// stressors, so overlapping modulations integrate exactly). Guard and
+// scrub, when the spec enables them, wrap the scheduler stack the same way
+// vrlfault's campaigns do. Retrying, hedging, or recomputing a device
+// therefore always yields identical Stats.
 func RunDevice(ctx context.Context, spec Spec, dev Device, cache *profcache.Cache) (sim.Stats, error) {
 	spec = spec.WithDefaults()
 	params := device.Default90nm()
@@ -55,6 +65,16 @@ func RunDevice(ctx context.Context, spec Spec, dev Device, cache *profcache.Cach
 	if err != nil {
 		return sim.Stats{}, err
 	}
+	// The scrubber's repair target: the guard when present, else the raw
+	// scheduler (a policy without demote/promote hooks just ignores them).
+	repairTarget := sched
+	if spec.Guard {
+		g, err := guard.New(sched, spec.Rows, guard.Config{Restore: restore})
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		sched, repairTarget = g, g
+	}
 
 	// The bank obeys physics at the device's temperature; the scheduler only
 	// ever sees the profiled (reference-temperature) values. Cooler devices
@@ -71,10 +91,53 @@ func RunDevice(ctx context.Context, spec Spec, dev Device, cache *profcache.Cach
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	if dev.Weak {
-		if err := bank.SetVRT(fault.DefaultTransientWeakCells(dev.WeakSeed)); err != nil {
+
+	var env *scenario.Env
+	if dev.Scenario.Name != "" {
+		env, err = scenario.BuildEnv(dev.Scenario, spec.Duration, dev.ScenSeed)
+		if err != nil {
 			return sim.Stats{}, err
 		}
 	}
-	return sim.RunContext(ctx, bank, sched, nil, sim.Options{Duration: spec.Duration, TCK: params.TCK})
+	if dev.Weak {
+		vrt := fault.DefaultTransientWeakCells(dev.WeakSeed)
+		if env != nil {
+			// A bank runs one retention view, so the weak-cell telegraph
+			// joins the scenario as a stressor: its draws come from its own
+			// WeakSeed either way, and the Env integrates the overlap with
+			// the other stressors exactly.
+			env.Stressors = append(env.Stressors, scenario.VRTStressor{Label: "weak-cells", V: *vrt})
+		} else if err := bank.SetVRT(vrt); err != nil {
+			return sim.Stats{}, err
+		}
+	}
+	opts := sim.Options{Duration: spec.Duration, TCK: params.TCK}
+	if env != nil {
+		if err := bank.SetModulator(env); err != nil {
+			return sim.Stats{}, err
+		}
+		opts.Scenario = env
+	}
+
+	if spec.Scrub {
+		cls := ecc.DefaultClassifier()
+		store, err := scrub.NewBankStore(bank, cls)
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		scr, err := scrub.New(store, scrub.Config{
+			Sched:       repairTarget,
+			SweepPeriod: spec.ScrubSweep,
+			Spares:      spec.Spares,
+			Reprofile: func(row int) (float64, error) {
+				return profiler.ProfileRow(bankProf, retention.ExpDecay{}, row, profiler.Options{})
+			},
+		})
+		if err != nil {
+			return sim.Stats{}, err
+		}
+		opts.ECC = &cls
+		opts.Scrub = scr
+	}
+	return sim.RunContext(ctx, bank, sched, nil, opts)
 }

@@ -36,6 +36,7 @@ import (
 
 	"vrldram/internal/core"
 	"vrldram/internal/device"
+	"vrldram/internal/scenario"
 )
 
 // Scheduler names accepted by Spec.Scheduler; they match the policies the
@@ -68,6 +69,25 @@ type Spec struct {
 	// WeakFrac is the fraction of devices whose fault plan includes the
 	// transient-weak-cell (VRT) injector, each with its own derived seed.
 	WeakFrac float64
+
+	// Scenarios is the workload catalog: a weighted mixture of named,
+	// versioned composite-stress scenarios (internal/scenario). Each device
+	// deterministically draws one scenario and a scenario seed from its own
+	// streams, so populations mix diurnal thermal cycles, VRT storms, and
+	// aging ramps instead of one temperature/weak-cell knob pair. Empty
+	// means no scenario layer (the PR 7 behavior).
+	Scenarios scenario.Mix
+
+	// Guard wires the graceful-degradation guard (internal/guard) around
+	// every device's scheduler; Scrub adds the online ECC patrol scrubber
+	// and repair pipeline (internal/scrub). Spares is the per-device
+	// spare-row budget when scrubbing (0 = scrub default, negative = none)
+	// and ScrubSweep the patrol sweep period in seconds (0 = scrub
+	// default).
+	Guard      bool
+	Scrub      bool
+	Spares     int
+	ScrubSweep float64
 }
 
 // WithDefaults resolves zero fields to the fleet defaults.
@@ -90,6 +110,10 @@ func (s Spec) WithDefaults() Spec {
 	if s.TempMeanC == 0 {
 		s.TempMeanC = 85
 	}
+	// Pin version-0 scenario refs to the current catalog versions, so the
+	// canonical spec (and the manifest bound to it) names exactly the
+	// semantics the campaign ran under.
+	s.Scenarios = s.Scenarios.Normalized()
 	return s
 }
 
@@ -123,6 +147,12 @@ func (s Spec) Validate() error {
 	if s.WeakFrac < 0 || s.WeakFrac > 1 {
 		return fmt.Errorf("fleet: weak-device fraction %g outside [0,1]", s.WeakFrac)
 	}
+	if err := s.Scenarios.Validate(); err != nil {
+		return err
+	}
+	if s.ScrubSweep < 0 {
+		return fmt.Errorf("fleet: scrub sweep period must be non-negative, got %g", s.ScrubSweep)
+	}
 	return nil
 }
 
@@ -132,7 +162,7 @@ func (s Spec) Validate() error {
 func (s Spec) Canonical() []byte {
 	s = s.WithDefaults()
 	var e core.StateEncoder
-	e.Tag("fspec1")
+	e.Tag("fspec2")
 	s.encodeTo(&e)
 	return e.Data()
 }
@@ -148,6 +178,11 @@ func (s Spec) encodeTo(e *core.StateEncoder) {
 	e.Float(s.TempMeanC)
 	e.Float(s.TempSwingC)
 	e.Float(s.WeakFrac)
+	s.Scenarios.EncodeTo(e)
+	e.Bool(s.Guard)
+	e.Bool(s.Scrub)
+	e.Int(int64(s.Spares))
+	e.Float(s.ScrubSweep)
 }
 
 func decodeSpecFrom(d *core.StateDecoder) Spec {
@@ -162,6 +197,11 @@ func decodeSpecFrom(d *core.StateDecoder) Spec {
 	s.TempMeanC = d.Float()
 	s.TempSwingC = d.Float()
 	s.WeakFrac = d.Float()
+	s.Scenarios = scenario.DecodeMixFrom(d)
+	s.Guard = d.Bool()
+	s.Scrub = d.Bool()
+	s.Spares = int(d.Int())
+	s.ScrubSweep = d.Float()
 	return s
 }
 
@@ -174,6 +214,12 @@ type Device struct {
 	TempC    float64 // operating temperature over the whole window (degC)
 	Weak     bool    // transient-weak-cell fault plan active
 	WeakSeed int64   // VRT process seed when Weak
+
+	// Scenario is the device's draw from the spec's workload catalog (the
+	// zero Ref when the catalog is empty), and ScenSeed the scenario master
+	// seed its stressor streams derive from.
+	Scenario scenario.Ref
+	ScenSeed int64
 }
 
 // splitmix64 is the standard 64-bit finalizing mixer; it drives every
@@ -212,6 +258,13 @@ func (s Spec) Device(i int) Device {
 	if s.WeakFrac > 0 && unit(splitmix64(h^0x2545f4914f6cdd1d)) < s.WeakFrac {
 		d.Weak = true
 		d.WeakSeed = posSeed(splitmix64(h ^ 0x9e3779b97f4a7c15))
+	}
+	// The scenario pick and seed ride their own salted streams, so adding a
+	// catalog to a Spec (or reweighting it) never perturbs the profile
+	// seed, temperature, or fault-plan draws of any device.
+	if !s.Scenarios.Empty() {
+		d.Scenario = s.Scenarios.Pick(splitmix64(h ^ 0xd6e8feb86659fd93))
+		d.ScenSeed = posSeed(splitmix64(h ^ 0xc2b2ae3d27d4eb4f))
 	}
 	return d
 }

@@ -1,8 +1,11 @@
 package fleet
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"vrldram/internal/scenario"
 )
 
 func testFleetSpec() Spec {
@@ -17,6 +20,12 @@ func testFleetSpec() Spec {
 		TempMeanC:  85,
 		TempSwingC: 10,
 		WeakFrac:   0.4,
+		Scenarios: scenario.Mix{Items: []scenario.Weighted{
+			{Ref: scenario.Ref{Name: "nominal"}, Weight: 2},
+			{Ref: scenario.Ref{Name: "aging"}, Weight: 1},
+		}},
+		Guard: true,
+		Scrub: true,
 	}
 }
 
@@ -94,6 +103,61 @@ func TestDeviceDerivationIsolatedStreams(t *testing.T) {
 	}
 }
 
+// TestDeviceScenarioDrawIsolatedStream extends the stream-isolation property
+// to the workload catalog: adding (or reweighting) a scenario mixture must
+// not perturb any device's profile seed, temperature, or fault plan, and the
+// draws themselves must be valid catalog refs with positive scenario seeds.
+func TestDeviceScenarioDrawIsolatedStream(t *testing.T) {
+	base := testFleetSpec()
+	base.Devices = 200
+	base.Scenarios = scenario.Mix{}
+	mixed := base
+	mixed.Scenarios = scenario.Mix{Items: []scenario.Weighted{
+		{Ref: scenario.Ref{Name: "diurnal"}, Weight: 3},
+		{Ref: scenario.Ref{Name: "kitchen-sink"}, Weight: 1},
+	}}
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	picked := map[string]int{}
+	for i := 0; i < base.Devices; i++ {
+		a, b := base.Device(i), mixed.Device(i)
+		if a.Seed != b.Seed || a.TempC != b.TempC || a.Weak != b.Weak || a.WeakSeed != b.WeakSeed {
+			t.Fatalf("device %d: adding a scenario catalog perturbed the other draws (%+v vs %+v)", i, a, b)
+		}
+		if a.Scenario != (scenario.Ref{}) || a.ScenSeed != 0 {
+			t.Fatalf("device %d drew a scenario from an empty catalog: %+v", i, a)
+		}
+		if b.Scenario.Name == "" || b.Scenario.Version == 0 {
+			t.Fatalf("device %d drew no versioned scenario from the mixture: %+v", i, b)
+		}
+		if b.ScenSeed <= 0 {
+			t.Fatalf("device %d has non-positive scenario seed %d", i, b.ScenSeed)
+		}
+		picked[b.Scenario.Name]++
+	}
+	if picked["diurnal"] == 0 || picked["kitchen-sink"] == 0 {
+		t.Fatalf("mixture entries unused across %d devices: %v", base.Devices, picked)
+	}
+	if picked["diurnal"] <= picked["kitchen-sink"] {
+		t.Fatalf("weight 3:1 not visible in the draws: %v", picked)
+	}
+
+	// Reweighting changes only the scenario stream.
+	reweighted := mixed
+	reweighted.Scenarios = scenario.Mix{Items: []scenario.Weighted{
+		{Ref: scenario.Ref{Name: "diurnal"}, Weight: 1},
+		{Ref: scenario.Ref{Name: "kitchen-sink"}, Weight: 3},
+	}}
+	for i := 0; i < base.Devices; i++ {
+		a, b := mixed.Device(i), reweighted.Device(i)
+		if a.Seed != b.Seed || a.TempC != b.TempC || a.Weak != b.Weak || a.ScenSeed != b.ScenSeed {
+			t.Fatalf("device %d: reweighting perturbed non-pick draws", i)
+		}
+	}
+}
+
 // TestShardsPartitionExactly checks the shard plan covers every device index
 // exactly once, in order, with a short tail shard.
 func TestShardsPartitionExactly(t *testing.T) {
@@ -130,8 +194,9 @@ func TestShardSpecCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode shard %d: %v", ss.Index, err)
 		}
-		if got != (ShardSpec{Spec: ss.Spec.WithDefaults(), Index: ss.Index, Start: ss.Start, Count: ss.Count}) {
-			t.Fatalf("shard %d round trip:\n got %+v\nwant %+v", ss.Index, got, ss)
+		want := ShardSpec{Spec: ss.Spec.WithDefaults(), Index: ss.Index, Start: ss.Start, Count: ss.Count}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d round trip:\n got %+v\nwant %+v", ss.Index, got, want)
 		}
 	}
 	// A shard that lies about its device range must be refused.

@@ -78,6 +78,19 @@ func (r *Report) Fprint(w io.Writer) {
 		fmtQuantile(r.Sum.Overhead, 0.50, ""), fmtQuantile(r.Sum.Overhead, 0.99, ""), fmtQuantile(r.Sum.Overhead, 0.999, ""))
 	fmt.Fprintf(w, "partial-refresh share: p50 %s  p99 %s (%% of refreshes); weak devices: %d\n",
 		fmtQuantile(r.Sum.PartialShare, 0.50, ""), fmtQuantile(r.Sum.PartialShare, 0.99, ""), r.Sum.WeakDevices)
+	if !s.Scenarios.Empty() {
+		fmt.Fprintf(w, "scenario catalog: %s\n", s.Scenarios.String())
+	}
+	if s.Guard {
+		fmt.Fprintf(w, "guard: %d alarms, %d demotions, %d promotions, %d breaker trips; escalations p99 %s\n",
+			r.Sum.GuardAlarms, r.Sum.GuardDemotions, r.Sum.GuardPromotions, r.Sum.GuardBreakerTrips,
+			fmtQuantile(r.Sum.Escalations, 0.99, ""))
+	}
+	if s.Scrub {
+		fmt.Fprintf(w, "scrub: %d corrected, %d uncorrectable, %d reprofiles, %d remapped, %d hard fails; SLO misses p99 %s, spare use p99 %s%%\n",
+			r.Sum.ScrubCorrected, r.Sum.ScrubUncorrectable, r.Sum.ScrubReprofiles, r.Sum.ScrubRemapped,
+			r.Sum.ScrubHardFails, fmtQuantile(r.Sum.SLOMiss, 0.99, ""), fmtQuantile(r.Sum.SpareUse, 0.99, ""))
+	}
 	if len(r.Quarantined) == 0 {
 		fmt.Fprintf(w, "quarantine: none - full population covered\n")
 		return

@@ -39,10 +39,10 @@ func (ss ShardSpec) Validate() error {
 	return nil
 }
 
-// Encode renders the shard spec canonically (tag "fsh1").
+// Encode renders the shard spec canonically (tag "fsh2").
 func (ss ShardSpec) Encode() []byte {
 	var e core.StateEncoder
-	e.Tag("fsh1")
+	e.Tag("fsh2")
 	ss.Spec.WithDefaults().encodeTo(&e)
 	e.Int(int64(ss.Index))
 	e.Int(int64(ss.Start))
@@ -53,7 +53,7 @@ func (ss ShardSpec) Encode() []byte {
 // DecodeShardSpec parses and validates a canonical shard spec blob.
 func DecodeShardSpec(blob []byte) (ShardSpec, error) {
 	d := core.NewStateDecoder(blob)
-	d.ExpectTag("fsh1")
+	d.ExpectTag("fsh2")
 	var ss ShardSpec
 	ss.Spec = decodeSpecFrom(d)
 	ss.Index = int(d.Int())
@@ -77,10 +77,10 @@ type ShardResult struct {
 	Sum   *Summary
 }
 
-// Encode renders the result canonically (tag "fsr1").
+// Encode renders the result canonically (tag "fsr2").
 func (r ShardResult) Encode() []byte {
 	var e core.StateEncoder
-	e.Tag("fsr1")
+	e.Tag("fsr2")
 	e.Int(int64(r.Shard))
 	e.Int(int64(r.Start))
 	e.Int(int64(r.Count))
@@ -91,7 +91,7 @@ func (r ShardResult) Encode() []byte {
 // DecodeShardResult parses a canonical shard result blob.
 func DecodeShardResult(blob []byte) (ShardResult, error) {
 	d := core.NewStateDecoder(blob)
-	d.ExpectTag("fsr1")
+	d.ExpectTag("fsr2")
 	var r ShardResult
 	r.Shard = int(d.Int())
 	r.Start = int(d.Int())

@@ -3,10 +3,13 @@ package fleet
 import (
 	"context"
 	"testing"
+
+	"vrldram/internal/scenario"
 )
 
 // realSpec is a small population that exercises real simulations: hot and
-// cool devices, weak-cell fault plans, a short tail shard.
+// cool devices, weak-cell fault plans, a mixed scenario catalog with the
+// guard and scrub pipelines wired, and a short tail shard.
 func realSpec() Spec {
 	return Spec{
 		Devices:    5,
@@ -18,6 +21,13 @@ func realSpec() Spec {
 		ShardSize:  2,
 		TempSwingC: 10,
 		WeakFrac:   0.5,
+		Scenarios: scenario.Mix{Items: []scenario.Weighted{
+			{Ref: scenario.Ref{Name: "diurnal"}, Weight: 2},
+			{Ref: scenario.Ref{Name: "vrt-storm"}, Weight: 1},
+			{Ref: scenario.Ref{Name: "kitchen-sink"}, Weight: 1},
+		}},
+		Guard: true,
+		Scrub: true,
 	}
 }
 
@@ -66,6 +76,17 @@ func TestLocalCampaignMatchesSequential(t *testing.T) {
 	}
 	if rep.Sum.WeakDevices == 0 {
 		t.Fatal("population drew no weak devices; WeakFrac plumbing is dead")
+	}
+	// The guard/scrub sketches land every device (zero observations count),
+	// so the merged histograms must cover the whole population.
+	for name, h := range map[string]*Hist{
+		"escalations": rep.Sum.Escalations,
+		"slo-miss":    rep.Sum.SLOMiss,
+		"spare-use":   rep.Sum.SpareUse,
+	} {
+		if h.Total() != rep.Sum.Devices {
+			t.Fatalf("%s sketch covers %d devices, population has %d", name, h.Total(), rep.Sum.Devices)
+		}
 	}
 }
 

@@ -168,6 +168,12 @@ const (
 	violMax        = 256.0
 	partialBins    = 256 // partial refreshes, percent of all refreshes, [0, 100)%
 	partialMaxPct  = 100.0
+	escBins        = 64 // guard escalations per device, [0, 64)
+	escMax         = 64.0
+	sloBins        = 64 // scrub SLO misses per device, [0, 64)
+	sloMax         = 64.0
+	spareBins      = 101 // spare-row utilization per device, [0, 101)%
+	spareMaxPct    = 101.0
 )
 
 // Summary is the mergeable fleet aggregate: population-wide integer totals
@@ -186,9 +192,27 @@ type Summary struct {
 	// merge therefore order-independent).
 	ChargeMicro int64
 
+	// Guard-pipeline totals (all zero unless the spec enabled the guard).
+	GuardAlarms       int64
+	GuardDemotions    int64
+	GuardPromotions   int64
+	GuardEscalations  int64
+	GuardBreakerTrips int64
+
+	// Scrub-pipeline totals (all zero unless the spec enabled the scrubber).
+	ScrubCorrected     int64
+	ScrubUncorrectable int64
+	ScrubReprofiles    int64
+	ScrubRemapped      int64
+	ScrubHardFails     int64
+	ScrubSLOMisses     int64
+
 	Overhead     *Hist // per-device refresh overhead (% of wall time)
 	DevViolation *Hist // per-device violation count
 	PartialShare *Hist // per-device partial refreshes (% of refreshes)
+	Escalations  *Hist // per-device guard escalations
+	SLOMiss      *Hist // per-device scrub coverage-SLO misses
+	SpareUse     *Hist // per-device spare-row utilization (% of budget consumed)
 }
 
 // NewSummary returns an empty summary with the standard binning.
@@ -197,6 +221,9 @@ func NewSummary() *Summary {
 		Overhead:     NewHist(0, overheadMaxPct, overheadBins),
 		DevViolation: NewHist(0, violMax, violBins),
 		PartialShare: NewHist(0, partialMaxPct, partialBins),
+		Escalations:  NewHist(0, escMax, escBins),
+		SLOMiss:      NewHist(0, sloMax, sloBins),
+		SpareUse:     NewHist(0, spareMaxPct, spareBins),
 	}
 }
 
@@ -217,12 +244,35 @@ func (s *Summary) AddDevice(dev Device, st sim.Stats, tck float64) {
 	s.FaultsInjected += st.FaultsInjected
 	s.ChargeMicro += int64(math.Round(st.ChargeRestored * 1e6))
 
+	s.GuardAlarms += st.Guard.Alarms
+	s.GuardDemotions += st.Guard.Demotions
+	s.GuardPromotions += st.Guard.Promotions
+	s.GuardEscalations += st.Guard.Escalations
+	s.GuardBreakerTrips += st.Guard.BreakerTrips
+
+	s.ScrubCorrected += st.Scrub.Corrected
+	s.ScrubUncorrectable += st.Scrub.Uncorrectable
+	s.ScrubReprofiles += st.Scrub.Reprofiles
+	s.ScrubRemapped += st.Scrub.RowsRemapped
+	s.ScrubHardFails += st.Scrub.HardFails
+	s.ScrubSLOMisses += st.Scrub.SLOMisses
+
 	s.Overhead.Add(100 * st.OverheadFraction(tck))
 	s.DevViolation.Add(float64(st.Violations))
 	if total := st.Refreshes(); total > 0 {
 		s.PartialShare.Add(100 * float64(st.PartialRefreshes) / float64(total))
 	} else {
 		s.PartialShare.Add(0)
+	}
+	// Every device lands in every sketch (zero when the pipeline is off or
+	// idle), so each histogram's Total always equals Devices and merges
+	// from guarded and unguarded campaigns stay shape-compatible.
+	s.Escalations.Add(float64(st.Guard.Escalations))
+	s.SLOMiss.Add(float64(st.Scrub.SLOMisses))
+	if budget := st.Scrub.RowsRemapped + int64(st.Scrub.SparesLeft); budget > 0 {
+		s.SpareUse.Add(100 * float64(st.Scrub.RowsRemapped) / float64(budget))
+	} else {
+		s.SpareUse.Add(0)
 	}
 }
 
@@ -242,6 +292,15 @@ func (s *Summary) Merge(o *Summary) error {
 	if err := s.PartialShare.Merge(o.PartialShare); err != nil {
 		return err
 	}
+	if err := s.Escalations.Merge(o.Escalations); err != nil {
+		return err
+	}
+	if err := s.SLOMiss.Merge(o.SLOMiss); err != nil {
+		return err
+	}
+	if err := s.SpareUse.Merge(o.SpareUse); err != nil {
+		return err
+	}
 	s.Devices += o.Devices
 	s.ViolatingDevices += o.ViolatingDevices
 	s.WeakDevices += o.WeakDevices
@@ -251,6 +310,17 @@ func (s *Summary) Merge(o *Summary) error {
 	s.BusyCycles += o.BusyCycles
 	s.FaultsInjected += o.FaultsInjected
 	s.ChargeMicro += o.ChargeMicro
+	s.GuardAlarms += o.GuardAlarms
+	s.GuardDemotions += o.GuardDemotions
+	s.GuardPromotions += o.GuardPromotions
+	s.GuardEscalations += o.GuardEscalations
+	s.GuardBreakerTrips += o.GuardBreakerTrips
+	s.ScrubCorrected += o.ScrubCorrected
+	s.ScrubUncorrectable += o.ScrubUncorrectable
+	s.ScrubReprofiles += o.ScrubReprofiles
+	s.ScrubRemapped += o.ScrubRemapped
+	s.ScrubHardFails += o.ScrubHardFails
+	s.ScrubSLOMisses += o.ScrubSLOMisses
 	return nil
 }
 
@@ -258,7 +328,7 @@ func (s *Summary) Merge(o *Summary) error {
 // bytes, which is how the chaos tests assert exact fleet-level equality.
 func (s *Summary) Encode() []byte {
 	var e core.StateEncoder
-	e.Tag("fsum1")
+	e.Tag("fsum2")
 	s.encodeTo(&e)
 	return e.Data()
 }
@@ -273,9 +343,23 @@ func (s *Summary) encodeTo(e *core.StateEncoder) {
 	e.Int(s.BusyCycles)
 	e.Int(s.FaultsInjected)
 	e.Int(s.ChargeMicro)
+	e.Int(s.GuardAlarms)
+	e.Int(s.GuardDemotions)
+	e.Int(s.GuardPromotions)
+	e.Int(s.GuardEscalations)
+	e.Int(s.GuardBreakerTrips)
+	e.Int(s.ScrubCorrected)
+	e.Int(s.ScrubUncorrectable)
+	e.Int(s.ScrubReprofiles)
+	e.Int(s.ScrubRemapped)
+	e.Int(s.ScrubHardFails)
+	e.Int(s.ScrubSLOMisses)
 	s.Overhead.encodeTo(e)
 	s.DevViolation.encodeTo(e)
 	s.PartialShare.encodeTo(e)
+	s.Escalations.encodeTo(e)
+	s.SLOMiss.encodeTo(e)
+	s.SpareUse.encodeTo(e)
 }
 
 func decodeSummaryFrom(d *core.StateDecoder) *Summary {
@@ -289,9 +373,23 @@ func decodeSummaryFrom(d *core.StateDecoder) *Summary {
 	s.BusyCycles = d.Int()
 	s.FaultsInjected = d.Int()
 	s.ChargeMicro = d.Int()
+	s.GuardAlarms = d.Int()
+	s.GuardDemotions = d.Int()
+	s.GuardPromotions = d.Int()
+	s.GuardEscalations = d.Int()
+	s.GuardBreakerTrips = d.Int()
+	s.ScrubCorrected = d.Int()
+	s.ScrubUncorrectable = d.Int()
+	s.ScrubReprofiles = d.Int()
+	s.ScrubRemapped = d.Int()
+	s.ScrubHardFails = d.Int()
+	s.ScrubSLOMisses = d.Int()
 	s.Overhead = decodeHistFrom(d)
 	s.DevViolation = decodeHistFrom(d)
 	s.PartialShare = decodeHistFrom(d)
+	s.Escalations = decodeHistFrom(d)
+	s.SLOMiss = decodeHistFrom(d)
+	s.SpareUse = decodeHistFrom(d)
 	if d.Err() == nil && (s.Devices < 0 || s.Violations < 0) {
 		d.Fail("fleet: negative summary counters")
 	}
@@ -301,7 +399,7 @@ func decodeSummaryFrom(d *core.StateDecoder) *Summary {
 // DecodeSummary parses a canonical summary blob.
 func DecodeSummary(blob []byte) (*Summary, error) {
 	d := core.NewStateDecoder(blob)
-	d.ExpectTag("fsum1")
+	d.ExpectTag("fsum2")
 	s := decodeSummaryFrom(d)
 	if err := d.Finish(); err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"vrldram/internal/core"
 	"vrldram/internal/sim"
 )
 
@@ -19,6 +20,22 @@ func fakeStats(i int) sim.Stats {
 		ChargeRestored:   0.125 * float64(i),
 		Violations:       i % 3,
 		FaultsInjected:   int64(i % 2),
+		Guard: core.GuardStats{
+			Alarms:       int64(i % 5),
+			Demotions:    int64(i % 3),
+			Promotions:   int64(i % 2),
+			Escalations:  int64(i % 7),
+			BreakerTrips: int64(i % 2),
+		},
+		Scrub: core.ScrubStats{
+			Corrected:     int64(i % 6),
+			Uncorrectable: int64(i % 2),
+			Reprofiles:    int64(i % 4),
+			RowsRemapped:  int64(i % 3),
+			HardFails:     int64(i % 2),
+			SLOMisses:     int64(i % 9),
+			SparesLeft:    16 - i%3,
+		},
 	}
 }
 

@@ -1,0 +1,46 @@
+package retention
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aging of the retention distribution. The retention retrospective (arXiv
+// 2306.16037) lists wear-out among the field effects static profiling
+// misses: leakage paths degrade slowly over a device's deployed life, so a
+// profile measured at qualification overstates what the array sustains
+// years later. The model here is deliberately simple - a compounding
+// fractional retention loss per simulated year - which is enough to give
+// the scenario layer a monotone multi-year ramp whose endpoints are easy to
+// reason about in tests and experiments.
+
+// AgingModel maps deployed years to a multiplicative retention factor.
+type AgingModel struct {
+	// RatePerYear is the fraction of retention lost per simulated year of
+	// deployment, compounding: Scale(y) = (1-rate)^y.
+	RatePerYear float64
+}
+
+// DefaultAgingModel returns a 3%/year compounding loss: ~22% of retention
+// gone after eight deployed years, inside the envelope the wear-out
+// literature reports for commodity DRAM.
+func DefaultAgingModel() AgingModel {
+	return AgingModel{RatePerYear: 0.03}
+}
+
+// Validate reports the first unusable parameter.
+func (m AgingModel) Validate() error {
+	if m.RatePerYear < 0 || m.RatePerYear >= 1 {
+		return fmt.Errorf("retention: aging rate %g per year outside [0,1)", m.RatePerYear)
+	}
+	return nil
+}
+
+// Scale returns the retention multiplier after years of deployment:
+// 1 at year zero, decreasing monotonically.
+func (m AgingModel) Scale(years float64) float64 {
+	if years <= 0 {
+		return 1
+	}
+	return math.Pow(1-m.RatePerYear, years)
+}

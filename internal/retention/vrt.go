@@ -106,6 +106,26 @@ func (v VRT) StateFactor(row int, tret, t float64) float64 {
 	return 1
 }
 
+// NextToggle returns the first instant strictly after t at which the row's
+// telegraph state may change, or +Inf for rows the process does not affect.
+// It uses exactly the boundary arithmetic of DecayFactor's segment loop
+// (including the epsilon guard), so an external integrator segmenting at
+// NextToggle boundaries and scaling by StateFactor reproduces DecayFactor
+// bit for bit - the contract the scenario layer's VRT stressor relies on.
+func (v VRT) NextToggle(row int, tret, t float64) float64 {
+	if !v.Affected(row, tret) {
+		return math.Inf(1)
+	}
+	d := v.dwell(row)
+	phase := v.unit(row, 0x0FF5E7) * 2 * d
+	k := math.Floor((t + phase) / d)
+	next := (k+1)*d - phase
+	if next <= t {
+		next = t + 1e-9*d
+	}
+	return next
+}
+
 // DecayFactor integrates the decay of a row with base retention tret over
 // [t0, t1], honoring the telegraph state at each instant. For the
 // exponential law this is exact: the exponents of the piecewise segments

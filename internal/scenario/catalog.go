@@ -1,0 +1,411 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vrldram/internal/core"
+	"vrldram/internal/retention"
+)
+
+// Ref names one catalog entry: a scenario name plus the version the caller
+// pinned. Version 0 means "current" and is resolved to the catalog version
+// by Normalize; a non-zero version must match the catalog exactly, so a
+// manifest or checkpoint written against scenario semantics that have since
+// changed is refused instead of silently reinterpreted.
+type Ref struct {
+	Name    string
+	Version int
+}
+
+// String renders the pinned form.
+func (r Ref) String() string {
+	if r.Version == 0 {
+		return r.Name
+	}
+	return fmt.Sprintf("%s@v%d", r.Name, r.Version)
+}
+
+// Scenario is one catalog entry: a stable name, a semantic version (bumped
+// whenever the schedule an entry builds changes), and the builder that
+// instantiates its Env for a concrete run window and seed.
+type Scenario struct {
+	Name    string
+	Version int
+	Summary string
+	Build   func(duration float64, seed int64) (*Env, error)
+}
+
+// Shared stressor labels. Labels key the splitmix64 streams, so the
+// kitchen-sink composition uses the SAME labels as the individual scenarios:
+// the diurnal cycle inside kitchen-sink draws exactly what the standalone
+// diurnal scenario draws, which is the stream-independence property the
+// tests pin.
+const (
+	labelDiurnal = "diurnal-cycle"
+	labelStorm   = "vrt-storm"
+	labelDPD     = "dpd-adversary"
+	labelAging   = "aging-ramp"
+)
+
+// stormVRT is the telegraph process a VRT storm gates: broader and deeper
+// than the default field VRT (a tenth of rows toggling at under half
+// retention), with MinRetention 0 so even defect-limited rows storm. The
+// dwell scales with the run window so short windows still see toggles.
+func stormVRT(duration float64) retention.VRT {
+	return retention.VRT{
+		AffectedFrac: 0.10,
+		LowFactor:    0.45,
+		MeanDwell:    duration / 24,
+		MinRetention: 0,
+	}
+}
+
+// Per-scenario stressor builders, shared between the standalone scenarios
+// and the kitchen-sink composition so both call sites build byte-identical
+// schedules.
+
+func diurnalStressor(duration float64, seed int64) Stressor {
+	return NewTempCycle(seed, labelDiurnal, retention.DefaultTempModel(), 85, 8, duration/2, 12)
+}
+
+func stormStressor(duration float64, seed int64) Stressor {
+	return NewGate(seed, labelStorm, duration/6, 0.5, NewVRTStressor(seed, labelStorm+"/telegraph", stormVRT(duration)))
+}
+
+func dpdStressor(duration float64, seed int64) Stressor {
+	return NewPatternAdversary(seed, labelDPD, duration/16, 0.25, retention.PatternAlternating)
+}
+
+func agingStressor(duration float64, seed int64) Stressor {
+	return AgingRamp{Label: labelAging, Model: retention.DefaultAgingModel(), Years: 8, Window: duration, Steps: 16}
+}
+
+// catalog is the versioned scenario library, in presentation order.
+var catalog = []Scenario{
+	{
+		Name:    "nominal",
+		Version: 1,
+		Summary: "no composite stress: the bank decays under its profiled physics only",
+		Build: func(duration float64, seed int64) (*Env, error) {
+			return &Env{Seed: seed, Duration: duration}, nil
+		},
+	},
+	{
+		Name:    "diurnal",
+		Version: 1,
+		Summary: "datacenter thermal cycle: 85 degC mean, +/-8 degC staircase sinusoid, two cycles per window",
+		Build: func(duration float64, seed int64) (*Env, error) {
+			return &Env{Seed: seed, Duration: duration, Stressors: []Stressor{diurnalStressor(duration, seed)}}, nil
+		},
+	},
+	{
+		Name:    "vrt-storm",
+		Version: 1,
+		Summary: "episodic VRT bursts: 10% of rows telegraph to 0.45x retention during half the episodes",
+		Build: func(duration float64, seed int64) (*Env, error) {
+			return &Env{Seed: seed, Duration: duration, Stressors: []Stressor{stormStressor(duration, seed)}}, nil
+		},
+	},
+	{
+		Name:    "dpd-adversary",
+		Version: 1,
+		Summary: "write-heavy data-pattern dependence: 25% of rows rewritten with the alternating worst-case pattern each frame",
+		Build: func(duration float64, seed int64) (*Env, error) {
+			return &Env{Seed: seed, Duration: duration, Stressors: []Stressor{dpdStressor(duration, seed)}}, nil
+		},
+	},
+	{
+		Name:    "aging",
+		Version: 1,
+		Summary: "multi-year wear ramp: retention degrades toward 8 simulated years across the window",
+		Build: func(duration float64, seed int64) (*Env, error) {
+			return &Env{Seed: seed, Duration: duration, Stressors: []Stressor{agingStressor(duration, seed)}}, nil
+		},
+	},
+	{
+		Name:    "kitchen-sink",
+		Version: 1,
+		Summary: "all four stressors composed on their standalone streams: the field, all at once",
+		Build: func(duration float64, seed int64) (*Env, error) {
+			return &Env{Seed: seed, Duration: duration, Stressors: []Stressor{
+				diurnalStressor(duration, seed),
+				stormStressor(duration, seed),
+				dpdStressor(duration, seed),
+				agingStressor(duration, seed),
+			}}, nil
+		},
+	},
+}
+
+// Names lists the catalog's scenario names in presentation order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, sc := range catalog {
+		out[i] = sc.Name
+	}
+	return out
+}
+
+// Lookup returns the catalog entry with the given name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range catalog {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Catalog returns a copy of the scenario library in presentation order.
+func Catalog() []Scenario {
+	return append([]Scenario(nil), catalog...)
+}
+
+// BuildEnv instantiates the referenced scenario for a run window and seed.
+// A zero ref version resolves to the catalog's current version; a non-zero
+// version must match it.
+func BuildEnv(ref Ref, duration float64, seed int64) (*Env, error) {
+	sc, ok := Lookup(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (catalog: %s)", ref.Name, strings.Join(Names(), ", "))
+	}
+	if ref.Version != 0 && ref.Version != sc.Version {
+		return nil, fmt.Errorf("scenario: %s pinned at v%d, catalog has v%d", ref.Name, ref.Version, sc.Version)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("scenario: duration must be positive, got %g", duration)
+	}
+	env, err := sc.Build(duration, seed)
+	if err != nil {
+		return nil, err
+	}
+	env.Ref = Ref{Name: sc.Name, Version: sc.Version}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// --- weighted mixtures -------------------------------------------------------
+
+// Weighted is one catalog entry with a mixture weight.
+type Weighted struct {
+	Ref    Ref
+	Weight int64
+}
+
+// Mix is a weighted scenario catalog: the fleet's per-device scenario draw
+// picks from it proportionally to the integer weights. The zero Mix means
+// "no scenario layer".
+type Mix struct {
+	Items []Weighted
+}
+
+// maxMixItems bounds decoded mixtures against hostile length fields.
+const maxMixItems = 1024
+
+// maxMixWeight keeps the total weight safely inside uint64 modulo
+// arithmetic.
+const maxMixWeight = int64(1) << 32
+
+// Empty reports whether the mix selects nothing.
+func (m Mix) Empty() bool { return len(m.Items) == 0 }
+
+// Normalized resolves version-0 refs to the current catalog versions.
+// Unknown names pass through untouched for Validate to report.
+func (m Mix) Normalized() Mix {
+	if m.Empty() {
+		return m
+	}
+	out := Mix{Items: append([]Weighted(nil), m.Items...)}
+	for i := range out.Items {
+		if out.Items[i].Ref.Version == 0 {
+			if sc, ok := Lookup(out.Items[i].Ref.Name); ok {
+				out.Items[i].Ref.Version = sc.Version
+			}
+		}
+	}
+	return out
+}
+
+// Validate reports the first unusable entry.
+func (m Mix) Validate() error {
+	if len(m.Items) > maxMixItems {
+		return fmt.Errorf("scenario: mixture of %d entries exceeds the %d cap", len(m.Items), maxMixItems)
+	}
+	seen := map[string]bool{}
+	for _, it := range m.Items {
+		sc, ok := Lookup(it.Ref.Name)
+		if !ok {
+			return fmt.Errorf("scenario: unknown scenario %q (catalog: %s)", it.Ref.Name, strings.Join(Names(), ", "))
+		}
+		if it.Ref.Version != 0 && it.Ref.Version != sc.Version {
+			return fmt.Errorf("scenario: %s pinned at v%d, catalog has v%d", it.Ref.Name, it.Ref.Version, sc.Version)
+		}
+		if it.Weight <= 0 || it.Weight > maxMixWeight {
+			return fmt.Errorf("scenario: %s weight %d outside (0,%d]", it.Ref.Name, it.Weight, maxMixWeight)
+		}
+		if seen[it.Ref.Name] {
+			return fmt.Errorf("scenario: %s listed twice in the mixture", it.Ref.Name)
+		}
+		seen[it.Ref.Name] = true
+	}
+	return nil
+}
+
+// Pick maps a uniform hash to one entry, proportionally to the weights.
+// It is a pure function of (m, u), which is what lets every process
+// planning the same fleet Spec agree on every device's scenario.
+func (m Mix) Pick(u uint64) Ref {
+	var total uint64
+	for _, it := range m.Items {
+		total += uint64(it.Weight)
+	}
+	if total == 0 {
+		return Ref{}
+	}
+	r := u % total
+	for _, it := range m.Items {
+		if r < uint64(it.Weight) {
+			return it.Ref
+		}
+		r -= uint64(it.Weight)
+	}
+	return m.Items[len(m.Items)-1].Ref
+}
+
+// String renders the mixture in ParseMix's syntax.
+func (m Mix) String() string {
+	parts := make([]string, len(m.Items))
+	for i, it := range m.Items {
+		s := it.Ref.String()
+		if it.Weight != 1 {
+			s += "=" + strconv.FormatInt(it.Weight, 10)
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMix parses "name[@vN][=weight],..." - e.g. "diurnal=2,vrt-storm" -
+// where a bare name weighs 1. The result is validated against the catalog.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Mix{}, fmt.Errorf("scenario: empty entry in mixture %q", s)
+		}
+		w := Weighted{Weight: 1}
+		if name, weight, ok := strings.Cut(part, "="); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(weight), 10, 64)
+			if err != nil {
+				return Mix{}, fmt.Errorf("scenario: bad weight in %q: %v", part, err)
+			}
+			w.Weight = n
+			part = strings.TrimSpace(name)
+		}
+		if name, ver, ok := strings.Cut(part, "@"); ok {
+			ver = strings.TrimPrefix(ver, "v")
+			n, err := strconv.Atoi(ver)
+			if err != nil {
+				return Mix{}, fmt.Errorf("scenario: bad version in %q: %v", part, err)
+			}
+			w.Ref.Version = n
+			part = name
+		}
+		w.Ref.Name = part
+		m.Items = append(m.Items, w)
+	}
+	m = m.Normalized()
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// mixTag versions the mixture wire form.
+const mixTag = "smix1"
+
+// Encode renders the mixture canonically (tag "smix1"). Equal mixtures
+// produce equal bytes, so the fleet Spec's canonical identity (and with it
+// the manifest binding) covers the scenario catalog.
+func (m Mix) Encode() []byte {
+	var e core.StateEncoder
+	e.Tag(mixTag)
+	m.encodeTo(&e)
+	return e.Data()
+}
+
+func (m Mix) encodeTo(e *core.StateEncoder) {
+	e.Int(int64(len(m.Items)))
+	for _, it := range m.Items {
+		e.Bytes([]byte(it.Ref.Name))
+		e.Int(int64(it.Ref.Version))
+		e.Int(it.Weight)
+	}
+}
+
+// EncodeTo appends the mixture's canonical fields to an encoder (for
+// embedding in larger codecs, e.g. the fleet Spec).
+func (m Mix) EncodeTo(e *core.StateEncoder) { m.encodeTo(e) }
+
+// DecodeMixFrom reads a mixture embedded in a larger blob. It bounds the
+// length before allocating and validates against the catalog, so arbitrary
+// bytes cannot produce a mixture the fleet would trip over.
+func DecodeMixFrom(d *core.StateDecoder) Mix {
+	var m Mix
+	n := d.Int()
+	if d.Err() != nil {
+		return m
+	}
+	if n < 0 || n > maxMixItems {
+		d.Fail("scenario: mixture length %d outside [0,%d]", n, maxMixItems)
+		return m
+	}
+	if n > 0 {
+		m.Items = make([]Weighted, n)
+	}
+	for i := range m.Items {
+		m.Items[i].Ref.Name = string(d.Bytes())
+		m.Items[i].Ref.Version = int(d.Int())
+		m.Items[i].Weight = d.Int()
+	}
+	if d.Err() == nil {
+		if err := m.Validate(); err != nil {
+			d.Fail("%v", err)
+		}
+	}
+	return m
+}
+
+// DecodeMix parses a canonical mixture blob (FuzzScenarioDecode's surface).
+func DecodeMix(blob []byte) (Mix, error) {
+	d := core.NewStateDecoder(blob)
+	d.ExpectTag(mixTag)
+	m := DecodeMixFrom(d)
+	if err := d.Finish(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// FprintCatalog writes the one-line-per-scenario catalog listing the CLIs
+// print for -list-scenarios and unknown -scenario names.
+func FprintCatalog(w io.Writer) {
+	width := 0
+	for _, sc := range catalog {
+		if len(sc.Name) > width {
+			width = len(sc.Name)
+		}
+	}
+	for _, sc := range catalog {
+		fmt.Fprintf(w, "  %-*s  v%d  %s\n", width, sc.Name, sc.Version, sc.Summary)
+	}
+}

@@ -1,0 +1,259 @@
+// Package scenario composes the repo's individually modelled retention
+// stressors - temperature swings, variable retention time, data-pattern
+// dependence, aging - into named, versioned, deterministic composite-stress
+// scenarios, the "retention reality" Mutlu's retrospective (arXiv
+// 2306.16037) says breaks static profiling in the field.
+//
+// A scenario is a schedule of Stressors: piecewise-constant multiplicative
+// modulations of per-row retention, each drawn from its own splitmix64
+// stream (the same isolation discipline as internal/fleet's device
+// derivation, so one stressor's draws never perturb another's). The Env
+// combinator integrates charge decay across the union of all stressors'
+// change-points, which is the mathematically honest composition: two
+// simultaneous scales multiply INSIDE each constant segment, where the
+// decay law integrates them exactly, instead of multiplying two separately
+// integrated decay factors (wrong for exponential decay, whose effective
+// rate under scales s1 and s2 is 1/(tret*s1*s2)).
+//
+// Env implements the same DecayFactor contract as retention.VRT, so
+// dram.Bank can consume it through the Modulator hook, and it implements
+// core.Snapshotter with an identity blob, so scenario-driven runs keep
+// PR 2's bit-identical kill/resume guarantee: stressors are pure functions
+// of (seed, row, time), which makes "restore" a validation problem, not a
+// state-transfer problem.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/core"
+	"vrldram/internal/retention"
+)
+
+// Stressor is one piecewise-constant retention modulation: ScaleAt returns
+// the multiplicative retention factor of the row at time t, and NextChange
+// returns the first instant strictly after t at which that factor may
+// change (+Inf when it is constant from t on). Implementations must be pure
+// functions of their configuration - no mutable state - so that composition
+// and resume are trivially deterministic.
+type Stressor interface {
+	// Name identifies the stressor in catalogs and snapshot blobs.
+	Name() string
+	// ScaleAt returns the retention multiplier for the row at time t.
+	// tret is the row's unmodulated effective retention, for stressors
+	// (like VRT) that exempt already-defect-limited rows.
+	ScaleAt(row int, tret, t float64) float64
+	// NextChange returns the first time strictly greater than t at which
+	// ScaleAt may return a different value, or +Inf if never.
+	NextChange(row int, tret, t float64) float64
+}
+
+// Env is a scenario instance bound to a seed and a run window: the stressor
+// composition the bank decays under. It satisfies dram's Modulator hook and
+// core.Snapshotter.
+type Env struct {
+	Ref       Ref     // catalog identity (name + version)
+	Seed      int64   // scenario master seed (streams derive from it)
+	Duration  float64 // the run window the schedule was built for (s)
+	Stressors []Stressor
+}
+
+// ScaleAt returns the product of all stressors' retention multipliers for
+// the row at time t.
+func (e *Env) ScaleAt(row int, tret, t float64) float64 {
+	scale := 1.0
+	for _, s := range e.Stressors {
+		scale *= s.ScaleAt(row, tret, t)
+	}
+	return scale
+}
+
+// DecayFactor integrates the decay of a row with base retention tret over
+// [t0, t1] under the composed stress schedule: the interval is segmented at
+// the union of every stressor's change-points, and within each segment the
+// decay law sees the retention scaled by the product of the active
+// multipliers. For the exponential law this is exact (the exponents of the
+// segments add); for other laws it is exact at segment boundaries, matching
+// retention.VRT's contract. With no stressors it reduces to
+// base.Factor(t1-t0, tret) exactly.
+func (e *Env) DecayFactor(row int, tret, t0, t1 float64, base retention.DecayModel) float64 {
+	if t1 <= t0 {
+		return 1
+	}
+	factor := 1.0
+	t := t0
+	for t < t1 {
+		scale := 1.0
+		next := t1
+		for _, s := range e.Stressors {
+			scale *= s.ScaleAt(row, tret, t)
+			if n := s.NextChange(row, tret, t); n < next {
+				next = n
+			}
+		}
+		if next <= t {
+			// Stressors guarantee strict progress; this terminates the loop
+			// anyway if one misbehaves, at the cost of treating the rest of
+			// the interval as one segment.
+			next = t1
+		}
+		if next > t1 {
+			next = t1
+		}
+		factor *= base.Factor(next-t, tret*scale)
+		t = next
+	}
+	return factor
+}
+
+// Validate checks the Env is runnable.
+func (e *Env) Validate() error {
+	if e.Ref.Name == "" {
+		return fmt.Errorf("scenario: env has no catalog name")
+	}
+	if e.Duration <= 0 {
+		return fmt.Errorf("scenario: env duration must be positive, got %g", e.Duration)
+	}
+	for _, s := range e.Stressors {
+		if s == nil {
+			return fmt.Errorf("scenario: %s carries a nil stressor", e.Ref)
+		}
+	}
+	return nil
+}
+
+// envStateTag versions the Env snapshot blob.
+const envStateTag = "scn1"
+
+// SnapshotState implements core.Snapshotter. Stressors are pure functions
+// of (seed, row, time), so the blob is an identity record - scenario name,
+// version, seed, window, and the stressor roster - and RestoreState is a
+// validation that the resuming run rebuilt the same schedule. That is the
+// whole resume story: with no mutable state there is nothing else a
+// checkpoint could drift on.
+func (e *Env) SnapshotState() ([]byte, error) {
+	var enc core.StateEncoder
+	enc.Tag(envStateTag)
+	enc.Bytes([]byte(e.Ref.Name))
+	enc.Int(int64(e.Ref.Version))
+	enc.Int(e.Seed)
+	enc.Float(e.Duration)
+	enc.Int(int64(len(e.Stressors)))
+	for _, s := range e.Stressors {
+		enc.Bytes([]byte(s.Name()))
+	}
+	return enc.Data(), nil
+}
+
+// RestoreState implements core.Snapshotter by validating the snapshot names
+// this exact schedule.
+func (e *Env) RestoreState(blob []byte) error {
+	d := core.NewStateDecoder(blob)
+	d.ExpectTag(envStateTag)
+	name := string(d.Bytes())
+	version := int(d.Int())
+	seed := d.Int()
+	duration := d.Float()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > int64(len(e.Stressors)) {
+		return fmt.Errorf("scenario: snapshot lists %d stressors, env has %d", n, len(e.Stressors))
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(d.Bytes())
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if name != e.Ref.Name || version != e.Ref.Version {
+		return fmt.Errorf("scenario: snapshot is for %s@v%d, env is %s", name, version, e.Ref)
+	}
+	if seed != e.Seed {
+		return fmt.Errorf("scenario: snapshot seed %d, env seed %d", seed, e.Seed)
+	}
+	if duration != e.Duration {
+		return fmt.Errorf("scenario: snapshot window %g, env window %g", duration, e.Duration)
+	}
+	if int(n) != len(e.Stressors) {
+		return fmt.Errorf("scenario: snapshot lists %d stressors, env has %d", n, len(e.Stressors))
+	}
+	for i, s := range e.Stressors {
+		if names[i] != s.Name() {
+			return fmt.Errorf("scenario: snapshot stressor %d is %q, env has %q", i, names[i], s.Name())
+		}
+	}
+	return nil
+}
+
+// --- seeded stream derivation ------------------------------------------------
+
+// splitmix64 is the standard 64-bit finalizing mixer (the same generator
+// internal/fleet derives device populations with).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitOf maps a hash to [0, 1).
+func unitOf(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// posSeed folds a hash into a positive, non-zero int64 seed.
+func posSeed(h uint64) int64 {
+	s := int64(h &^ (1 << 63))
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// labelHash hashes a stressor label (FNV-1a) into the salt that separates
+// its stream from every other stressor's.
+func labelHash(label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// StreamSeed derives the independent seed of the stressor labelled label
+// within the scenario seeded by seed. Streams are keyed by label, not by
+// position, so a stressor draws the same values whether it runs alone or
+// inside a composition - the stream-independence property the composed
+// scenarios (and their tests) rely on.
+func StreamSeed(seed int64, label string) int64 {
+	return posSeed(splitmix64(splitmix64(uint64(seed)) ^ labelHash(label)))
+}
+
+// streamUnit returns a deterministic draw in [0,1) for (seed, label, k).
+func streamUnit(seed int64, label string, k int64) float64 {
+	return unitOf(splitmix64(uint64(StreamSeed(seed, label)) ^ splitmix64(uint64(k)+0x6a09e667f3bcc909)))
+}
+
+// frameOf returns the frame index floor(t/period) clamped to >= 0.
+func frameOf(t, period float64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	k := math.Floor(t / period)
+	return int64(k)
+}
+
+// frameNext returns the first frame boundary strictly after t for the given
+// period, guarding against floating-point stalls the same way
+// retention.VRT's toggle loop does.
+func frameNext(t, period float64) float64 {
+	k := math.Floor(t / period)
+	next := (k + 1) * period
+	if next <= t {
+		next = t + 1e-9*period
+	}
+	return next
+}

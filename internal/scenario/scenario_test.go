@@ -1,0 +1,334 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vrldram/internal/retention"
+)
+
+const (
+	testWindow = 0.768
+	testSeed   = int64(42)
+)
+
+func buildNamed(t *testing.T, name string) *Env {
+	t.Helper()
+	env, err := BuildEnv(Ref{Name: name}, testWindow, testSeed)
+	if err != nil {
+		t.Fatalf("BuildEnv(%q): %v", name, err)
+	}
+	return env
+}
+
+func TestCatalogBuildsAndValidates(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("catalog holds %d scenarios, want at least 5", len(names))
+	}
+	for _, name := range names {
+		env := buildNamed(t, name)
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		if env.Ref.Name != name || env.Ref.Version != sc.Version {
+			t.Fatalf("%s: env ref %s, catalog v%d", name, env.Ref, sc.Version)
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	if _, err := BuildEnv(Ref{Name: "hurricane"}, testWindow, testSeed); err == nil {
+		t.Fatal("unknown scenario must not build")
+	}
+	if _, err := BuildEnv(Ref{Name: "diurnal", Version: 99}, testWindow, testSeed); err == nil {
+		t.Fatal("version pin mismatch must not build")
+	}
+	if _, err := BuildEnv(Ref{Name: "diurnal"}, 0, testSeed); err == nil {
+		t.Fatal("zero duration must not build")
+	}
+}
+
+// TestStreamIndependenceComposition pins the property the kitchen-sink
+// scenario depends on: because stressor streams are keyed by LABEL, not by
+// position in the composition, each stressor inside kitchen-sink draws
+// exactly what it draws in its standalone scenario - so the composed scale
+// is exactly (bitwise) the product of the standalone scales.
+func TestStreamIndependenceComposition(t *testing.T) {
+	ks := buildNamed(t, "kitchen-sink")
+	parts := []*Env{
+		buildNamed(t, "diurnal"),
+		buildNamed(t, "vrt-storm"),
+		buildNamed(t, "dpd-adversary"),
+		buildNamed(t, "aging"),
+	}
+	if len(ks.Stressors) != len(parts) {
+		t.Fatalf("kitchen-sink composes %d stressors, want %d", len(ks.Stressors), len(parts))
+	}
+	for row := 0; row < 64; row++ {
+		for _, tret := range []float64{0.08, 0.13, 0.27} {
+			for i := 0; i <= 32; i++ {
+				tt := testWindow * float64(i) / 32
+				want := 1.0
+				for _, p := range parts {
+					want *= p.ScaleAt(row, tret, tt)
+				}
+				if got := ks.ScaleAt(row, tret, tt); got != want {
+					t.Fatalf("row %d tret %g t %g: kitchen-sink scale %g, product of standalones %g",
+						row, tret, tt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvSingleVRTMatchesVRTDecayFactor pins the bit-identity between the
+// scenario layer's generic segment integrator and retention.VRT's own
+// DecayFactor loop: an Env holding exactly one VRT stressor must integrate
+// every interval to the identical float64.
+func TestEnvSingleVRTMatchesVRTDecayFactor(t *testing.T) {
+	v := retention.VRT{AffectedFrac: 0.5, LowFactor: 0.3, MeanDwell: 0.05, MinRetention: 0.05, Seed: 99}
+	env := &Env{
+		Ref:       Ref{Name: "test", Version: 1},
+		Seed:      testSeed,
+		Duration:  testWindow,
+		Stressors: []Stressor{VRTStressor{Label: "telegraph", V: v}},
+	}
+	base := retention.ExpDecay{}
+	for row := 0; row < 128; row++ {
+		for _, tret := range []float64{0.03, 0.1, 0.4} {
+			for i := 0; i < 16; i++ {
+				t0 := testWindow * float64(i) / 16
+				t1 := t0 + testWindow/11
+				got := env.DecayFactor(row, tret, t0, t1, base)
+				want := v.DecayFactor(row, tret, t0, t1, base)
+				if got != want {
+					t.Fatalf("row %d tret %g [%g,%g]: env %v, VRT %v", row, tret, t0, t1, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEnvNoStressorsReducesToBase(t *testing.T) {
+	env := buildNamed(t, "nominal")
+	base := retention.ExpDecay{}
+	for _, span := range []struct{ t0, t1 float64 }{{0, 0.064}, {0.1, 0.35}, {0.5, 0.5}, {0.7, 0.3}} {
+		got := env.DecayFactor(3, 0.2, span.t0, span.t1, base)
+		want := 1.0
+		if span.t1 > span.t0 {
+			want = base.Factor(span.t1-span.t0, 0.2)
+		}
+		if got != want {
+			t.Fatalf("[%g,%g]: got %v, want %v", span.t0, span.t1, got, want)
+		}
+	}
+}
+
+// TestStressorsMakeProgress guards the segment loop's termination contract:
+// NextChange must be strictly after t even exactly on a boundary.
+func TestStressorsMakeProgress(t *testing.T) {
+	for _, name := range Names() {
+		env := buildNamed(t, name)
+		for _, s := range env.Stressors {
+			tt := 0.0
+			for i := 0; i < 10000; i++ {
+				n := s.NextChange(7, 0.2, tt)
+				if math.IsInf(n, 1) {
+					break
+				}
+				if n <= tt {
+					t.Fatalf("%s/%s: NextChange(%g) = %g, not strictly after", name, s.Name(), tt, n)
+				}
+				tt = n
+				if tt > testWindow {
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	for _, name := range Names() {
+		env := buildNamed(t, name)
+		blob, err := env.SnapshotState()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := env.RestoreState(blob); err != nil {
+			t.Fatalf("%s: restore own snapshot: %v", name, err)
+		}
+		// An identically rebuilt env accepts the blob; snapshot is a fixed
+		// point.
+		again := buildNamed(t, name)
+		if err := again.RestoreState(blob); err != nil {
+			t.Fatalf("%s: rebuilt env rejected snapshot: %v", name, err)
+		}
+		blob2, err := again.SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("%s: snapshot not a fixed point", name)
+		}
+	}
+
+	ks := buildNamed(t, "kitchen-sink")
+	blob, err := ks.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildNamed(t, "diurnal").RestoreState(blob); err == nil {
+		t.Fatal("different scenario must reject the snapshot")
+	}
+	other, err := BuildEnv(Ref{Name: "kitchen-sink"}, testWindow, testSeed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreState(blob); err == nil {
+		t.Fatal("different seed must reject the snapshot")
+	}
+	shorter, err := BuildEnv(Ref{Name: "kitchen-sink"}, testWindow/2, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shorter.RestoreState(blob); err == nil {
+		t.Fatal("different window must reject the snapshot")
+	}
+	if err := ks.RestoreState([]byte("garbage")); err == nil {
+		t.Fatal("garbage blob must be rejected")
+	}
+}
+
+func TestMixParseStringRoundTrip(t *testing.T) {
+	m, err := ParseMix("diurnal=3, vrt-storm, kitchen-sink@v1=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Items) != 3 {
+		t.Fatalf("parsed %d items, want 3", len(m.Items))
+	}
+	if m.Items[0].Ref.Name != "diurnal" || m.Items[0].Weight != 3 || m.Items[0].Ref.Version != 1 {
+		t.Fatalf("first item %+v", m.Items[0])
+	}
+	if m.Items[1].Weight != 1 {
+		t.Fatalf("bare name weight %d, want 1", m.Items[1].Weight)
+	}
+	back, err := ParseMix(m.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", m.String(), err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("String round trip:\n got %+v\nwant %+v", back, m)
+	}
+
+	empty, err := ParseMix("  ")
+	if err != nil || !empty.Empty() {
+		t.Fatalf("blank mixture: %+v, %v", empty, err)
+	}
+
+	for _, bad := range []string{"hurricane", "diurnal=0", "diurnal=-1", "diurnal=x", "diurnal@vx", "diurnal,diurnal", "diurnal,,aging", "diurnal@v9"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) must fail", bad)
+		}
+	}
+}
+
+func TestMixPickWeighted(t *testing.T) {
+	m, err := ParseMix("diurnal=3,aging=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4096; i++ {
+		r := m.Pick(splitmix64(uint64(i)))
+		if r != m.Pick(splitmix64(uint64(i))) {
+			t.Fatal("Pick is not deterministic")
+		}
+		counts[r.Name]++
+	}
+	if counts["diurnal"]+counts["aging"] != 4096 {
+		t.Fatalf("picks escaped the mixture: %v", counts)
+	}
+	if counts["diurnal"] <= 2*counts["aging"] {
+		t.Fatalf("weight 3:1 not respected: %v", counts)
+	}
+	if (Mix{}).Pick(12345) != (Ref{}) {
+		t.Fatal("empty mix must pick the zero ref")
+	}
+}
+
+func TestMixCodecRoundTrip(t *testing.T) {
+	m, err := ParseMix("nominal=2,vrt-storm=5,kitchen-sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMix(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("codec round trip:\n got %+v\nwant %+v", got, m)
+	}
+	if !bytes.Equal(got.Encode(), m.Encode()) {
+		t.Fatal("re-encode not byte-identical")
+	}
+
+	if _, err := DecodeMix(nil); err == nil {
+		t.Fatal("empty blob must not decode")
+	}
+	blob := m.Encode()
+	if _, err := DecodeMix(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated blob must not decode")
+	}
+	if _, err := DecodeMix(append(append([]byte{}, blob...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes must not decode")
+	}
+}
+
+// FuzzScenarioDecode is the hostile-input surface of the mixture codec: no
+// input may panic, and anything that decodes must be a valid, canonically
+// re-encodable mixture.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("smix1"))
+	if m, err := ParseMix("diurnal=3,vrt-storm"); err == nil {
+		f.Add(m.Encode())
+	}
+	if m, err := ParseMix("kitchen-sink"); err == nil {
+		f.Add(m.Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMix(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded mixture fails validation: %v", err)
+		}
+		again, err := DecodeMix(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, m) {
+			t.Fatal("decode -> encode -> decode not a fixed point")
+		}
+	})
+}
+
+func TestFprintCatalogListsEveryScenario(t *testing.T) {
+	var buf bytes.Buffer
+	FprintCatalog(&buf)
+	out := buf.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("catalog listing misses %q:\n%s", name, out)
+		}
+	}
+}

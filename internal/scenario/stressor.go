@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"math"
+
+	"vrldram/internal/retention"
+)
+
+// The concrete stressors. Each one is a pure function of its configuration:
+// per-row and per-time draws come from the label-keyed splitmix64 stream, so
+// two stressors with different labels are statistically independent and a
+// stressor draws identically whether it runs alone or composed (the
+// stream-independence property the composition tests pin down).
+
+// TempCycle models a diurnal datacenter thermal cycle as a staircase
+// sinusoid: the cycle is quantized into Steps constant-temperature treads
+// (retention modulation must be piecewise constant for exact segment
+// integration), and each tread's retention scale comes from the standard
+// thermal model. The phase offset is drawn from the scenario stream, so two
+// devices in a fleet do not heat in lockstep.
+type TempCycle struct {
+	Label      string
+	Model      retention.TempModel
+	MeanC      float64 // cycle mean temperature (degC)
+	AmplitudeC float64 // peak deviation from the mean (degC)
+	Period     float64 // full cycle length (s)
+	Steps      int     // treads per cycle
+	PhaseFrac  float64 // cycle phase offset in [0,1)
+}
+
+// NewTempCycle draws the phase from the scenario stream keyed by label.
+func NewTempCycle(seed int64, label string, model retention.TempModel, meanC, amplitudeC, period float64, steps int) TempCycle {
+	return TempCycle{
+		Label:      label,
+		Model:      model,
+		MeanC:      meanC,
+		AmplitudeC: amplitudeC,
+		Period:     period,
+		Steps:      steps,
+		PhaseFrac:  streamUnit(seed, label, 0),
+	}
+}
+
+// Name implements Stressor.
+func (c TempCycle) Name() string { return c.Label }
+
+// TempAt returns the tread temperature at time t.
+func (c TempCycle) TempAt(t float64) float64 {
+	pos := t/c.Period + c.PhaseFrac
+	k := int64(math.Floor(pos * float64(c.Steps)))
+	step := k % int64(c.Steps)
+	if step < 0 {
+		step += int64(c.Steps)
+	}
+	// Sample the sinusoid at the tread midpoint so the staircase is centered
+	// on the continuous cycle it approximates.
+	ang := 2 * math.Pi * (float64(step) + 0.5) / float64(c.Steps)
+	return c.MeanC + c.AmplitudeC*math.Sin(ang)
+}
+
+// ScaleAt implements Stressor: rows share the device's temperature.
+func (c TempCycle) ScaleAt(row int, tret, t float64) float64 {
+	return c.Model.Scale(c.TempAt(t))
+}
+
+// NextChange implements Stressor: the next tread boundary.
+func (c TempCycle) NextChange(row int, tret, t float64) float64 {
+	treads := float64(c.Steps)
+	k := math.Floor((t/c.Period + c.PhaseFrac) * treads)
+	next := ((k+1)/treads - c.PhaseFrac) * c.Period
+	if next <= t {
+		next = t + 1e-9*c.Period/treads
+	}
+	return next
+}
+
+// VRTStressor adapts a retention.VRT random-telegraph process to the
+// Stressor interface: ScaleAt is the telegraph state factor and NextChange
+// the next toggle, using exactly the boundary arithmetic of
+// retention.VRT.DecayFactor - so an Env holding a single VRTStressor
+// integrates bit-identically to a bank running that VRT directly (the
+// equivalence the scenario tests assert).
+type VRTStressor struct {
+	Label string
+	V     retention.VRT
+}
+
+// NewVRTStressor seeds the telegraph process from the scenario stream keyed
+// by label.
+func NewVRTStressor(seed int64, label string, v retention.VRT) VRTStressor {
+	v.Seed = StreamSeed(seed, label)
+	return VRTStressor{Label: label, V: v}
+}
+
+// Name implements Stressor.
+func (s VRTStressor) Name() string { return s.Label }
+
+// ScaleAt implements Stressor.
+func (s VRTStressor) ScaleAt(row int, tret, t float64) float64 {
+	return s.V.StateFactor(row, tret, t)
+}
+
+// NextChange implements Stressor.
+func (s VRTStressor) NextChange(row int, tret, t float64) float64 {
+	return s.V.NextToggle(row, tret, t)
+}
+
+// PatternAdversary models write-heavy data-pattern dependence: an adversary
+// (or just an unlucky workload) periodically rewrites a fraction of rows
+// with a worst-case coupling pattern, derating their retention by the
+// pattern factor until the next rewrite frame. Which rows are hot re-draws
+// every frame from the stream, so the stress walks the bank instead of
+// pinning the same victims.
+type PatternAdversary struct {
+	Label       string
+	Seed        int64             // stream seed (derived from the scenario seed)
+	FramePeriod float64           // rewrite cadence (s)
+	HotFrac     float64           // fraction of rows holding the hostile pattern per frame
+	Pattern     retention.Pattern // the pattern written to hot rows
+}
+
+// NewPatternAdversary derives the stream from the scenario seed keyed by
+// label.
+func NewPatternAdversary(seed int64, label string, framePeriod, hotFrac float64, pattern retention.Pattern) PatternAdversary {
+	return PatternAdversary{
+		Label:       label,
+		Seed:        StreamSeed(seed, label),
+		FramePeriod: framePeriod,
+		HotFrac:     hotFrac,
+		Pattern:     pattern,
+	}
+}
+
+// Name implements Stressor.
+func (a PatternAdversary) Name() string { return a.Label }
+
+// hot reports whether the row holds the hostile pattern during frame k.
+func (a PatternAdversary) hot(row int, k int64) bool {
+	h := splitmix64(uint64(a.Seed)) ^ splitmix64(uint64(row)+0x6a09e667f3bcc909) ^ splitmix64(uint64(k)+0x517cc1b727220a95)
+	return unitOf(splitmix64(h)) < a.HotFrac
+}
+
+// ScaleAt implements Stressor.
+func (a PatternAdversary) ScaleAt(row int, tret, t float64) float64 {
+	if a.hot(row, frameOf(t, a.FramePeriod)) {
+		return retention.PatternFactor(a.Pattern)
+	}
+	return 1
+}
+
+// NextChange implements Stressor: the next rewrite frame.
+func (a PatternAdversary) NextChange(row int, tret, t float64) float64 {
+	return frameNext(t, a.FramePeriod)
+}
+
+// AgingRamp compresses multi-year wear into the run window: retention
+// degrades along a staircase from zero aging at t=0 to Years of aging at
+// t=Window, following the aging model. The staircase keeps the modulation
+// piecewise constant; Steps trades fidelity against segment count.
+type AgingRamp struct {
+	Label  string
+	Model  retention.AgingModel
+	Years  float64 // total simulated aging reached at t = Window
+	Window float64 // the run window the ramp spans (s)
+	Steps  int
+}
+
+// Name implements Stressor.
+func (a AgingRamp) Name() string { return a.Label }
+
+// step returns the ramp step index at time t, clamped to [0, Steps].
+func (a AgingRamp) step(t float64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	k := int64(math.Floor(t / a.Window * float64(a.Steps)))
+	if k > int64(a.Steps) {
+		k = int64(a.Steps)
+	}
+	return k
+}
+
+// ScaleAt implements Stressor.
+func (a AgingRamp) ScaleAt(row int, tret, t float64) float64 {
+	years := a.Years * float64(a.step(t)) / float64(a.Steps)
+	return a.Model.Scale(years)
+}
+
+// NextChange implements Stressor.
+func (a AgingRamp) NextChange(row int, tret, t float64) float64 {
+	if a.step(t) >= int64(a.Steps) {
+		return math.Inf(1)
+	}
+	return frameNext(t, a.Window/float64(a.Steps))
+}
+
+// Gate is the episodic-activation combinator: time is cut into Period-long
+// episodes, each independently active with probability ActiveProb (drawn
+// from the stream keyed by Label), and the inner stressor only acts during
+// active episodes. A VRT storm is a Gate over an aggressive VRT process:
+// bursts of telegraph activity separated by calm.
+type Gate struct {
+	Label      string
+	Seed       int64 // stream seed (derived from the scenario seed)
+	Period     float64
+	ActiveProb float64
+	Inner      Stressor
+}
+
+// NewGate derives the episode stream from the scenario seed keyed by label.
+func NewGate(seed int64, label string, period, activeProb float64, inner Stressor) Gate {
+	return Gate{Label: label, Seed: StreamSeed(seed, label), Period: period, ActiveProb: activeProb, Inner: inner}
+}
+
+// Name implements Stressor.
+func (g Gate) Name() string { return g.Label }
+
+// active reports whether episode k is active.
+func (g Gate) active(k int64) bool {
+	return unitOf(splitmix64(uint64(g.Seed)^splitmix64(uint64(k)+0x2545f4914f6cdd1d))) < g.ActiveProb
+}
+
+// ScaleAt implements Stressor.
+func (g Gate) ScaleAt(row int, tret, t float64) float64 {
+	if !g.active(frameOf(t, g.Period)) {
+		return 1
+	}
+	return g.Inner.ScaleAt(row, tret, t)
+}
+
+// NextChange implements Stressor: the episode boundary, or the inner
+// stressor's next change if it comes sooner during an active episode.
+func (g Gate) NextChange(row int, tret, t float64) float64 {
+	boundary := frameNext(t, g.Period)
+	if g.active(frameOf(t, g.Period)) {
+		if n := g.Inner.NextChange(row, tret, t); n < boundary {
+			return n
+		}
+	}
+	return boundary
+}

@@ -12,6 +12,7 @@ import (
 
 	"vrldram/internal/fault"
 	"vrldram/internal/fleet"
+	"vrldram/internal/scenario"
 )
 
 func fleetTestSpec() fleet.Spec {
@@ -25,6 +26,12 @@ func fleetTestSpec() fleet.Spec {
 		ShardSize:  2,
 		TempSwingC: 10,
 		WeakFrac:   0.4,
+		Scenarios: scenario.Mix{Items: []scenario.Weighted{
+			{Ref: scenario.Ref{Name: "diurnal"}, Weight: 2},
+			{Ref: scenario.Ref{Name: "kitchen-sink"}, Weight: 1},
+		}},
+		Guard: true,
+		Scrub: true,
 	}
 }
 

@@ -48,6 +48,14 @@ type Options struct {
 	// checkpoints, so checkpoint/resume stays bit-identical.
 	Scrub *scrub.Scrubber
 
+	// Scenario, when set, is the composed stress schedule the bank decays
+	// under (an internal/scenario Env already attached to the bank via
+	// SetModulator). The simulator does not drive it - stressors are pure
+	// functions of time - but it is snapshotted into checkpoints and
+	// validated on resume, so a run cannot silently resume under a
+	// different schedule than the one that produced the snapshot.
+	Scenario core.Snapshotter
+
 	// CheckpointEvery, when positive, emits a Checkpoint to CheckpointSink
 	// at every multiple of this simulated interval (seconds). Snapshots are
 	// taken at event-queue boundaries, so resuming from one replays the
@@ -97,6 +105,9 @@ type Checkpoint struct {
 
 	SchedState []byte // the scheduler stack's core.Snapshotter blob
 	ScrubState []byte // the patrol scrubber's core.Snapshotter blob (nil without one)
+	// ScenarioState is the scenario Env's core.Snapshotter blob (nil when
+	// the run had no composed stress schedule).
+	ScenarioState []byte
 }
 
 // Stats is the outcome of one run.
@@ -382,11 +393,19 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		if (cp.ScrubState != nil) != (opts.Scrub != nil) {
 			return st, fmt.Errorf("sim: resume: checkpoint and options disagree about a patrol scrubber")
 		}
+		if (cp.ScenarioState != nil) != (opts.Scenario != nil) {
+			return st, fmt.Errorf("sim: resume: checkpoint and options disagree about a stress scenario")
+		}
 		if err := snap.RestoreState(cp.SchedState); err != nil {
 			return st, fmt.Errorf("sim: resume: %w", err)
 		}
 		if opts.Scrub != nil {
 			if err := opts.Scrub.RestoreState(cp.ScrubState); err != nil {
+				return st, fmt.Errorf("sim: resume: %w", err)
+			}
+		}
+		if opts.Scenario != nil {
+			if err := opts.Scenario.RestoreState(cp.ScenarioState); err != nil {
 				return st, fmt.Errorf("sim: resume: %w", err)
 			}
 		}
@@ -516,6 +535,11 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		}
 		if opts.Scrub != nil {
 			if cp.ScrubState, err = opts.Scrub.SnapshotState(); err != nil {
+				return nil, err
+			}
+		}
+		if opts.Scenario != nil {
+			if cp.ScenarioState, err = opts.Scenario.SnapshotState(); err != nil {
 				return nil, err
 			}
 		}
