@@ -231,3 +231,81 @@ func BenchmarkProfileConstruction(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBankBatchRefresh measures the raw columnar kernel: one
+// RefreshBatch over every row of the paper bank per iteration, the shape the
+// batched simulator backend drains a timing-wheel bucket in. The per-op time
+// bumps between iterations keep every batch valid without re-allocating it.
+func BenchmarkBankBatchRefresh(b *testing.B) {
+	prof, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank, err := dram.NewBank(prof, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := bank.Geom.Rows
+	ops := make([]dram.BatchOp, rows)
+	results := make([]dram.RefreshResult, rows)
+	const period = 0.064
+	for r := range ops {
+		ops[r] = dram.BatchOp{Row: r, Time: period, Alpha: 1}
+	}
+	if err := bank.RefreshBatch(ops, results); err != nil { // warm scratch columns
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := period * float64(i+2)
+		for r := range ops {
+			ops[r].Time = t
+		}
+		if err := bank.RefreshBatch(ops, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkDeviceYear tracks the ROADMAP north star ("a tREFW-scale
+// device-year should cost milliseconds"): a refresh-only VRL run over four
+// bin hyperperiods on the paper bank through the batched backend, with the
+// wall-clock cost extrapolated to one simulated device-year and reported as
+// the ms/device-year metric.
+func BenchmarkDeviceYear(b *testing.B) {
+	const window = 4 * 0.768
+	p := device.Default90nm()
+	prof, err := retention.NewPaperProfile(retention.DefaultCellDistribution(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, device.PaperBank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sim.NewReusable(device.PaperBank.Rows)
+	run := func() {
+		sched, err := core.NewVRL(prof, core.Config{Restore: rm})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bank, err := dram.NewBank(prof, retention.ExpDecay{}, retention.PatternAllZeros)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(bank, sched, nil, sim.Options{Duration: window, TCK: p.TCK}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the queue's lazily-grown buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	const secPerYear = 365.25 * 24 * 3600
+	nsPerOp := b.Elapsed().Seconds() / float64(b.N) * 1e9
+	b.ReportMetric(nsPerOp*(secPerYear/window)/1e6, "ms/device-year")
+}

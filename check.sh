@@ -19,19 +19,24 @@ echo "== go test -race =="
 go test -race -shuffle=on -timeout 5m ./...
 
 # Bench regression smoke: re-measure the kernel benchmarks quickly and gate
-# them against the committed BENCH_PR5.json baseline through vrlbench
-# -compare. The 1.5x tolerance is deliberately generous - it catches hard
+# them against the committed baselines through vrlbench -compare - the PR5
+# ledger for the circuit/sim kernels, the PR9 ledger for the columnar bank
+# kernels. The 1.5x tolerance is deliberately generous - it catches hard
 # regressions (an accidental O(n^2), lost buffer reuse, new allocations on
 # the hot path) without flaking on runner noise. Alloc counts are
 # deterministic and gate at the same ratio plus a small absolute slack.
-echo "== bench smoke (vrlbench -compare vs BENCH_PR5.json) =="
+# Each compare only gates the benchmarks its baseline snapshot holds, so one
+# smoke run feeds both.
+echo "== bench smoke (vrlbench -compare vs BENCH_PR5.json + BENCH_PR9.json) =="
 SMOKE_LEDGER=$(mktemp /tmp/vrlbench-smoke.XXXXXX.json)
 rm -f "$SMOKE_LEDGER" # vrlbench creates it; mktemp only reserved the name
 trap 'rm -f "$SMOKE_LEDGER"' EXIT
 go run ./cmd/vrlbench -label smoke -o "$SMOKE_LEDGER" -count 1 -benchtime 5x \
-    -bench '^(BenchmarkSpicePreSense|BenchmarkSpicePreSenseCold|BenchmarkSimRefreshOnly|BenchmarkSimRefreshOnlyReusable|BenchmarkComputeMPRSF)$'
+    -bench '^(BenchmarkSpicePreSense|BenchmarkSpicePreSenseCold|BenchmarkSimRefreshOnly|BenchmarkSimRefreshOnlyReusable|BenchmarkComputeMPRSF|BenchmarkBankBatchRefresh|BenchmarkDeviceYear)$'
 go run ./cmd/vrlbench -compare -base-label pr5 -head-label smoke -tolerance 1.5 \
     BENCH_PR5.json "$SMOKE_LEDGER"
+go run ./cmd/vrlbench -compare -base-label pr9 -head-label smoke -tolerance 1.5 \
+    BENCH_PR9.json "$SMOKE_LEDGER"
 
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per
@@ -47,6 +52,7 @@ internal/scrub:FuzzScrubStateDecode
 internal/serve:FuzzFrameDecode
 internal/fleet:FuzzManifestDecode
 internal/scenario:FuzzScenarioDecode
+internal/dram:FuzzRefreshBatch
 "
 for entry in $FUZZ_TARGETS; do
     pkg=${entry%%:*}

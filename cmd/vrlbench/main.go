@@ -189,7 +189,11 @@ func main() {
 	}
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine matches one `go test -bench` result line. Custom b.ReportMetric
+// columns (e.g. "38929221 rows/s") may sit between ns/op and the -benchmem
+// pair, so the B/op and allocs/op groups scan past them lazily instead of
+// demanding adjacency.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // parseTranscript extracts benchmark lines and environment headers from a
 // `go test -bench` transcript into snap.

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTranscriptCustomMetrics pins the parser against the output shapes
+// go test -bench actually emits: plain lines, -benchmem lines, and lines
+// where b.ReportMetric inserts custom columns between ns/op and the
+// -benchmem pair (which an adjacency-only pattern would silently drop).
+func TestParseTranscriptCustomMetrics(t *testing.T) {
+	transcript := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"BenchmarkPlain-8           \t    1000\t      1234 ns/op",
+		"BenchmarkMem-8             \t     500\t      5678 ns/op\t     256 B/op\t       4 allocs/op",
+		"BenchmarkBankBatchRefresh \t    7608\t    210427 ns/op\t  38930433 rows/s\t       0 B/op\t       0 allocs/op",
+		"BenchmarkDeviceYear       \t     175\t   6926244 ns/op\t  71150751 ms/device-year\t  533131 B/op\t       9 allocs/op",
+		"PASS",
+	}, "\n")
+	snap := &Snapshot{Benchmarks: map[string]*Bench{}}
+	if err := parseTranscript(strings.NewReader(transcript), snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU == "" {
+		t.Fatalf("environment headers not captured: %+v", snap)
+	}
+	want := map[string]Run{
+		"BenchmarkPlain":            {NsOp: 1234},
+		"BenchmarkMem":              {NsOp: 5678, BOp: 256, AllocsOp: 4},
+		"BenchmarkBankBatchRefresh": {NsOp: 210427, BOp: 0, AllocsOp: 0},
+		"BenchmarkDeviceYear":       {NsOp: 6926244, BOp: 533131, AllocsOp: 9},
+	}
+	if len(snap.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d", len(snap.Benchmarks), len(want))
+	}
+	for name, w := range want {
+		b := snap.Benchmarks[name]
+		if b == nil || len(b.Runs) != 1 {
+			t.Fatalf("%s: missing or wrong run count: %+v", name, b)
+		}
+		if b.Runs[0] != w {
+			t.Fatalf("%s: run %+v, want %+v", name, b.Runs[0], w)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"vrldram/internal/fleet"
 	"vrldram/internal/scenario"
 	"vrldram/internal/serve"
+	"vrldram/internal/sim"
 )
 
 func main() {
@@ -60,8 +61,13 @@ func main() {
 
 		failShard = flag.Int("fail-shard", -1, "chaos drill: fail this shard's first attempt, then interrupt the campaign (exit 3); rerun with the same -manifest to resume")
 		quiet     = flag.Bool("quiet", false, "suppress dispatch log lines")
+		backend   = flag.String("backend", "", "simulator backend per device: auto, scalar, batch, batch-lut (default auto; batch-lut is the gated lookup-table decay path)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
+	prof := cli.StartProfiles("vrlfleet", *cpuprofile, *memprofile)
 
 	// Install the signal handler before anything that can block or fail
 	// (manifest load, executor dial): an early SIGINT must still take the
@@ -104,6 +110,17 @@ func main() {
 		}
 		spec.Scenarios = mix
 	}
+	switch *backend {
+	case "", "auto":
+	case "scalar":
+		spec.Backend = sim.BackendScalar
+	case "batch":
+		spec.Backend = sim.BackendBatch
+	case "batch-lut":
+		spec.Backend = sim.BackendBatchLUT
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (auto, scalar, batch, batch-lut)", *backend))
+	}
 
 	var execs []fleet.Executor
 	if *local >= 0 {
@@ -138,11 +155,12 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "vrlfleet: interrupted; rerun with the same -manifest to resume")
-			os.Exit(cli.StatusInterrupted)
+			prof.Exit(cli.StatusInterrupted)
 		}
 		fatal(err)
 	}
 	rep.Fprint(os.Stdout)
+	prof.Exit(0)
 }
 
 func fatal(err error) { cli.Fatal("vrlfleet", err) }

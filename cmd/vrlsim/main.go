@@ -48,12 +48,16 @@ func main() {
 		ckptEvery = flag.Float64("checkpoint-every", 0, "simulated seconds between snapshots (0 = duration/8)")
 		resume    = flag.Bool("resume", false, "resume from the newest good generation of -checkpoint")
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none); expiry behaves like SIGINT")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
 
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
+	prof := cli.StartProfiles("vrlsim", *cpuprofile, *memprofile)
 
 	// Catch SIGINT/SIGTERM before the (possibly long) trace build: an early
 	// interrupt then cancels the run - which still writes a final checkpoint
@@ -122,15 +126,16 @@ func main() {
 			if *ckptPath != "" {
 				fmt.Fprintf(os.Stderr, "vrlsim: final checkpoint written to %s; rerun with -resume to continue\n", *ckptPath)
 			}
-			os.Exit(3)
+			prof.Exit(cli.StatusInterrupted)
 		}
 		fatal(err)
 	}
 	printStats(os.Stdout, st)
 	if st.Violations > 0 {
 		fmt.Fprintf(os.Stderr, "vrlsim: WARNING: %d data-integrity violations\n", st.Violations)
-		os.Exit(2)
+		prof.Exit(2)
 	}
+	prof.Exit(0)
 }
 
 func printStats(w io.Writer, st vrldram.Stats) {

@@ -1,0 +1,91 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"vrldram/internal/lut"
+)
+
+// RestoreAlphaTol is the equivalence gate a restore-alpha curve must pass
+// before it may stand in for RestoreAlpha: worst deviation over the
+// refinement grid at or below this bound, or construction fails.
+const RestoreAlphaTol = 1e-9
+
+// restoreCurveSamples is the table resolution over the drive-time domain.
+const restoreCurveSamples = (1 << 14) + 1
+
+// restoreCurveSpan is the table's reach in restore time constants: past
+// 24*RC the coefficient is within 4e-11 of 1, far under the gate, so the
+// tail falls back to the analytic expression.
+const restoreCurveSpan = 24.0
+
+// RestoreCurve precomputes RestoreAlpha for one differential input dvbl
+// into a monotone cubic table. The curve has a kink where the post-sensing
+// window first exceeds the t1+t2+t3 sensing overhead (alpha is pinned at 0
+// before it), so the table is built over the smooth drive time
+// tauPost - t123 and the kink lands exactly on the domain boundary.
+//
+// Like the decay LUT this is a gated approximation, not a bit-identical
+// replacement: use it for sweeps that evaluate the curve densely, not where
+// exact reproducibility of the analytic model is asserted.
+type RestoreCurve struct {
+	m      *Model
+	dvbl   float64
+	t123   float64
+	tau    float64 // restore time constant Rpost*Cpost
+	tab    *lut.Table
+	maxErr float64
+}
+
+// RestoreAlphaCurve fits and gates a restore-alpha curve at the given
+// differential input.
+func (m *Model) RestoreAlphaCurve(dvbl float64) (*RestoreCurve, error) {
+	t123 := m.SensePhaseDelay(dvbl)
+	if math.IsInf(t123, 0) || math.IsNaN(t123) {
+		return nil, fmt.Errorf("analytic: restore curve at dvbl=%g: sensing never completes (t1+t2+t3 = %g)", dvbl, t123)
+	}
+	tau := m.RestoreTau()
+	if !(tau > 0) {
+		return nil, fmt.Errorf("analytic: restore curve: nonpositive restore time constant %g", tau)
+	}
+	f := func(drive float64) float64 {
+		return clamp01(1 - math.Exp(-drive/tau))
+	}
+	tab, err := lut.New(f, 0, restoreCurveSpan*tau, restoreCurveSamples)
+	if err != nil {
+		return nil, fmt.Errorf("analytic: restore curve at dvbl=%g: %v", dvbl, err)
+	}
+	maxErr, err := tab.Gate(f, RestoreAlphaTol, 4)
+	if err != nil {
+		return nil, fmt.Errorf("analytic: restore curve at dvbl=%g failed its equivalence gate: %v", dvbl, err)
+	}
+	return &RestoreCurve{m: m, dvbl: dvbl, t123: t123, tau: tau, tab: tab, maxErr: maxErr}, nil
+}
+
+// Alpha returns the interpolated restore coefficient for a post-sensing
+// window of tauPost seconds, matching RestoreAlpha's guards exactly and
+// falling back to the analytic expression past the table's reach.
+func (c *RestoreCurve) Alpha(tauPost float64) float64 {
+	drive := tauPost - c.t123
+	if drive <= 0 {
+		return 0
+	}
+	if _, b := c.tab.Bounds(); drive >= b {
+		return clamp01(1 - math.Exp(-drive/c.tau))
+	}
+	a := c.tab.Eval(drive)
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// Dvbl returns the differential input the curve was fitted at.
+func (c *RestoreCurve) Dvbl() float64 { return c.dvbl }
+
+// MaxError returns the worst deviation the equivalence gate measured.
+func (c *RestoreCurve) MaxError() float64 { return c.maxErr }

@@ -1,0 +1,112 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrldram/internal/device"
+)
+
+func restoreCurveFixture(t *testing.T) (*Model, *RestoreCurve, float64) {
+	t.Helper()
+	m, err := New(device.Default90nm(), device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvbl, err := m.DefaultDvbl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.RestoreAlphaCurve(dvbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c, dvbl
+}
+
+// TestRestoreCurveTolerance sweeps the curve densely against the analytic
+// RestoreAlpha: the interpolated coefficient must stay within RestoreAlphaTol
+// everywhere, over the zero region, the knee, and deep into the tail.
+func TestRestoreCurveTolerance(t *testing.T) {
+	m, c, dvbl := restoreCurveFixture(t)
+	if c.MaxError() > RestoreAlphaTol {
+		t.Fatalf("gate passed but MaxError %g exceeds %g", c.MaxError(), RestoreAlphaTol)
+	}
+	if c.Dvbl() != dvbl {
+		t.Fatalf("Dvbl() = %g, want %g", c.Dvbl(), dvbl)
+	}
+	t123 := m.SensePhaseDelay(dvbl)
+	tau := m.RestoreTau()
+	worst := 0.0
+	for k := 0; k <= 40000; k++ {
+		// 0 .. t123 + 30*tau: spans pre-knee zeros, the table, and the
+		// analytic tail past restoreCurveSpan.
+		tauPost := (t123 + 30*tau) * float64(k) / 40000
+		got := c.Alpha(tauPost)
+		want := m.RestoreAlpha(tauPost, dvbl)
+		if e := math.Abs(got - want); e > worst {
+			worst = e
+		}
+	}
+	if worst > RestoreAlphaTol {
+		t.Fatalf("worst sweep deviation %g exceeds %g", worst, RestoreAlphaTol)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		tauPost := (t123 + 30*tau) * rng.Float64()
+		got := c.Alpha(tauPost)
+		want := m.RestoreAlpha(tauPost, dvbl)
+		if e := math.Abs(got - want); e > RestoreAlphaTol {
+			t.Fatalf("Alpha(%g) = %.17g, want %.17g (err %g)", tauPost, got, want, e)
+		}
+	}
+}
+
+// TestRestoreCurveKink: alpha is pinned at exactly zero through the whole
+// t1+t2+t3 sensing overhead - the kink the drive-domain construction parks on
+// the table boundary.
+func TestRestoreCurveKink(t *testing.T) {
+	m, c, dvbl := restoreCurveFixture(t)
+	t123 := m.SensePhaseDelay(dvbl)
+	for k := 0; k <= 1000; k++ {
+		tauPost := t123 * float64(k) / 1000
+		if got := c.Alpha(tauPost); got != 0 {
+			t.Fatalf("Alpha(%g) = %g inside the sensing overhead, want 0", tauPost, got)
+		}
+	}
+	if got := c.Alpha(-1); got != 0 {
+		t.Fatalf("Alpha(-1) = %g, want 0", got)
+	}
+	// Just past the kink the coefficient turns positive, matching analytic.
+	just := t123 + m.RestoreTau()*1e-6
+	if got, want := c.Alpha(just), m.RestoreAlpha(just, dvbl); math.Abs(got-want) > RestoreAlphaTol || got <= 0 {
+		t.Fatalf("Alpha just past kink = %.17g, want %.17g > 0", got, want)
+	}
+}
+
+// TestRestoreCurveTailFallback: drives past the table's reach evaluate the
+// analytic expression bit for bit.
+func TestRestoreCurveTailFallback(t *testing.T) {
+	m, c, dvbl := restoreCurveFixture(t)
+	t123 := m.SensePhaseDelay(dvbl)
+	tau := m.RestoreTau()
+	for _, span := range []float64{restoreCurveSpan, restoreCurveSpan + 1, 100} {
+		tauPost := t123 + span*tau
+		if got, want := c.Alpha(tauPost), m.RestoreAlpha(tauPost, dvbl); got != want {
+			t.Fatalf("Alpha(%g) = %.17g, want analytic %.17g", tauPost, got, want)
+		}
+	}
+}
+
+func TestRestoreCurveRejectsDeadInput(t *testing.T) {
+	m, err := New(device.Default90nm(), device.PaperBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-positive differential never finishes Phase 2, so t1+t2+t3 is
+	// infinite and the curve must refuse to build.
+	if _, err := m.RestoreAlphaCurve(0); err == nil {
+		t.Fatal("RestoreAlphaCurve(0) built a curve for a sense that never completes")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 )
 
@@ -48,4 +50,56 @@ func InterruptExit(name string) {
 func Fatal(name string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	os.Exit(1)
+}
+
+// Profiler carries a command's -cpuprofile/-memprofile state. os.Exit skips
+// defers - an unstopped CPU profile is truncated and unreadable - so every
+// successful exit path must funnel through Exit instead of calling os.Exit
+// directly. The zero value (no profiles requested) makes Exit plain
+// os.Exit.
+type Profiler struct {
+	name    string
+	cpuOn   bool
+	memPath string
+}
+
+// StartProfiles begins CPU profiling when cpuPath is non-empty and returns
+// a Profiler whose Exit finishes both profiles before terminating. Call it
+// once, right after flag parsing; a setup failure is fatal (a silently
+// dropped profile wastes the run it was meant to measure).
+func StartProfiles(name, cpuPath, memPath string) *Profiler {
+	p := &Profiler{name: name, memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			Fatal(name, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			Fatal(name, err)
+		}
+		p.cpuOn = true
+	}
+	return p
+}
+
+// Exit stops the CPU profile, writes the heap profile when one was
+// requested, and exits with code.
+func (p *Profiler) Exit(code int) {
+	if p.cpuOn {
+		pprof.StopCPUProfile()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			Fatal(p.name, err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			Fatal(p.name, err)
+		}
+		if err := f.Close(); err != nil {
+			Fatal(p.name, err)
+		}
+	}
+	os.Exit(code)
 }

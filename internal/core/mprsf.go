@@ -38,6 +38,15 @@ type MPRSFTable struct {
 	// partial refreshes; the slice is non-decreasing and may be shorter than
 	// maxPartials when high counts are unreachable even at d = 1.
 	thresholds []float64
+	// expQLo/expQHi bracket each threshold's boundary in the ratio domain
+	// q = period/tret for the exponential decay law, where d = 2^-q depends
+	// on period and tret only through q. q <= expQLo[m] certainly satisfies
+	// d >= thresholds[m], q >= expQHi[m] certainly fails it, and the
+	// 16-ulp-wide band between them falls back to evaluating 2^-q - so
+	// assigning a row under ExpDecay almost never costs an Exp2 at all,
+	// which is what makes scheduler construction cheap at fleet scale.
+	expQLo []float64
+	expQHi []float64
 }
 
 // mprsfTables caches tables process-wide; concurrent sweep cells share them.
@@ -92,7 +101,50 @@ func newMPRSFTable(key mprsfKey) *MPRSFTable {
 		}
 		t.thresholds = append(t.thresholds, hi)
 	}
+	t.expQLo = make([]float64, len(t.thresholds))
+	t.expQHi = make([]float64, len(t.thresholds))
+	for m, th := range t.thresholds {
+		t.expQLo[m], t.expQHi[m] = expRatioBracket(th)
+	}
 	return t
+}
+
+// expRatioBracket inverts one decay-factor threshold into the q =
+// period/tret ratio domain of the exponential law: it brackets the boundary
+// between {q : Exp2(-q) >= th} and its complement. The brackets sit a
+// relative 1e-13 away from the bisected boundary - orders of magnitude more
+// than math.Exp2's sub-ulp evaluation error moves the comparison, so the
+// bracketed claims hold even if the implementation wobbles by an ulp right
+// at the boundary, while the band between them is thin enough that a row
+// essentially never lands in it (and simply pays one exact evaluation when
+// it does). Boundaries too close to q = 0 (thresholds within an ulp of 1,
+// where 2^-q is flat at double precision) get no fast bracket at all.
+func expRatioBracket(th float64) (qLo, qHi float64) {
+	if th <= 0 {
+		// Every q qualifies (2^-q >= 0 even after underflow).
+		return math.Inf(1), math.Inf(1)
+	}
+	// Bisection invariant: Exp2(-lo) >= th, Exp2(-hi) < th. lo = 0 holds
+	// because thresholds lie in (0, 1]; hi = 2048 underflows 2^-q to zero.
+	lo, hi := 0.0, 2048.0
+	for {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if math.Exp2(-mid) >= th {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo < 1.0/64 {
+		// Degenerate flat region: the 1e-13 relative margin would not
+		// dominate the evaluation error here, so disable the fast bracket
+		// and let every row in this regime evaluate exactly.
+		return math.Inf(-1), math.Inf(1)
+	}
+	return lo * (1 - 1e-13), hi * (1 + 1e-13)
 }
 
 // MPRSF returns exactly what ComputeMPRSF would for the same inputs, using
@@ -100,6 +152,26 @@ func newMPRSFTable(key mprsfKey) *MPRSFTable {
 func (t *MPRSFTable) MPRSF(tret, period float64, decay retention.DecayModel) int {
 	if t.key.maxPartials <= 0 || tret <= 0 || period <= 0 {
 		return 0
+	}
+	if _, ok := decay.(retention.ExpDecay); ok {
+		// ExpDecay's factor depends on (period, tret) only through
+		// q = period/tret (d = 2^-q), so the threshold scan runs in the
+		// ratio domain, paying an Exp2 only for a q inside a bracket's
+		// guard band - where the evaluation is the exact one Factor would
+		// have produced, bit for bit.
+		q := period / tret
+		m := 0
+		for m < len(t.thresholds) {
+			if q <= t.expQLo[m] {
+				m++
+				continue
+			}
+			if q >= t.expQHi[m] || math.Exp2(-q) < t.thresholds[m] {
+				break
+			}
+			m++
+		}
+		return m
 	}
 	d := decay.Factor(period, tret)
 	if math.IsNaN(d) || d < 0 || d > 1 {

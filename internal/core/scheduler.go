@@ -31,6 +31,25 @@ type Scheduler interface {
 	MPRSF(row int) int
 }
 
+// BatchScheduler is an optional Scheduler capability: RefreshOps is
+// RefreshOp applied once per batch entry, in batch order, filling ops[i]
+// for (rows[i], times[i]). By implementing it a scheduler declares that its
+// RefreshOp state is independent across rows, so the batched runner may
+// hoist one bucket's per-event calls ahead of applying the bucket: the
+// per-row op sequences - the only state a row-independent policy carries -
+// are unchanged by the hoist, which is what keeps the batched backend
+// bit-identical to the scalar one. All shipped policies (JEDEC, RAIDR, VRL,
+// VRL-Access) qualify; a policy with cross-row coupling must not implement
+// this interface.
+type BatchScheduler interface {
+	Scheduler
+	RefreshOps(rows []int, times []float64, ops []Op)
+	// Periods gathers Period(rows[i]) into out[i]. The runner only hoists
+	// this when nothing in the batch can mutate a period mid-bucket (no
+	// ECC-driven demotes/upgrades are configured).
+	Periods(rows []int, out []float64)
+}
+
 // Config collects the knobs shared by the scheduler constructors.
 type Config struct {
 	Bins      []float64            // refresh-period bins (default retention.RAIDRBins)
@@ -116,6 +135,21 @@ func (s *jedec) RefreshOp(int, float64) Op {
 	return Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull}
 }
 
+// RefreshOps implements BatchScheduler; JEDEC is stateless.
+func (s *jedec) RefreshOps(rows []int, _ []float64, ops []Op) {
+	op := Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull}
+	for i := range rows {
+		ops[i] = op
+	}
+}
+
+// Periods implements BatchScheduler.
+func (s *jedec) Periods(rows []int, out []float64) {
+	for i := range rows {
+		out[i] = s.period
+	}
+}
+
 // --- RAIDR ---------------------------------------------------------------------
 
 // raidr refreshes each row fully at its binned period (Liu et al., ISCA
@@ -168,6 +202,22 @@ func (s *raidr) OnAccess(int, float64)  {}
 func (s *raidr) MPRSF(int) int          { return 0 }
 func (s *raidr) RefreshOp(int, float64) Op {
 	return Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull}
+}
+
+// RefreshOps implements BatchScheduler; RAIDR issues full refreshes with no
+// per-refresh state.
+func (s *raidr) RefreshOps(rows []int, _ []float64, ops []Op) {
+	op := Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull}
+	for i := range rows {
+		ops[i] = op
+	}
+}
+
+// Periods implements BatchScheduler.
+func (s *raidr) Periods(rows []int, out []float64) {
+	for i, r := range rows {
+		out[i] = s.periods[r]
+	}
 }
 
 // --- VRL (Algorithm 1) -----------------------------------------------------------
@@ -296,6 +346,31 @@ func (s *vrl) RefreshOp(row int, _ float64) Op {
 	}
 	s.rcount[row]++
 	return Op{Full: false, Cycles: s.rm.PartialCycles, Alpha: s.rm.AlphaPartial}
+}
+
+// RefreshOps implements BatchScheduler: Algorithm 1 across a batch, with
+// exactly the counter updates RefreshOp would apply entry by entry (the
+// counters are per-row, so batch order equals per-row order).
+func (s *vrl) RefreshOps(rows []int, _ []float64, ops []Op) {
+	full := Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull}
+	partial := Op{Full: false, Cycles: s.rm.PartialCycles, Alpha: s.rm.AlphaPartial}
+	rc, mp := s.rcount, s.mprsf
+	for i, r := range rows {
+		if rc[r] == mp[r] {
+			rc[r] = 0
+			ops[i] = full
+		} else {
+			rc[r]++
+			ops[i] = partial
+		}
+	}
+}
+
+// Periods implements BatchScheduler.
+func (s *vrl) Periods(rows []int, out []float64) {
+	for i, r := range rows {
+		out[i] = s.periods[r]
+	}
 }
 
 // OnAccess resets the partial-refresh counter when the policy is VRL-Access:

@@ -53,8 +53,18 @@ type Bank struct {
 	// attaching both is refused.
 	mod Modulator
 
+	// Row state is a structure-of-arrays: the batched kernels in batch.go
+	// stream over these slices directly, so they share one backing array
+	// (one allocation, contiguous cache lines) and are never appended to.
 	charge []float64 // normalized charge at lastT
 	lastT  []float64 // time the charge was last set (s)
+	tret   []float64 // effective retention under the stored pattern (s)
+
+	// tretPattern is the pattern tret was computed for; retentions()
+	// recomputes the slice if the exported Pattern field was changed after
+	// construction, keeping the precomputed column equal to what
+	// effectiveRetention returns live.
+	tretPattern retention.Pattern
 
 	// retired rows have been quarantined by a spare-row remap (see
 	// internal/scrub): their data lives on an implicitly healthy spare, so
@@ -62,6 +72,27 @@ type Bank struct {
 	retired []bool
 
 	violations []Violation
+
+	// Batch scratch (pure caches, never part of State): epoch-stamped
+	// duplicate-row detection and gather buffers for the batched kernels.
+	batchSeen   []int32
+	batchEpoch  int32
+	batchF      []float64 // modulator decay factors
+	batchT0     []float64 // gathered last-restore times for BatchModulator
+	batchTret   []float64 // gathered effective retentions for BatchModulator
+	batchRows   []int     // RefreshBatch gather columns
+	batchTimes  []float64
+	batchCharge []float64
+
+	// Per-row Exp2 memo for the batched exponential-decay kernel. A row
+	// refreshed on a steady period sees the bit-identical -dt/tret argument
+	// refresh after refresh, so caching the last (argument, result) pair
+	// skips most Exp2 calls. Value-keyed on the exact argument bits, the
+	// memo can never change a result. expMemoArg[r] is the last argument
+	// (always negative in the kernel, so the zero value never false-hits);
+	// expMemoVal[r] the corresponding Exp2. One backing array holds both.
+	expMemoArg []float64
+	expMemoVal []float64
 }
 
 // NewBank returns a bank with every row fully charged at t = 0.
@@ -75,19 +106,43 @@ func NewBank(profile *retention.BankProfile, decay retention.DecayModel, pattern
 	if len(profile.True) != profile.Geom.Rows {
 		return nil, fmt.Errorf("dram: profile has %d rows, geometry says %d", len(profile.True), profile.Geom.Rows)
 	}
+	rows := profile.Geom.Rows
+	backing := make([]float64, 3*rows)
 	b := &Bank{
 		Geom:    profile.Geom,
 		Profile: profile,
 		Decay:   decay,
 		Pattern: pattern,
-		charge:  make([]float64, profile.Geom.Rows),
-		lastT:   make([]float64, profile.Geom.Rows),
-		retired: make([]bool, profile.Geom.Rows),
+		charge:  backing[0*rows : 1*rows : 1*rows],
+		lastT:   backing[1*rows : 2*rows : 2*rows],
+		tret:    backing[2*rows : 3*rows : 3*rows],
+		retired: make([]bool, rows),
 	}
 	for r := range b.charge {
 		b.charge[r] = 1
 	}
+	b.fillRetentions()
 	return b, nil
+}
+
+// fillRetentions precomputes the tret column with exactly the expression
+// effectiveRetention evaluates, so the batched kernels read values that are
+// bit-identical to the scalar path's.
+func (b *Bank) fillRetentions() {
+	pf := retention.PatternFactor(b.Pattern)
+	for r := range b.tret {
+		b.tret[r] = b.Profile.True[r] * pf
+	}
+	b.tretPattern = b.Pattern
+}
+
+// retentions returns the precomputed per-row effective retention column,
+// refreshing it first if the Pattern field was mutated since the last fill.
+func (b *Bank) retentions() []float64 {
+	if b.tretPattern != b.Pattern {
+		b.fillRetentions()
+	}
+	return b.tret
 }
 
 // effectiveRetention is the row's true retention under the stored pattern.
@@ -170,7 +225,16 @@ func (b *Bank) Retire(row int) error {
 
 // Retired returns the retired rows in increasing order.
 func (b *Bank) Retired() []int {
-	var out []int
+	n := 0
+	for _, dead := range b.retired {
+		if dead {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
 	for r, dead := range b.retired {
 		if dead {
 			out = append(out, r)
@@ -191,7 +255,7 @@ type RefreshResult struct {
 // normalized form). A full refresh has alpha ~ 1; a partial refresh the
 // alpha of its truncated post-sensing window.
 func (b *Bank) Refresh(row int, t, alpha float64) (RefreshResult, error) {
-	if alpha < 0 || alpha > 1 {
+	if !(alpha >= 0 && alpha <= 1) { // rejects NaN too
 		return RefreshResult{}, fmt.Errorf("dram: restore alpha %g outside [0,1]", alpha)
 	}
 	v, err := b.sense(row, t)
@@ -216,8 +280,12 @@ func (b *Bank) Access(row int, t float64) (RefreshResult, error) {
 	return RefreshResult{ChargeBefore: v, ChargeAfter: 1, ChargeRestored: 1 - v}, nil
 }
 
-// Violations returns the integrity violations recorded so far.
-func (b *Bank) Violations() []Violation { return b.violations }
+// Violations returns a copy of the integrity violations recorded so far.
+// (A copy, like State: the internal slice is live checkpoint state, and an
+// aliased return would let callers corrupt it.)
+func (b *Bank) Violations() []Violation {
+	return append([]Violation(nil), b.violations...)
+}
 
 // State is the bank's mutable simulation state: everything a checkpoint
 // must capture to resume a run bit-identically. All slices are deep copies.
@@ -270,7 +338,17 @@ func (b *Bank) SetState(s State) error {
 // the sensing limit (recording violations for each). Retired rows are
 // skipped: their data lives on a spare. Useful as an end-of-simulation
 // integrity sweep.
+//
+// For the plain-decay configuration the sweep runs as one tight loop over
+// the charge/lastT/tret columns, producing the same violations in the same
+// order as the scalar path.
 func (b *Bank) CheckAll(t float64) (int, error) {
+	if b.mod == nil && b.VRT == nil {
+		switch b.Decay.(type) {
+		case retention.ExpDecay, retention.LinearDecay:
+			return b.checkAllPlain(t)
+		}
+	}
 	bad := 0
 	for r := 0; r < b.Geom.Rows; r++ {
 		if b.retired[r] {
@@ -281,6 +359,32 @@ func (b *Bank) CheckAll(t float64) (int, error) {
 			return bad, err
 		}
 		if v < retention.SenseLimit {
+			bad++
+		}
+	}
+	return bad, nil
+}
+
+// checkAllPlain is CheckAll for the unmodulated decay laws, evaluated
+// columnar: identical arithmetic, violations appended in the same row order.
+func (b *Bank) checkAllPlain(t float64) (int, error) {
+	tret := b.retentions()
+	exp := true
+	if _, lin := b.Decay.(retention.LinearDecay); lin {
+		exp = false
+	}
+	bad := 0
+	for r := 0; r < b.Geom.Rows; r++ {
+		if b.retired[r] {
+			continue
+		}
+		dt := t - b.lastT[r]
+		if dt < 0 {
+			return bad, fmt.Errorf("dram: time went backwards for row %d: %.6g < %.6g", r, t, b.lastT[r])
+		}
+		v := b.charge[r] * decayPlain(exp, dt, tret[r])
+		if v < retention.SenseLimit {
+			b.violations = append(b.violations, Violation{Row: r, Time: t, Charge: v})
 			bad++
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"vrldram/internal/device"
 	"vrldram/internal/retention"
+	"vrldram/internal/sim"
 )
 
 // Config carries the shared experiment knobs; the zero value plus Default()
@@ -21,6 +22,12 @@ type Config struct {
 	Dist     retention.CellDistribution
 	Seed     int64
 	Duration float64 // trace/refresh simulation window (s)
+
+	// Backend selects the simulator runner for every experiment that runs
+	// the refresh simulator. The zero value (sim.BackendAuto) is the
+	// batched-exact path; sim.BackendBatchLUT opts into the gated
+	// lookup-table decay curves.
+	Backend sim.Backend
 
 	// Workers bounds the number of concurrent cells an experiment may
 	// evaluate. 0 (the default) means runtime.GOMAXPROCS(0); 1 forces the

@@ -105,7 +105,7 @@ func newFig4Setup(cfg Config) (*fig4Setup, error) {
 		cfg:     cfg,
 		profile: prof,
 		rm:      rm,
-		opts:    sim.Options{Duration: cfg.Duration, TCK: cfg.Params.TCK},
+		opts:    sim.Options{Duration: cfg.Duration, TCK: cfg.Params.TCK, Backend: cfg.Backend},
 	}, nil
 }
 

@@ -120,7 +120,7 @@ func DensitySweep(cfg Config) (*Result, error) {
 		Title:   "Refresh overhead vs bank density (the paper's motivation)",
 		Headers: []string{"rows", "JEDEC %time", "RAIDR %time", "VRL %time", "VRL saving vs RAIDR"},
 	}
-	opts := sim.Options{Duration: cfg.Duration, TCK: cfg.Params.TCK}
+	opts := sim.Options{Duration: cfg.Duration, TCK: cfg.Params.TCK, Backend: cfg.Backend}
 	rowCounts := []int{4096, 8192, 16384, 32768}
 	cells := make([][]string, len(rowCounts))
 	err = forEachCell(cfg, len(rowCounts), func(ctx context.Context, i int) error {

@@ -111,7 +111,7 @@ func RunDevice(ctx context.Context, spec Spec, dev Device, cache *profcache.Cach
 			return sim.Stats{}, err
 		}
 	}
-	opts := sim.Options{Duration: spec.Duration, TCK: params.TCK}
+	opts := sim.Options{Duration: spec.Duration, TCK: params.TCK, Backend: spec.Backend}
 	if env != nil {
 		if err := bank.SetModulator(env); err != nil {
 			return sim.Stats{}, err

@@ -37,6 +37,7 @@ import (
 	"vrldram/internal/core"
 	"vrldram/internal/device"
 	"vrldram/internal/scenario"
+	"vrldram/internal/sim"
 )
 
 // Scheduler names accepted by Spec.Scheduler; they match the policies the
@@ -88,6 +89,14 @@ type Spec struct {
 	Scrub      bool
 	Spares     int
 	ScrubSweep float64
+
+	// Backend selects the simulator runner for every device run. The zero
+	// value (sim.BackendAuto) is the batched-exact path;
+	// sim.BackendBatchLUT opts into the gated lookup-table decay curves.
+	// The backend is part of the spec's canonical identity (a LUT campaign
+	// must not resume onto an exact campaign's manifest), which is why the
+	// container tags moved to version 3.
+	Backend sim.Backend
 }
 
 // WithDefaults resolves zero fields to the fleet defaults.
@@ -162,7 +171,7 @@ func (s Spec) Validate() error {
 func (s Spec) Canonical() []byte {
 	s = s.WithDefaults()
 	var e core.StateEncoder
-	e.Tag("fspec2")
+	e.Tag("fspec3")
 	s.encodeTo(&e)
 	return e.Data()
 }
@@ -183,6 +192,7 @@ func (s Spec) encodeTo(e *core.StateEncoder) {
 	e.Bool(s.Scrub)
 	e.Int(int64(s.Spares))
 	e.Float(s.ScrubSweep)
+	e.Int(int64(s.Backend))
 }
 
 func decodeSpecFrom(d *core.StateDecoder) Spec {
@@ -202,6 +212,7 @@ func decodeSpecFrom(d *core.StateDecoder) Spec {
 	s.Scrub = d.Bool()
 	s.Spares = int(d.Int())
 	s.ScrubSweep = d.Float()
+	s.Backend = sim.Backend(d.Int())
 	return s
 }
 

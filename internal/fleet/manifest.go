@@ -308,7 +308,7 @@ func (m *Manifest) saveLocked() error {
 
 func encodeManifestPayload(spec Spec, shards []shardEntry) []byte {
 	var e core.StateEncoder
-	e.Tag("fman2")
+	e.Tag("fman3")
 	spec.encodeTo(&e)
 	e.Int(int64(len(shards)))
 	for _, s := range shards {
@@ -327,7 +327,7 @@ func encodeManifestPayload(spec Spec, shards []shardEntry) []byte {
 // of bytes can produce a manifest the engine would trip over.
 func decodeManifestPayload(payload []byte) (Spec, []shardEntry, error) {
 	d := core.NewStateDecoder(payload)
-	d.ExpectTag("fman2")
+	d.ExpectTag("fman3")
 	spec := decodeSpecFrom(d)
 	n := d.Int()
 	if err := d.Err(); err != nil {

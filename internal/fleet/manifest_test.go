@@ -183,7 +183,7 @@ func FuzzManifestDecode(f *testing.F) {
 	busy[2] = shardEntry{state: ShardQuarantined, attempts: 3, lastErr: "poison"}
 	f.Add(encodeManifestPayload(spec, busy))
 	f.Add([]byte{})
-	f.Add([]byte("fman2"))
+	f.Add([]byte("fman3"))
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		decSpec, shards, err := decodeManifestPayload(payload)

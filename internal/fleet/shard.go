@@ -39,10 +39,10 @@ func (ss ShardSpec) Validate() error {
 	return nil
 }
 
-// Encode renders the shard spec canonically (tag "fsh2").
+// Encode renders the shard spec canonically (tag "fsh3").
 func (ss ShardSpec) Encode() []byte {
 	var e core.StateEncoder
-	e.Tag("fsh2")
+	e.Tag("fsh3")
 	ss.Spec.WithDefaults().encodeTo(&e)
 	e.Int(int64(ss.Index))
 	e.Int(int64(ss.Start))
@@ -53,7 +53,7 @@ func (ss ShardSpec) Encode() []byte {
 // DecodeShardSpec parses and validates a canonical shard spec blob.
 func DecodeShardSpec(blob []byte) (ShardSpec, error) {
 	d := core.NewStateDecoder(blob)
-	d.ExpectTag("fsh2")
+	d.ExpectTag("fsh3")
 	var ss ShardSpec
 	ss.Spec = decodeSpecFrom(d)
 	ss.Index = int(d.Int())

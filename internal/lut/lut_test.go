@@ -1,0 +1,149 @@
+package lut
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	if _, err := New(id, 1, 1, 8); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+	if _, err := New(id, 2, 1, 8); err == nil {
+		t.Fatal("inverted domain accepted")
+	}
+	if _, err := New(id, 0, 1, 1); err == nil {
+		t.Fatal("single-sample table accepted")
+	}
+	if _, err := New(func(x float64) float64 { return math.Log(x) }, -1, 1, 8); err == nil {
+		t.Fatal("NaN sample accepted")
+	}
+	if _, err := New(func(x float64) float64 { return 1 / x }, 0, 1, 8); err == nil {
+		t.Fatal("infinite sample accepted")
+	}
+}
+
+// TestEvalExactAtSamples: a cubic Hermite interpolant passes through its
+// samples by construction; Eval at a grid point must return the sample bit
+// for bit (the batched decay path relies on this for t=0 and domain edges).
+func TestEvalExactAtSamples(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp2(-x) }
+	const n = 33
+	tab, err := New(f, 0, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tab.Bounds()
+	if a != 0 || b != 4 {
+		t.Fatalf("Bounds() = (%g, %g), want (0, 4)", a, b)
+	}
+	step := (b - a) / (n - 1)
+	for i := 0; i < n; i++ {
+		x := a + float64(i)*step
+		if i == n-1 {
+			x = b
+		}
+		if got, want := tab.Eval(x), f(x); got != want {
+			t.Fatalf("Eval(%g) = %.17g, want sample %.17g", x, got, want)
+		}
+	}
+}
+
+func TestEvalClampsOutsideDomain(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	tab, err := New(f, 1, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Eval(0); got != f(1) {
+		t.Fatalf("Eval below domain = %g, want clamp to f(a)=%g", got, f(1))
+	}
+	if got := tab.Eval(10); got != f(3) {
+		t.Fatalf("Eval above domain = %g, want clamp to f(b)=%g", got, f(3))
+	}
+	if got := tab.Eval(math.Inf(1)); got != f(3) {
+		t.Fatalf("Eval(+Inf) = %g, want clamp to f(b)=%g", got, f(3))
+	}
+}
+
+// TestMonotone is the Fritsch-Carlson property: tables over monotone
+// functions must be monotone at every evaluation point, with no
+// interpolation overshoot between samples.
+func TestMonotone(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+	}{
+		{"exp-decay", func(x float64) float64 { return math.Exp2(-x) }, 0, 16},
+		{"restore", func(x float64) float64 { return 1 - math.Exp(-x) }, 0, 24},
+		{"linear-clamped", func(x float64) float64 { return math.Max(0, 1-x/2) }, 0, 2},
+		{"sqrt", math.Sqrt, 0, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, err := New(tc.f, tc.a, tc.b, 257)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incr := tc.f(tc.b) >= tc.f(tc.a)
+			prev := tab.Eval(tc.a)
+			const probes = 10000
+			for k := 1; k <= probes; k++ {
+				x := tc.a + (tc.b-tc.a)*float64(k)/probes
+				v := tab.Eval(x)
+				if incr && v < prev || !incr && v > prev {
+					t.Fatalf("non-monotone at x=%g: %.17g after %.17g", x, v, prev)
+				}
+				prev = v
+			}
+		})
+	}
+}
+
+// TestGateAccuracy pins the expected convergence: a smooth function on a
+// dense grid gates tightly, and Gate reports the same value it returns.
+func TestGateAccuracy(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp2(-x) }
+	tab, err := New(f, 0, 8, 1<<12+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, err := tab.Gate(f, 1e-9, 4)
+	if err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+	if maxErr <= 0 || maxErr > 1e-9 {
+		t.Fatalf("maxErr = %g, want in (0, 1e-9]", maxErr)
+	}
+	// Random spot probes stay within the gated bound (the gate's refinement
+	// grid is dense enough that no point between probes can exceed ~2x it).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		x := 8 * rng.Float64()
+		if e := math.Abs(tab.Eval(x) - f(x)); e > 2*maxErr+1e-15 {
+			t.Fatalf("spot error %g at x=%g exceeds gated bound %g", e, x, maxErr)
+		}
+	}
+}
+
+func TestGateRejectsCoarseTable(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp2(-x) }
+	tab, err := New(f, 0, 8, 9) // far too coarse for 1e-9
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, err := tab.Gate(f, 1e-9, 4)
+	if err == nil {
+		t.Fatalf("coarse table passed a 1e-9 gate (maxErr %g)", maxErr)
+	}
+	if !strings.Contains(err.Error(), "exceeds tolerance") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+	if maxErr <= 1e-9 {
+		t.Fatalf("gate errored but reported maxErr %g within tolerance", maxErr)
+	}
+}

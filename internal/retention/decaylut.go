@@ -1,0 +1,131 @@
+package retention
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+
+	"vrldram/internal/lut"
+)
+
+// DecayLUTTol is the equivalence gate every decay LUT must pass before it is
+// allowed to stand in for its analytic law: the worst deviation over the
+// refinement grid must stay at or below this bound, or construction fails.
+const DecayLUTTol = 1e-9
+
+// decayLUTSamples is the table resolution. Shipped laws are functions of
+// the ratio q = dt/tret alone, so one table covers every (dt, tret) pair;
+// 2^15 cells keep the cubic's deviation two orders below the gate for the
+// exponential law.
+const decayLUTSamples = (1 << 15) + 1
+
+// DecayLUT precomputes a decay law into a monotone cubic table over the
+// ratio q = dt/tret, replacing the law's transcendental evaluation with an
+// interpolated lookup. It is an approximation - bounded by DecayLUTTol, not
+// bit-identical - so it is opt-in: nothing substitutes a DecayLUT for the
+// analytic model implicitly.
+//
+// The table domain ends where the law first reaches zero (found by
+// bisection), so clamp kinks like LinearDecay's land on the domain boundary
+// instead of inside a cubic cell; ratios past the domain fall back to the
+// analytic law.
+type DecayLUT struct {
+	base   DecayModel
+	tab    *lut.Table
+	qMax   float64
+	maxErr float64
+}
+
+// NewDecayLUT builds and gates a decay LUT for base. It fails if the fitted
+// table deviates from the analytic law by more than DecayLUTTol anywhere on
+// the refinement grid.
+func NewDecayLUT(base DecayModel) (*DecayLUT, error) {
+	f := func(q float64) float64 { return base.Factor(q, 1) }
+	qMax := decayDomainEnd(f)
+	tab, err := lut.New(f, 0, qMax, decayLUTSamples)
+	if err != nil {
+		return nil, fmt.Errorf("retention: decay LUT for %s: %v", base.Name(), err)
+	}
+	maxErr, err := tab.Gate(f, DecayLUTTol, 4)
+	if err != nil {
+		return nil, fmt.Errorf("retention: decay LUT for %s failed its equivalence gate: %v", base.Name(), err)
+	}
+	return &DecayLUT{base: base, tab: tab, qMax: qMax, maxErr: maxErr}, nil
+}
+
+// decayDomainEnd picks the table's upper ratio bound: the first zero of f in
+// (0, 64] located to float adjacency, or 64 if f never reaches zero there
+// (the exponential law's 2^-64 is already beyond any physical margin).
+func decayDomainEnd(f func(float64) float64) float64 {
+	const qCap = 64.0
+	if f(qCap) > 0 {
+		return qCap
+	}
+	lo, hi := 0.0, qCap
+	for math.Nextafter(lo, hi) < hi {
+		mid := lo + (hi-lo)/2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Factor implements DecayModel by table lookup, with the analytic guards
+// (dt <= 0, tret <= 0) and range clamp preserved exactly.
+func (l *DecayLUT) Factor(dt, tret float64) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	if tret <= 0 {
+		return 0
+	}
+	q := dt / tret
+	if q >= l.qMax {
+		return l.base.Factor(dt, tret)
+	}
+	f := l.tab.Eval(q)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Name implements DecayModel, marking the output so experiment records show
+// when the interpolated path produced them.
+func (l *DecayLUT) Name() string { return l.base.Name() + "+lut" }
+
+// Base returns the analytic law the table was fitted to.
+func (l *DecayLUT) Base() DecayModel { return l.base }
+
+// MaxError returns the worst deviation the equivalence gate measured.
+func (l *DecayLUT) MaxError() float64 { return l.maxErr }
+
+var decayLUTCache sync.Map // DecayModel -> *DecayLUT
+
+// DecayLUTFor returns a decay LUT for base, caching tables process-wide for
+// comparable model values so fleet runs over the same law share one fit
+// instead of re-sampling per device.
+func DecayLUTFor(base DecayModel) (*DecayLUT, error) {
+	if l, ok := base.(*DecayLUT); ok {
+		return l, nil
+	}
+	if t := reflect.TypeOf(base); t != nil && t.Comparable() {
+		if v, ok := decayLUTCache.Load(base); ok {
+			return v.(*DecayLUT), nil
+		}
+		l, err := NewDecayLUT(base)
+		if err != nil {
+			return nil, err
+		}
+		v, _ := decayLUTCache.LoadOrStore(base, l)
+		return v.(*DecayLUT), nil
+	}
+	return NewDecayLUT(base)
+}

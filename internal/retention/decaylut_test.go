@@ -1,0 +1,147 @@
+package retention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// shippedDecayModels is every analytic law DecayByName can hand out; each
+// must fit a gated LUT, and the LUT must track the analytic law within
+// DecayLUTTol across the whole (dt, tret) plane, not just the sampling axis.
+var shippedDecayModels = []DecayModel{ExpDecay{}, LinearDecay{}}
+
+func TestDecayLUTToleranceAllModels(t *testing.T) {
+	for _, base := range shippedDecayModels {
+		t.Run(base.Name(), func(t *testing.T) {
+			l, err := NewDecayLUT(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.MaxError() > DecayLUTTol {
+				t.Fatalf("gate passed but MaxError %g exceeds tolerance %g", l.MaxError(), DecayLUTTol)
+			}
+			// Dense grid over retention times spanning the paper's bins and
+			// elapsed times from a fraction of a period to deep decay.
+			trets := []float64{16e-3, 64e-3, 128e-3, 256e-3, 1.3, 7.8}
+			worst := 0.0
+			for _, tret := range trets {
+				for k := 0; k <= 4000; k++ {
+					dt := tret * 8 * float64(k) / 4000
+					got := l.Factor(dt, tret)
+					want := base.Factor(dt, tret)
+					if e := math.Abs(got - want); e > worst {
+						worst = e
+					}
+				}
+			}
+			if worst > DecayLUTTol {
+				t.Fatalf("worst (dt, tret) grid deviation %g exceeds %g", worst, DecayLUTTol)
+			}
+			// Random (dt, tret) pairs, including ratios past the table domain
+			// (which must fall back to the analytic law exactly).
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 20000; i++ {
+				tret := math.Exp(rng.Float64()*8 - 4)
+				dt := tret * rng.Float64() * 100
+				got := l.Factor(dt, tret)
+				want := base.Factor(dt, tret)
+				if e := math.Abs(got - want); e > DecayLUTTol {
+					t.Fatalf("Factor(%g, %g) = %.17g, want %.17g (err %g)", dt, tret, got, want, e)
+				}
+			}
+		})
+	}
+}
+
+func TestDecayLUTGuards(t *testing.T) {
+	l, err := NewDecayLUT(ExpDecay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Factor(0, 1); got != 1 {
+		t.Fatalf("Factor(0, 1) = %g, want 1", got)
+	}
+	if got := l.Factor(-1, 1); got != 1 {
+		t.Fatalf("Factor(-1, 1) = %g, want 1", got)
+	}
+	if got := l.Factor(1, 0); got != 0 {
+		t.Fatalf("Factor(1, 0) = %g, want 0", got)
+	}
+	if got := l.Factor(1, -1); got != 0 {
+		t.Fatalf("Factor(1, -1) = %g, want 0", got)
+	}
+}
+
+// TestDecayLUTAnalyticFallback: ratios at or past the table's domain end must
+// be bit-identical to the base law, not interpolated.
+func TestDecayLUTAnalyticFallback(t *testing.T) {
+	for _, base := range shippedDecayModels {
+		l, err := NewDecayLUT(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{l.qMax, l.qMax * 1.5, 200} {
+			if got, want := l.Factor(q, 1), base.Factor(q, 1); got != want {
+				t.Fatalf("%s: Factor(%g, 1) = %.17g, want analytic %.17g", base.Name(), q, got, want)
+			}
+		}
+	}
+}
+
+// TestDecayLUTLinearKinkOnBoundary: LinearDecay clamps to zero at
+// q = 1/(1-SenseLimit); the bisected domain end must land the kink on the
+// table boundary (where the clamp is exact) instead of inside a cubic cell.
+func TestDecayLUTLinearKinkOnBoundary(t *testing.T) {
+	l, err := NewDecayLUT(LinearDecay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kink := 1 / (1 - SenseLimit)
+	if l.qMax < kink || l.qMax > math.Nextafter(kink, math.Inf(1)) {
+		t.Fatalf("qMax = %.17g, want the clamp kink %.17g to float adjacency", l.qMax, kink)
+	}
+	// ExpDecay never reaches zero, so its domain runs to the 64-period cap.
+	le, err := NewDecayLUT(ExpDecay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le.qMax != 64 {
+		t.Fatalf("exponential qMax = %g, want 64", le.qMax)
+	}
+}
+
+func TestDecayLUTName(t *testing.T) {
+	l, err := NewDecayLUT(ExpDecay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Name(); got != "exponential+lut" {
+		t.Fatalf("Name() = %q, want %q", got, "exponential+lut")
+	}
+	if l.Base() != (ExpDecay{}) {
+		t.Fatalf("Base() = %v, want ExpDecay", l.Base())
+	}
+}
+
+func TestDecayLUTForCaching(t *testing.T) {
+	a, err := DecayLUTFor(ExpDecay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecayLUTFor(ExpDecay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("DecayLUTFor re-fit a comparable model instead of caching")
+	}
+	// Passing an existing LUT through must be the identity, not a re-wrap.
+	c, err := DecayLUTFor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("DecayLUTFor wrapped an existing *DecayLUT")
+	}
+}

@@ -49,6 +49,18 @@ type Stressor interface {
 	NextChange(row int, tret, t float64) float64
 }
 
+// RowInvariant is an optional Stressor capability: RowInvariant reports
+// whether this stressor instance ignores its row and tret arguments
+// entirely (a device-wide modulation such as a thermal cycle or an aging
+// ramp). Env.DecayFactors builds one change-point timeline per invariant
+// stressor for a whole batch of rows instead of re-walking the schedule
+// row by row, which is where batched scenario integration gets its
+// amortization from.
+type RowInvariant interface {
+	Stressor
+	RowInvariant() bool
+}
+
 // Env is a scenario instance bound to a seed and a run window: the stressor
 // composition the bank decays under. It satisfies dram's Modulator hook and
 // core.Snapshotter.
@@ -96,6 +108,138 @@ func (e *Env) DecayFactor(row int, tret, t0, t1 float64, base retention.DecayMod
 			// Stressors guarantee strict progress; this terminates the loop
 			// anyway if one misbehaves, at the cost of treating the rest of
 			// the interval as one segment.
+			next = t1
+		}
+		if next > t1 {
+			next = t1
+		}
+		factor *= base.Factor(next-t, tret*scale)
+		t = next
+	}
+	return factor
+}
+
+// envSegment is one cached constant-scale segment of a row-invariant
+// stressor's schedule: scale holds from the previous segment's end (or the
+// timeline origin) up to end.
+type envSegment struct {
+	end   float64
+	scale float64
+}
+
+// maxCachedSegments bounds timeline construction; a stressor whose schedule
+// is finer than this over one batch's span is evaluated directly instead.
+const maxCachedSegments = 4096
+
+// DecayFactors implements dram.BatchModulator: out[i] is
+// DecayFactor(rows[i], tret[i], t0[i], t1[i], base), bit for bit. The
+// amortization is in the change-point partitioning: every stressor that
+// declares RowInvariant gets its schedule walked once over the batch's
+// whole time span, and each row then reads its segments out of that shared
+// timeline instead of re-deriving them. Per-row stressors (VRT telegraphs,
+// pattern adversaries) are still evaluated per row - their change-points
+// are genuinely per-row state.
+func (e *Env) DecayFactors(rows []int, tret, t0, t1 []float64, base retention.DecayModel, out []float64) {
+	n := len(rows)
+	if n == 0 {
+		return
+	}
+	var cached [][]envSegment // indexed like e.Stressors; nil = evaluate directly
+	if len(e.Stressors) > 0 && n > 1 {
+		lo, hi := t0[0], t1[0]
+		for i := 1; i < n; i++ {
+			if t0[i] < lo {
+				lo = t0[i]
+			}
+			if t1[i] > hi {
+				hi = t1[i]
+			}
+		}
+		for si, s := range e.Stressors {
+			if inv, ok := s.(RowInvariant); ok && inv.RowInvariant() {
+				if segs := buildTimeline(s, lo, hi); segs != nil {
+					if cached == nil {
+						cached = make([][]envSegment, len(e.Stressors))
+					}
+					cached[si] = segs
+				}
+			}
+		}
+	}
+	if cached == nil {
+		for i := range rows {
+			out[i] = e.DecayFactor(rows[i], tret[i], t0[i], t1[i], base)
+		}
+		return
+	}
+	for i := range rows {
+		out[i] = e.decayFactorWith(cached, rows[i], tret[i], t0[i], t1[i], base)
+	}
+}
+
+// buildTimeline walks one row-invariant stressor's schedule across [lo, hi].
+// It returns nil when the walk stalls or the schedule is too fine to be
+// worth caching; the caller then evaluates the stressor directly, which is
+// always correct.
+func buildTimeline(s Stressor, lo, hi float64) []envSegment {
+	segs := make([]envSegment, 0, 8)
+	t := lo
+	for t <= hi {
+		scale := s.ScaleAt(0, 1, t)
+		next := s.NextChange(0, 1, t)
+		if next <= t || len(segs) == maxCachedSegments {
+			return nil
+		}
+		segs = append(segs, envSegment{end: next, scale: scale})
+		t = next
+	}
+	return segs
+}
+
+// segIndex locates the segment containing t: the first whose end exceeds t.
+func segIndex(segs []envSegment, t float64) int {
+	lo, hi := 0, len(segs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].end > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// decayFactorWith is DecayFactor with row-invariant stressors read from
+// prebuilt timelines. The roster order, multiplication order, segment walk,
+// and guard structure mirror DecayFactor exactly; a cached stressor's
+// segment value equals what its ScaleAt would return anywhere inside the
+// segment (the piecewise-constant Stressor contract plus row-invariance),
+// so the two paths agree bit for bit - the property the batch tests pin.
+func (e *Env) decayFactorWith(cached [][]envSegment, row int, tret, t0, t1 float64, base retention.DecayModel) float64 {
+	if t1 <= t0 {
+		return 1
+	}
+	factor := 1.0
+	t := t0
+	for t < t1 {
+		scale := 1.0
+		next := t1
+		for si, s := range e.Stressors {
+			if segs := cached[si]; segs != nil {
+				j := segIndex(segs, t)
+				scale *= segs[j].scale
+				if n := segs[j].end; n < next {
+					next = n
+				}
+				continue
+			}
+			scale *= s.ScaleAt(row, tret, t)
+			if n := s.NextChange(row, tret, t); n < next {
+				next = n
+			}
+		}
+		if next <= t {
 			next = t1
 		}
 		if next > t1 {

@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -330,5 +331,48 @@ func TestFprintCatalogListsEveryScenario(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Fatalf("catalog listing misses %q:\n%s", name, out)
 		}
+	}
+}
+
+// TestDecayFactorsMatchesScalar pins the dram.BatchModulator contract on
+// every catalog scenario: DecayFactors over a mixed batch - repeated rows,
+// varied retention times, degenerate (t1 <= t0) spans, intervals crossing
+// segment change-points - must reproduce the scalar DecayFactor loop bit for
+// bit. This is what lets the batched simulator backend route scenario runs
+// through the columnar kernel without perturbing a single violation.
+func TestDecayFactorsMatchesScalar(t *testing.T) {
+	base := retention.ExpDecay{}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			env := buildNamed(t, name)
+			rng := rand.New(rand.NewSource(17))
+			const n = 600
+			rows := make([]int, n)
+			tret := make([]float64, n)
+			t0 := make([]float64, n)
+			t1 := make([]float64, n)
+			out := make([]float64, n)
+			for i := 0; i < n; i++ {
+				rows[i] = rng.Intn(96)
+				tret[i] = 0.02 + rng.Float64()*0.5
+				t0[i] = testWindow * rng.Float64()
+				switch rng.Intn(8) {
+				case 0:
+					t1[i] = t0[i] // empty span
+				case 1:
+					t1[i] = t0[i] - rng.Float64()*0.1 // inverted span
+				default:
+					t1[i] = t0[i] + rng.Float64()*testWindow/2
+				}
+			}
+			env.DecayFactors(rows, tret, t0, t1, base, out)
+			for i := 0; i < n; i++ {
+				want := env.DecayFactor(rows[i], tret[i], t0[i], t1[i], base)
+				if out[i] != want {
+					t.Fatalf("op %d (row %d tret %g [%g,%g]): batch %.17g, scalar %.17g",
+						i, rows[i], tret[i], t0[i], t1[i], out[i], want)
+				}
+			}
+		})
 	}
 }

@@ -63,6 +63,10 @@ func (c TempCycle) ScaleAt(row int, tret, t float64) float64 {
 	return c.Model.Scale(c.TempAt(t))
 }
 
+// RowInvariant implements the RowInvariant capability: every row shares the
+// device temperature.
+func (c TempCycle) RowInvariant() bool { return true }
+
 // NextChange implements Stressor: the next tread boundary.
 func (c TempCycle) NextChange(row int, tret, t float64) float64 {
 	treads := float64(c.Steps)
@@ -186,6 +190,10 @@ func (a AgingRamp) ScaleAt(row int, tret, t float64) float64 {
 	return a.Model.Scale(years)
 }
 
+// RowInvariant implements the RowInvariant capability: wear accrues
+// device-wide.
+func (a AgingRamp) RowInvariant() bool { return true }
+
 // NextChange implements Stressor.
 func (a AgingRamp) NextChange(row int, tret, t float64) float64 {
 	if a.step(t) >= int64(a.Steps) {
@@ -226,6 +234,14 @@ func (g Gate) ScaleAt(row int, tret, t float64) float64 {
 		return 1
 	}
 	return g.Inner.ScaleAt(row, tret, t)
+}
+
+// RowInvariant implements the RowInvariant capability: a gate is
+// row-invariant exactly when its inner stressor is (the episode draws are
+// keyed by time alone).
+func (g Gate) RowInvariant() bool {
+	inv, ok := g.Inner.(RowInvariant)
+	return ok && inv.RowInvariant()
 }
 
 // NextChange implements Stressor: the episode boundary, or the inner

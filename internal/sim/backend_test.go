@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vrldram/internal/core"
+	"vrldram/internal/device"
+	"vrldram/internal/dram"
+	"vrldram/internal/ecc"
+	"vrldram/internal/fault"
+	"vrldram/internal/profiler"
+	"vrldram/internal/retention"
+	"vrldram/internal/scenario"
+	"vrldram/internal/scrub"
+	"vrldram/internal/trace"
+)
+
+// TestBatchQueueMatchesHeapPopOrder is the queue-level property for the
+// lane-based batch queue: against random periodic workloads drained through
+// popBatch at random horizons - exercising the per-period FIFO lanes, the
+// mixed-lane sort, and FIFO-violation spills - the batch queue must emit
+// exactly the (time, row) sequence the reference binary heap does, one
+// event at a time. Horizons stay below the earliest possible re-push
+// (tFirst + the minimum period): a re-push landing inside an already
+// extracted batch is legal for the queue but handled by the runner's merge
+// fallback, which the full-run equivalence tests cover.
+func TestBatchQueueMatchesHeapPopOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(200)
+		var bq batchQueue
+		bq.reset()
+		heap := eventQueue{useHeap: true}
+		periods := make([]float64, rows)
+		minPeriod := math.Inf(1)
+		for r := 0; r < rows; r++ {
+			// A handful of shared periods (lane-friendly) plus a random tail
+			// that overflows batchMaxLanes and spills to the mixed lane.
+			if rng.Intn(2) == 0 {
+				periods[r] = 64e-3 * float64(1+rng.Intn(4))
+			} else {
+				periods[r] = 32e-3 * math.Pow(2, 5*rng.Float64())
+			}
+			minPeriod = math.Min(minPeriod, periods[r])
+			e := event{t: staggerFrac(r) * periods[r], row: r}
+			bq.push(e)
+			heap.push(e)
+		}
+		var rowsBuf []int
+		var timesBuf []float64
+		horizon := 0.7
+		for heap.size() > 0 {
+			if bq.size() != heap.size() || bq.peekTime() != heap.peekTime() {
+				return false
+			}
+			h := heap.peekTime() + (0.05+0.95*rng.Float64())*minPeriod
+			rowsBuf, timesBuf = bq.popBatch(h, rowsBuf[:0], timesBuf[:0])
+			if len(rowsBuf) == 0 {
+				return false
+			}
+			for i := range rowsBuf {
+				he := heap.pop()
+				if he.row != rowsBuf[i] || he.t != timesBuf[i] {
+					return false
+				}
+				if next := he.t + periods[he.row]; next < horizon {
+					ne := event{t: next, row: he.row}
+					bq.pushNext(ne, periods[he.row])
+					heap.push(ne)
+				}
+			}
+		}
+		return bq.size() == 0 && math.IsInf(bq.peekTime(), 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchQueuePendingSortedMatchesHeap pins the checkpoint form: however
+// the outstanding events are distributed across lanes, pendingSorted must
+// equal the heap queue's canonical listing.
+func TestBatchQueuePendingSortedMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var bq batchQueue
+	bq.reset()
+	heap := eventQueue{useHeap: true}
+	for r := 0; r < 300; r++ {
+		e := event{t: rng.Float64(), row: r}
+		if r%2 == 0 {
+			d := 64e-3 * float64(1+r%20) // > batchMaxLanes distinct deltas
+			bq.pushNext(e, d)
+		} else {
+			bq.push(e)
+		}
+		heap.push(e)
+	}
+	// Consume a prefix so head offsets are non-trivial in both.
+	var rowsBuf []int
+	var timesBuf []float64
+	rowsBuf, _ = bq.popBatch(0.25, rowsBuf, timesBuf)
+	for range rowsBuf {
+		heap.pop()
+	}
+	if got, want := bq.pendingSorted(), heap.pendingSorted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pendingSorted diverged:\nbatch: %v\nheap:  %v", got, want)
+	}
+}
+
+// backendHarness builds one fully-featured run configuration for the
+// backend equivalence matrix: a mis-binned retention profile (so ECC
+// classification fires), an access trace, checkpointing, and optional
+// scenario and scrub layers. Smaller than the wheel harness because the
+// matrix is much wider.
+type backendHarness struct {
+	geom    device.BankGeometry
+	profile *retention.BankProfile
+	rm      core.RestoreModel
+	recs    []trace.Record
+	seed    int64
+	opts    Options
+}
+
+func newBackendHarness(t *testing.T, seed int64) *backendHarness {
+	t.Helper()
+	p := device.Default90nm()
+	geom := device.BankGeometry{Rows: 256, Cols: 32}
+	prof, err := retention.NewSampledProfile(geom, retention.DefaultCellDistribution(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, err := fault.MisBinProfile(prof, 0.05, retention.RAIDRBins, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := core.PaperRestoreModel(p, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]trace.Record, 1200)
+	for i := range recs {
+		op := trace.Read
+		if i%3 == 0 {
+			op = trace.Write
+		}
+		recs[i] = trace.Record{Time: float64(i) * 0.768 / float64(len(recs)), Op: op, Row: (i * 37) % geom.Rows}
+	}
+	cls := ecc.DefaultClassifier()
+	return &backendHarness{
+		geom:    geom,
+		profile: bad,
+		rm:      rm,
+		recs:    recs,
+		seed:    seed,
+		opts:    Options{Duration: 0.768, TCK: p.TCK, ECC: &cls},
+	}
+}
+
+func (h *backendHarness) sched(t *testing.T, name string) core.Scheduler {
+	t.Helper()
+	cfg := core.Config{Restore: h.rm}
+	var (
+		s   core.Scheduler
+		err error
+	)
+	switch name {
+	case "jedec":
+		s, err = core.NewJEDEC(device.Default90nm().TRetNom, h.rm)
+	case "raidr":
+		s, err = core.NewRAIDR(h.profile, cfg)
+	case "vrl":
+		s, err = core.NewVRL(h.profile, cfg)
+	case "vrl-access":
+		s, err = core.NewVRLAccess(h.profile, cfg)
+	default:
+		t.Fatalf("unknown scheduler %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runOnce executes one full checkpointed run on the requested backend and
+// returns the stats plus the gob-encoded checkpoint stream. scenName names
+// a catalog scenario to decay under ("" = bare bank).
+func (h *backendHarness) runOnce(t *testing.T, schedName, scenName string, withScrub bool, backend Backend) (Stats, [][]byte) {
+	t.Helper()
+	bank, err := dram.NewBank(h.profile, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := h.sched(t, schedName)
+	opts := h.opts
+	opts.Backend = backend
+	if scenName != "" {
+		env, err := scenario.BuildEnv(scenario.Ref{Name: scenName}, opts.Duration, h.seed+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bank.SetModulator(env); err != nil {
+			t.Fatal(err)
+		}
+		opts.Scenario = env
+	}
+	if withScrub {
+		store, err := scrub.NewBankStore(bank, *opts.ECC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr, err := scrub.New(store, scrub.Config{
+			Sched:  sched,
+			Spares: 64,
+			Reprofile: func(row int) (float64, error) {
+				return profiler.ProfileRow(h.profile, retention.ExpDecay{}, row, profiler.Options{})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Scrub = scr
+	}
+	var blobs [][]byte
+	opts.CheckpointEvery = opts.Duration / 4
+	opts.CheckpointSink = func(cp *Checkpoint) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+			return err
+		}
+		blobs = append(blobs, buf.Bytes())
+		return nil
+	}
+	r := NewReusable(h.geom.Rows)
+	st, err := r.Run(bank, sched, trace.NewSliceSource(h.recs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, blobs
+}
+
+// comparePair runs the same configuration on the scalar reference and the
+// batched runner and demands bit-identical Stats and bit-identical
+// serialized checkpoints.
+func (h *backendHarness) comparePair(t *testing.T, schedName, scenName string, withScrub bool) {
+	t.Helper()
+	scalarStats, scalarBlobs := h.runOnce(t, schedName, scenName, withScrub, BackendScalar)
+	batchStats, batchBlobs := h.runOnce(t, schedName, scenName, withScrub, BackendBatch)
+	if !reflect.DeepEqual(scalarStats, batchStats) {
+		t.Fatalf("stats diverged:\nscalar: %+v\nbatch:  %+v", scalarStats, batchStats)
+	}
+	if len(scalarBlobs) != len(batchBlobs) {
+		t.Fatalf("checkpoint counts diverged: %d vs %d", len(scalarBlobs), len(batchBlobs))
+	}
+	if len(scalarBlobs) == 0 {
+		t.Fatal("run produced no checkpoints; the blob comparison is vacuous")
+	}
+	for i := range scalarBlobs {
+		if !bytes.Equal(scalarBlobs[i], batchBlobs[i]) {
+			t.Fatalf("checkpoint %d blob diverged between backends", i)
+		}
+	}
+}
+
+// TestBatchMatchesScalarFullRuns is the keystone equivalence property of
+// the columnar kernels: across all four schedulers, scrub on and off, and
+// every catalog scenario (plus the bare bank), a run on the batched backend
+// must produce bit-identical Stats and bit-identical serialized checkpoints
+// to the same run on the scalar reference.
+func TestBatchMatchesScalarFullRuns(t *testing.T) {
+	h := newBackendHarness(t, 7)
+	scens := append([]string{""}, scenario.Names()...)
+	for _, schedName := range []string{"jedec", "raidr", "vrl", "vrl-access"} {
+		for _, withScrub := range []bool{false, true} {
+			for _, scen := range scens {
+				label := scen
+				if label == "" {
+					label = "bare"
+				}
+				t.Run(fmt.Sprintf("%s/scrub=%v/%s", schedName, withScrub, label), func(t *testing.T) {
+					h.comparePair(t, schedName, scen, withScrub)
+				})
+			}
+		}
+	}
+}
+
+// TestBatchMatchesScalarSecondSeed re-runs a slice of the matrix on a
+// different profile seed, so the equivalence does not hinge on one
+// retention draw.
+func TestBatchMatchesScalarSecondSeed(t *testing.T) {
+	h := newBackendHarness(t, 21)
+	for _, withScrub := range []bool{false, true} {
+		for _, scen := range []string{"", "kitchen-sink"} {
+			label := scen
+			if label == "" {
+				label = "bare"
+			}
+			t.Run(fmt.Sprintf("vrl/scrub=%v/%s", withScrub, label), func(t *testing.T) {
+				h.comparePair(t, "vrl", scen, withScrub)
+			})
+		}
+	}
+}
+
+// TestBatchLUTBackend covers the opt-in LUT backend: the run succeeds, the
+// refresh schedule is unchanged (it never depends on cell charge), the
+// violation verdicts agree with the exact backend on this workload, and the
+// bank's decay model is restored afterwards (the LUT swap must not leak out
+// of the run).
+func TestBatchLUTBackend(t *testing.T) {
+	h := newBackendHarness(t, 7)
+	exact, _ := h.runOnce(t, "vrl", "kitchen-sink", false, BackendBatch)
+	approx, _ := h.runOnce(t, "vrl", "kitchen-sink", false, BackendBatchLUT)
+	if approx.FullRefreshes != exact.FullRefreshes || approx.PartialRefreshes != exact.PartialRefreshes ||
+		approx.BusyCycles != exact.BusyCycles {
+		t.Fatalf("LUT backend changed the refresh schedule:\nexact: %+v\nlut:   %+v", exact, approx)
+	}
+	if approx.Violations != exact.Violations {
+		t.Fatalf("LUT backend changed violations: exact %d, lut %d", exact.Violations, approx.Violations)
+	}
+
+	// The decay swap must be scoped to the run.
+	bank, err := dram.NewBank(h.profile, retention.ExpDecay{}, retention.PatternAllZeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := h.opts
+	opts.Backend = BackendBatchLUT
+	if _, err := Run(bank, h.sched(t, "vrl"), nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bank.Decay.(retention.ExpDecay); !ok {
+		t.Fatalf("bank.Decay not restored after LUT run: %T", bank.Decay)
+	}
+}

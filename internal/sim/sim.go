@@ -19,10 +19,40 @@ import (
 	"vrldram/internal/trace"
 )
 
+// Backend selects the simulator's runner implementation, in the same spirit
+// as the SPICE solver's banded/dense switch: the scalar per-event loop is
+// the checked reference, and the batched runner - which drains whole
+// timing-wheel buckets and applies decay/sense/restore through the columnar
+// dram kernels - is bit-identical to it (Stats and checkpoint blobs; the
+// backend equivalence tests pin this across schedulers, scrub modes, and
+// scenarios).
+type Backend int
+
+const (
+	// BackendAuto picks the batched runner: it is exact, so there is no
+	// accuracy trade-off to opt into.
+	BackendAuto Backend = iota
+	// BackendScalar forces the reference per-event loop.
+	BackendScalar
+	// BackendBatch forces the batched runner explicitly.
+	BackendBatch
+	// BackendBatchLUT runs the batched runner with the bank's decay law
+	// swapped for its precomputed monotone-LUT fit (retention.DecayLUTFor)
+	// for the duration of the run. Unlike every other backend this one is
+	// approximate - deviations are bounded by the LUT's 1e-9 equivalence
+	// gate, not bit-identical - which is why it is strictly opt-in and never
+	// what Auto resolves to.
+	BackendBatchLUT
+)
+
 // Options configures one simulation run.
 type Options struct {
 	Duration float64 // simulated time (s); the Figure 4 runs use the 768 ms bin hyperperiod
 	TCK      float64 // DRAM clock period (s), for the overhead fraction
+
+	// Backend selects the runner implementation; the zero value (Auto) runs
+	// the batched-exact path.
+	Backend Backend
 
 	// ECC, when set, classifies every sub-limit sensing event into
 	// correctable (single-bit) and uncorrectable errors instead of leaving
@@ -230,11 +260,38 @@ func (h *eventHeap) pop() event {
 }
 
 // Scratch holds the simulator's reusable per-run allocations - the refresh
-// event queue (a timing wheel; see wheel.go), the dominant steady allocation
-// of a run. A Scratch may be reused across any number of sequential runs;
-// concurrent runs need one Scratch each. The zero value is usable.
+// event queues (a timing wheel for the scalar backend, the bucket ring for
+// the batched one) and the batch gather columns. A Scratch may be reused
+// across any number of sequential runs; concurrent runs need one Scratch
+// each. The zero value is usable.
 type Scratch struct {
 	queue eventQueue
+	batch batchQueue
+
+	// Batch gather columns: one bucket's worth of (row, time) pairs and
+	// their sensed charges.
+	bRows    []int
+	bTimes   []float64
+	bCharge  []float64
+	bOps     []core.Op
+	bPeriods []float64
+}
+
+// refreshQueue is the queue contract shared by the scalar and batched
+// runners; the prologue (initial fill, resume, checkpoint capture) runs
+// against it so both backends share one implementation of everything that
+// is not the hot loop.
+type refreshQueue interface {
+	reset()
+	size() int
+	push(event)
+	// pushNext enqueues a re-push scheduled delta after the event being
+	// processed; the batched queue uses the hint to keep per-period FIFO
+	// lanes sorted by construction, the scalar queue ignores it.
+	pushNext(e event, delta float64)
+	pop() event
+	peekTime() float64
+	pendingSorted() []PendingEvent
 }
 
 // NewScratch returns a Scratch for a bank with the given number of rows (the
@@ -284,8 +341,11 @@ func (r *Reusable) RunContext(ctx context.Context, bank *dram.Bank, sched core.S
 // golden-ratio sequence avoids aligning rows that share a period.
 func staggerFrac(row int) float64 {
 	const phi = 0.6180339887498949
-	f := math.Mod(float64(row)*phi, 1)
-	return f
+	// x - floor(x) is bit-identical to math.Mod(x, 1) for finite x >= 0
+	// (the subtraction is exact by Sterbenz' lemma) and lets the compiler
+	// use the hardware rounding instruction instead of the fmod kernel.
+	x := float64(row) * phi
+	return x - math.Floor(x)
 }
 
 // Run simulates the bank under the scheduler while replaying the trace
@@ -371,8 +431,31 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		}
 	}
 
+	if opts.Backend == BackendBatchLUT {
+		lutDecay, err := retention.DecayLUTFor(bank.Decay)
+		if err != nil {
+			return Stats{}, fmt.Errorf("sim: %v", err)
+		}
+		orig := bank.Decay
+		bank.Decay = lutDecay
+		defer func() { bank.Decay = orig }()
+	}
+
 	rows := bank.Geom.Rows
-	q := &scratch.queue
+	// Backend split: both runners share the prologue, drains, checkpointing,
+	// and epilogue through the refreshQueue interface; only the hot loop
+	// differs. BackendAuto is the batched runner - it is bit-identical to
+	// the scalar reference, so there is nothing to trade away.
+	batched := opts.Backend != BackendScalar
+	var q refreshQueue
+	if batched {
+		q = &scratch.batch
+	} else {
+		q = &scratch.queue
+	}
+	// Schedulers that declare row-independent state let the batched runner
+	// hoist a bucket's RefreshOp calls into one batch call.
+	bSched, _ := sched.(core.BatchScheduler)
 	q.reset()
 	var (
 		next          trace.Record
@@ -415,7 +498,18 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		st = cp.Stats
 		st.Scheduler = sched.Name()
 		st.Duration = opts.Duration
+		// The queues and the batched sense kernel rely on the one-
+		// outstanding-event-per-row invariant; a corrupt checkpoint must
+		// fail here, not silently diverge later.
+		seenRow := make([]bool, rows)
 		for _, ev := range cp.Events {
+			if ev.Row < 0 || ev.Row >= rows {
+				return st, fmt.Errorf("sim: resume: pending event for row %d outside [0,%d)", ev.Row, rows)
+			}
+			if seenRow[ev.Row] {
+				return st, fmt.Errorf("sim: resume: duplicate pending event for row %d", ev.Row)
+			}
+			seenRow[ev.Row] = true
 			q.push(event{t: ev.Time, row: ev.Row})
 		}
 		// Re-position the (freshly opened) trace source by replaying the
@@ -556,6 +650,81 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		nextCP = opts.CheckpointEvery * (math.Floor(now/opts.CheckpointEvery) + 1)
 	}
 
+	// postRefresh is the shared tail of one refresh event - scheduler
+	// feedback, ECC classification and repair routing, accounting, and the
+	// row's next refresh - identical for both backends. It returns the time
+	// of the next event it pushed for the row, so the batched loop can track
+	// the earliest queued time without re-peeking the queue per entry.
+	// period is the row's refresh period when the caller already gathered it
+	// (the batched loop, when no ECC repair can demote a row mid-bucket), or
+	// negative to read it from the scheduler here - after any demotion this
+	// event's ECC outcome just applied.
+	postRefresh := func(row int, t float64, op core.Op, res dram.RefreshResult, period float64) (float64, error) {
+		if hasMonitor {
+			// Report before rescheduling so a demotion or promotion decided
+			// here shapes the row's very next refresh interval.
+			monitor.OnSense(row, t, res.ChargeBefore)
+		}
+		if opts.ECC != nil && res.ChargeBefore < retention.SenseLimit {
+			outcome := opts.ECC.Classify(res.ChargeBefore)
+			switch outcome {
+			case ecc.Corrected:
+				st.CorrectedErrors++
+			case ecc.Uncorrectable:
+				st.UncorrectableErrors++
+			}
+			if opts.Scrub != nil {
+				// The scrubber owns the repair response: a classified sense is
+				// a detection event exactly like a patrol read, so the pipeline
+				// converges no matter which path sees the sag first.
+				if err := opts.Scrub.OnEccEvent(row, outcome); err != nil {
+					return 0, err
+				}
+			} else if outcome == ecc.Corrected {
+				if opts.DemoteOnCorrect {
+					if dm, ok := sched.(core.Demoter); ok {
+						dm.Demote(row)
+					}
+				} else if opts.UpgradeOnCorrect {
+					if up, ok := sched.(core.Upgrader); ok {
+						up.Upgrade(row)
+						st.RowsUpgraded++
+					}
+				}
+			}
+		}
+		if op.Full {
+			st.FullRefreshes++
+		} else {
+			st.PartialRefreshes++
+		}
+		st.BusyCycles += int64(op.Cycles)
+		st.ChargeRestored += res.ChargeRestored
+		busyUntil = t + float64(op.Cycles)*opts.TCK
+		p := period
+		if p < 0 {
+			p = sched.Period(row)
+		}
+		next := t + p
+		q.pushNext(event{t: next, row: row}, p)
+		return next, nil
+	}
+
+	// processEvent runs one full scalar refresh: sense+restore through the
+	// scalar bank path, then the shared tail. The scalar backend runs on it
+	// exclusively; the batched backend uses it for events a sub-bucket
+	// period pushes back into the open batch window.
+	processEvent := func(ev event) error {
+		op := sched.RefreshOp(ev.row, ev.t)
+		res, err := bank.Refresh(ev.row, ev.t, op.Alpha)
+		if err != nil {
+			return err
+		}
+		_, err = postRefresh(ev.row, ev.t, op, res, -1)
+		return err
+	}
+
+	bq := &scratch.batch
 	for q.size() > 0 {
 		if err := ctx.Err(); err != nil {
 			// A final snapshot lets the caller persist the state the run
@@ -584,68 +753,158 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			}
 			nextCP += opts.CheckpointEvery
 		}
-		ev := q.pop()
-		if ev.t >= opts.Duration {
+		if !batched {
+			ev := q.pop()
+			if ev.t >= opts.Duration {
+				continue
+			}
+			now = ev.t
+			if err := drainScrub(ev.t); err != nil {
+				finalize(ev.t)
+				return st, err
+			}
+			if err := drainTrace(ev.t); err != nil {
+				finalize(ev.t)
+				return st, err
+			}
+			if err := processEvent(ev); err != nil {
+				finalize(ev.t)
+				return st, err
+			}
 			continue
 		}
-		now = ev.t
-		if err := drainScrub(ev.t); err != nil {
-			finalize(ev.t)
+
+		// Batched: drain every event in the cursor bucket up to the nearest
+		// non-refresh boundary, sense the whole batch through the columnar
+		// kernel, then apply the ops in (time, row) order. The horizon h is
+		// capped below every boundary where non-refresh activity (a
+		// checkpoint, a patrol tick, a trace record) could interleave, so no
+		// bank state a batched sense depends on can change mid-batch.
+		tFirst := q.peekTime()
+		if tFirst >= opts.Duration {
+			// tFirst is the queue minimum, so no outstanding event can fire
+			// inside the run window anymore; the scalar path discards them
+			// one pop at a time, with identical effect.
+			break
+		}
+		if err := drainScrub(tFirst); err != nil {
+			finalize(tFirst)
 			return st, err
 		}
-		if err := drainTrace(ev.t); err != nil {
-			finalize(ev.t)
+		if err := drainTrace(tFirst); err != nil {
+			finalize(tFirst)
 			return st, err
 		}
-		op := sched.RefreshOp(ev.row, ev.t)
-		res, err := bank.Refresh(ev.row, ev.t, op.Alpha)
-		if err != nil {
-			finalize(ev.t)
-			return st, err
+		h := tFirst + batchWindow
+		if opts.Duration < h {
+			h = opts.Duration
 		}
-		if hasMonitor {
-			// Report before rescheduling so a demotion or promotion decided
-			// here shapes the row's very next refresh interval.
-			monitor.OnSense(ev.row, ev.t, res.ChargeBefore)
+		if opts.CheckpointSink != nil && nextCP < h {
+			h = nextCP
 		}
-		if opts.ECC != nil && res.ChargeBefore < retention.SenseLimit {
-			outcome := opts.ECC.Classify(res.ChargeBefore)
-			switch outcome {
-			case ecc.Corrected:
-				st.CorrectedErrors++
-			case ecc.Uncorrectable:
-				st.UncorrectableErrors++
+		if opts.Scrub != nil {
+			if due := opts.Scrub.NextDue(); due < h {
+				h = due
 			}
-			if opts.Scrub != nil {
-				// The scrubber owns the repair response: a classified sense is
-				// a detection event exactly like a patrol read, so the pipeline
-				// converges no matter which path sees the sag first.
-				if err := opts.Scrub.OnEccEvent(ev.row, outcome); err != nil {
-					finalize(ev.t)
+		}
+		if havePending && next.Time < h {
+			h = next.Time
+		}
+		scratch.bRows, scratch.bTimes = bq.popBatch(h, scratch.bRows[:0], scratch.bTimes[:0])
+		bRows, bTimes := scratch.bRows, scratch.bTimes
+		n := len(bRows)
+		if n == 0 {
+			// Every cap on h sits strictly above tFirst, so an empty batch
+			// can only mean a floating-point boundary edge (an event hashed
+			// into a bucket whose end precedes it). Process one event
+			// scalar-style to guarantee progress.
+			ev := q.pop()
+			now = ev.t
+			if err := processEvent(ev); err != nil {
+				finalize(ev.t)
+				return st, err
+			}
+			continue
+		}
+		if cap(scratch.bCharge) < n {
+			scratch.bCharge = make([]float64, n)
+		}
+		bCharge := scratch.bCharge[:n]
+		if err := bank.ChargeAtBatch(bRows, bTimes, bCharge); err != nil {
+			finalize(tFirst)
+			return st, err
+		}
+		var bOps []core.Op
+		var bPeriods []float64
+		if bSched != nil {
+			if cap(scratch.bOps) < n {
+				scratch.bOps = make([]core.Op, n)
+			}
+			bOps = scratch.bOps[:n]
+			bSched.RefreshOps(bRows, bTimes, bOps)
+			if opts.ECC == nil {
+				// No ECC means no mid-bucket demotes/upgrades, so periods
+				// are immutable across the batch and can be gathered too.
+				if cap(scratch.bPeriods) < n {
+					scratch.bPeriods = make([]float64, n)
+				}
+				bPeriods = scratch.bPeriods[:n]
+				bSched.Periods(bRows, bPeriods)
+			}
+		}
+		// qNext tracks a lower bound on the earliest queued event time so
+		// the merge check below is one float compare per entry instead of a
+		// queue peek. Re-pushes from postRefresh are folded in as they
+		// happen; a full peek runs only when the bound says a queued event
+		// might precede the next batch entry.
+		qNext := bq.peekTime()
+		for i := 0; i < n; i++ {
+			evT, evRow := bTimes[i], bRows[i]
+			// A row whose period is shorter than the bucket width can push
+			// its next refresh back inside the open batch window; process
+			// those scalar-style so the total (time, row) order - and with
+			// it every scheduler and accounting interaction - is preserved.
+			// Such a row cannot still be in the batch tail (one outstanding
+			// event per row), so the precomputed senses stay valid.
+			for qNext <= evT && bq.size() > 0 {
+				pe := bq.peek()
+				if pe.t > evT || (pe.t == evT && pe.row > evRow) {
+					qNext = pe.t
+					break
+				}
+				bq.pop()
+				now = pe.t
+				if err := processEvent(pe); err != nil {
+					finalize(pe.t)
 					return st, err
 				}
-			} else if outcome == ecc.Corrected {
-				if opts.DemoteOnCorrect {
-					if dm, ok := sched.(core.Demoter); ok {
-						dm.Demote(ev.row)
-					}
-				} else if opts.UpgradeOnCorrect {
-					if up, ok := sched.(core.Upgrader); ok {
-						up.Upgrade(ev.row)
-						st.RowsUpgraded++
-					}
-				}
+				qNext = bq.peekTime()
+			}
+			now = evT
+			var op core.Op
+			if bOps != nil {
+				op = bOps[i]
+			} else {
+				op = sched.RefreshOp(evRow, evT)
+			}
+			res, err := bank.RestoreSensed(evRow, evT, op.Alpha, bCharge[i])
+			if err != nil {
+				finalize(evT)
+				return st, err
+			}
+			p := -1.0
+			if bPeriods != nil {
+				p = bPeriods[i]
+			}
+			nt, err := postRefresh(evRow, evT, op, res, p)
+			if err != nil {
+				finalize(evT)
+				return st, err
+			}
+			if nt < qNext {
+				qNext = nt
 			}
 		}
-		if op.Full {
-			st.FullRefreshes++
-		} else {
-			st.PartialRefreshes++
-		}
-		st.BusyCycles += int64(op.Cycles)
-		st.ChargeRestored += res.ChargeRestored
-		busyUntil = ev.t + float64(op.Cycles)*opts.TCK
-		q.push(event{t: ev.t + sched.Period(ev.row), row: ev.row})
 	}
 	if err := drainScrub(opts.Duration); err != nil {
 		finalize(opts.Duration)

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// refSorted is the reference (time, row) ordering: a stable standard-library
+// sort. The event keys are unique per queue (one pending event per row), but
+// the sort kernels are still exercised on duplicate keys here to pin down
+// that ties cannot reorder.
+func refSorted(s []event) []event {
+	out := append([]event(nil), s...)
+	slices.SortStableFunc(out, func(a, b event) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		}
+		return a.row - b.row
+	})
+	return out
+}
+
+// TestQuickSortEvents drives the median-of-3 quicksort (with its insertion
+// cutoff) across random inputs heavy in duplicate times and rows.
+func TestQuickSortEvents(t *testing.T) {
+	for trial := 0; trial < 2000; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 1 + rng.Intn(300)
+		s := make([]event, n)
+		for i := range s {
+			s[i] = event{t: float64(rng.Intn(40)) / 16, row: rng.Intn(50)}
+		}
+		want := refSorted(s)
+		got := append([]event(nil), s...)
+		quickSortEvents(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("quickSortEvents wrong at trial %d n=%d", trial, n)
+		}
+	}
+}
+
+// TestRadixSortEvents drives the LSD radix sort above its n >= 256 dispatch
+// floor, including the sign fixup, skip-uniform-byte passes, and the
+// insertion tie fix.
+func TestRadixSortEvents(t *testing.T) {
+	var scratch []event
+	var keys []uint64
+	for trial := 0; trial < 500; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 256 + rng.Intn(600)
+		s := make([]event, n)
+		for i := range s {
+			s[i] = event{t: float64(rng.Intn(400)) / 16, row: rng.Intn(50)}
+		}
+		want := refSorted(s)
+		got := append([]event(nil), s...)
+		radixSortEvents(got, &scratch, &keys)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("radixSortEvents wrong at trial %d n=%d", trial, n)
+		}
+	}
+}
+
+// TestSortEvents drives the top-level dispatcher (run merge vs radix vs
+// quicksort, chosen by run structure and size) across the same input family.
+func TestSortEvents(t *testing.T) {
+	var scratch []event
+	var bounds []int
+	var keys []uint64
+	for trial := 0; trial < 2000; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 9000))
+		n := 1 + rng.Intn(500)
+		s := make([]event, n)
+		for i := range s {
+			s[i] = event{t: float64(rng.Intn(100)) / 16, row: rng.Intn(50)}
+		}
+		want := refSorted(s)
+		got := append([]event(nil), s...)
+		sortEvents(got, &scratch, &bounds, &keys)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sortEvents wrong at trial %d n=%d", trial, n)
+		}
+	}
+}

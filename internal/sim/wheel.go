@@ -147,6 +147,10 @@ func (q *eventQueue) push(e event) {
 	q.wheel.push(e)
 }
 
+// pushNext implements refreshQueue; the scalar queues take no advantage of
+// the period hint.
+func (q *eventQueue) pushNext(e event, _ float64) { q.push(e) }
+
 func (q *eventQueue) pop() event {
 	if q.useHeap {
 		return q.heap.pop()

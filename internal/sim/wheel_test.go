@@ -190,6 +190,9 @@ func (h *wheelHarness) runOnce(t *testing.T, schedName string, withScrub, useHea
 	}
 	sched := h.sched(t, schedName)
 	opts := h.opts
+	// This harness compares the two scalar queue implementations; pin the
+	// scalar backend so BackendAuto's batched queue doesn't shadow both.
+	opts.Backend = BackendScalar
 	if withScrub {
 		store, err := scrub.NewBankStore(bank, *opts.ECC)
 		if err != nil {
