@@ -32,11 +32,29 @@ SMOKE_LEDGER=$(mktemp /tmp/vrlbench-smoke.XXXXXX.json)
 rm -f "$SMOKE_LEDGER" # vrlbench creates it; mktemp only reserved the name
 trap 'rm -f "$SMOKE_LEDGER"' EXIT
 go run ./cmd/vrlbench -label smoke -o "$SMOKE_LEDGER" -count 1 -benchtime 5x \
-    -bench '^(BenchmarkSpicePreSense|BenchmarkSpicePreSenseCold|BenchmarkSimRefreshOnly|BenchmarkSimRefreshOnlyReusable|BenchmarkComputeMPRSF|BenchmarkBankBatchRefresh|BenchmarkDeviceYear)$'
+    -bench '^(BenchmarkSpicePreSense|BenchmarkSpicePreSenseCold|BenchmarkSimRefreshOnly|BenchmarkSimRefreshOnlyReusable|BenchmarkComputeMPRSF|BenchmarkBankBatchRefresh|BenchmarkDeviceYear|BenchmarkDeviceYearActive)$'
 go run ./cmd/vrlbench -compare -base-label pr5 -head-label smoke -tolerance 1.5 \
     BENCH_PR5.json "$SMOKE_LEDGER"
 go run ./cmd/vrlbench -compare -base-label pr9 -head-label smoke -tolerance 1.5 \
     BENCH_PR9.json "$SMOKE_LEDGER"
+
+# Device-year gates: the north-star benchmarks get their own min-of-5 capture
+# (single runs swing 2x on noisy runners; the min is the stable statistic)
+# and two compares against committed ledgers. The first is the usual 1.5x
+# regression gate on both device-year benchmarks vs the PR10 baselines. The
+# second inverts the tolerance into a floor: head must stay at or below 2/3
+# of the PR9 BenchmarkDeviceYear time, i.e. the fast-forward engine must keep
+# a >=1.5x speedup over the pre-fast-forward batch path or the gate fails
+# (the huge -alloc-slack disarms the alloc check there: a sub-1 tolerance
+# would otherwise demand an alloc *reduction*, which is not what the floor
+# is about - the pr10 compare above already gates allocs at 1.5x).
+echo "== device-year gates (vrlbench -compare vs BENCH_PR10.json + speedup floor vs BENCH_PR9.json) =="
+go run ./cmd/vrlbench -label smoke -o "$SMOKE_LEDGER" -count 5 -benchtime 5x \
+    -bench '^BenchmarkDeviceYear(Active)?$'
+go run ./cmd/vrlbench -compare -base-label pr10 -head-label smoke -tolerance 1.5 \
+    -benchmarks '^BenchmarkDeviceYear' BENCH_PR10.json "$SMOKE_LEDGER"
+go run ./cmd/vrlbench -compare -base-label pr9 -head-label smoke -tolerance 0.6667 \
+    -benchmarks '^BenchmarkDeviceYear$' -alloc-slack 1000000 BENCH_PR9.json "$SMOKE_LEDGER"
 
 # Short-budget fuzz passes: regression corpora plus a few seconds of new
 # coverage-guided inputs per target. 'go test -fuzz' accepts one target per
@@ -53,6 +71,7 @@ internal/serve:FuzzFrameDecode
 internal/fleet:FuzzManifestDecode
 internal/scenario:FuzzScenarioDecode
 internal/dram:FuzzRefreshBatch
+internal/sim:FuzzFastForwardPlan
 "
 for entry in $FUZZ_TARGETS; do
     pkg=${entry%%:*}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -11,6 +12,10 @@ import (
 type compareOpts struct {
 	basePath, headPath   string
 	baseLabel, headLabel string
+	// filter, when non-nil, restricts the comparison to benchmark names it
+	// matches, so one gate can hold a targeted subset (say, the device-year
+	// family) to a different tolerance than the full suite.
+	filter *regexp.Regexp
 	// tolerance is the allowed head/base ratio on ns/op (min over runs) and
 	// allocs/op before a benchmark counts as a regression. 1.0 means "no
 	// slower at all"; the check.sh gate uses 1.5 to absorb machine noise.
@@ -73,12 +78,15 @@ func runCompare(o compareOpts) (int, error) {
 
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
-		if head.Benchmarks[n] != nil {
+		if head.Benchmarks[n] != nil && (o.filter == nil || o.filter.MatchString(n)) {
 			names = append(names, n)
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
+		if o.filter != nil {
+			return 0, fmt.Errorf("snapshots share no benchmarks matching -benchmarks %q", o.filter)
+		}
 		return 0, fmt.Errorf("snapshots share no benchmarks")
 	}
 
@@ -108,12 +116,12 @@ func runCompare(o compareOpts) (int, error) {
 		}
 	}
 	for n := range base.Benchmarks {
-		if head.Benchmarks[n] == nil {
+		if head.Benchmarks[n] == nil && (o.filter == nil || o.filter.MatchString(n)) {
 			fmt.Printf("  %-32s only in base snapshot\n", n)
 		}
 	}
 	for n := range head.Benchmarks {
-		if base.Benchmarks[n] == nil {
+		if base.Benchmarks[n] == nil && (o.filter == nil || o.filter.MatchString(n)) {
 			fmt.Printf("  %-32s only in head snapshot\n", n)
 		}
 	}

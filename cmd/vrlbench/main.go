@@ -89,11 +89,20 @@ func main() {
 		headLabel  = flag.String("head-label", "", "snapshot label in the head ledger (default: its only snapshot)")
 		tolerance  = flag.Float64("tolerance", 1.1, "allowed head/base ratio on ns/op and allocs/op before failing")
 		allocSlack = flag.Float64("alloc-slack", 2, "absolute allocs/op allowance on top of -tolerance")
+		benchNames = flag.String("benchmarks", "", "regex restricting -compare to matching benchmark names (empty = all shared)")
 	)
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two ledger paths, got %d", flag.NArg()))
+		}
+		var filter *regexp.Regexp
+		if *benchNames != "" {
+			var err error
+			filter, err = regexp.Compile(*benchNames)
+			if err != nil {
+				fatal(fmt.Errorf("-benchmarks: %w", err))
+			}
 		}
 		regressions, err := runCompare(compareOpts{
 			basePath:   flag.Arg(0),
@@ -102,6 +111,7 @@ func main() {
 			headLabel:  *headLabel,
 			tolerance:  *tolerance,
 			allocSlack: *allocSlack,
+			filter:     filter,
 		})
 		if err != nil {
 			fatal(err)

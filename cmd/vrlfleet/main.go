@@ -61,12 +61,19 @@ func main() {
 
 		failShard = flag.Int("fail-shard", -1, "chaos drill: fail this shard's first attempt, then interrupt the campaign (exit 3); rerun with the same -manifest to resume")
 		quiet     = flag.Bool("quiet", false, "suppress dispatch log lines")
-		backend   = flag.String("backend", "", "simulator backend per device: auto, scalar, batch, batch-lut (default auto; batch-lut is the gated lookup-table decay path)")
+		backend   = flag.String("backend", "", "simulator backend per device (default auto; see -list-backends)")
+		listBack  = flag.Bool("list-backends", false, "print the valid -backend names and exit")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
+	if *listBack {
+		for _, name := range sim.BackendNames() {
+			fmt.Println(name)
+		}
+		os.Exit(0)
+	}
 	prof := cli.StartProfiles("vrlfleet", *cpuprofile, *memprofile)
 
 	// Install the signal handler before anything that can block or fail
@@ -110,17 +117,14 @@ func main() {
 		}
 		spec.Scenarios = mix
 	}
-	switch *backend {
-	case "", "auto":
-	case "scalar":
-		spec.Backend = sim.BackendScalar
-	case "batch":
-		spec.Backend = sim.BackendBatch
-	case "batch-lut":
-		spec.Backend = sim.BackendBatchLUT
-	default:
-		fatal(fmt.Errorf("unknown -backend %q (auto, scalar, batch, batch-lut)", *backend))
+	// An unknown backend name is a usage error, not a runtime failure:
+	// exit 2 so scripts can tell a typo from a campaign that broke.
+	be, err := sim.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vrlfleet: %v\n", err)
+		os.Exit(2)
 	}
+	spec.Backend = be
 
 	var execs []fleet.Executor
 	if *local >= 0 {

@@ -13,9 +13,9 @@
 //	vrlsim -sched vrl -bench bgsave -checkpoint run.ckpt          # crash-safe
 //	vrlsim -sched vrl -bench bgsave -checkpoint run.ckpt -resume  # continue
 //
-// Exit status: 0 on success, 1 on error, 2 on data-integrity violations,
-// 3 when interrupted or timed out (after writing a final checkpoint when
-// -checkpoint is set).
+// Exit status: 0 on success, 1 on error, 2 on data-integrity violations or
+// usage errors (e.g. an unknown -backend), 3 when interrupted or timed out
+// (after writing a final checkpoint when -checkpoint is set).
 package main
 
 import (
@@ -43,6 +43,8 @@ func main() {
 		nbits     = flag.Int("nbits", 2, "counter width")
 		guardband = flag.Float64("guardband", 0, "scheduling charge guardband (0 = default)")
 		pattern   = flag.String("pattern", "all-0", "stored data pattern: all-0, all-1, alternating, random")
+		backend   = flag.String("backend", "", "simulator backend (default auto; see -list-backends)")
+		listBack  = flag.Bool("list-backends", false, "print the valid -backend names and exit")
 
 		ckptPath  = flag.String("checkpoint", "", "write crash-safe snapshots to this file (atomic, CRC-checked, 3 generations)")
 		ckptEvery = flag.Float64("checkpoint-every", 0, "simulated seconds between snapshots (0 = duration/8)")
@@ -54,6 +56,19 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listBack {
+		for _, name := range vrldram.BackendNames() {
+			fmt.Println(name)
+		}
+		os.Exit(0)
+	}
+	// An unknown backend name is a usage error: reject it up front with
+	// exit 2 (the violation exit stays distinguishable because integrity
+	// violations only surface after a run that started successfully).
+	if _, err := vrldram.ParseBackend(*backend); err != nil {
+		fmt.Fprintf(os.Stderr, "vrlsim: %v\n", err)
+		os.Exit(2)
+	}
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
@@ -117,6 +132,7 @@ func main() {
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+		Backend:         *backend,
 		OnEvent:         func(msg string) { fmt.Fprintf(os.Stderr, "vrlsim: %s\n", msg) },
 	})
 	if err != nil {

@@ -41,6 +41,24 @@ type RunControl struct {
 	// OnEvent, when non-nil, receives one-line progress notes (resume
 	// source, fallback to an older generation) for operator visibility.
 	OnEvent func(msg string)
+	// Backend selects the simulator execution strategy by name ("" = auto;
+	// see BackendNames). Every backend except the opt-in "batch-lut"
+	// produces statistics and checkpoints bit-identical to the scalar
+	// reference, so this is a speed knob, not a semantics knob.
+	Backend string
+}
+
+// BackendNames lists the valid RunControl.Backend names in menu order.
+func BackendNames() []string { return sim.BackendNames() }
+
+// ParseBackend validates a simulator backend name ("" = auto), returning
+// the canonical spelling or an error listing the valid names.
+func ParseBackend(name string) (string, error) {
+	b, err := sim.ParseBackend(name)
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // SimulateControlled is Simulate under a RunControl: the same simulation,
@@ -66,6 +84,10 @@ func (s *System) SimulateControlled(kind SchedulerKind, accesses []Access, durat
 		recs[i] = trace.Record{Time: a.Time, Op: op, Row: a.Row}
 	}
 	opts := sim.Options{Duration: duration, TCK: s.params.TCK}
+	opts.Backend, err = sim.ParseBackend(rc.Backend)
+	if err != nil {
+		return Stats{}, err
+	}
 
 	var mgr *checkpoint.Manager
 	if rc.CheckpointPath != "" {

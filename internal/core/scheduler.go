@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"vrldram/internal/retention"
 )
@@ -48,6 +49,44 @@ type BatchScheduler interface {
 	// this when nothing in the batch can mutate a period mid-bucket (no
 	// ECC-driven demotes/upgrades are configured).
 	Periods(rows []int, out []float64)
+}
+
+// SteadyScheduler is an optional Scheduler capability the fast-forward
+// backend keys on: StablePeriodUntil returns a time up to which the row's
+// refresh period - and the per-row op sequence it drives - cannot change
+// except through the simulator's own visible hooks (OnAccess from a trace
+// record, Upgrade/Demote from an ECC or scrub response), all of which the
+// runner already fences fast-forward windows against. row < 0 asks for a
+// bound that holds for every row at once. A policy whose state can shift
+// spontaneously (a guard ladder re-evaluating on any sense) must return now;
+// the stock policies' schedules are fixed at construction, so they return
+// +Inf and let the runner's horizon caps do the fencing.
+type SteadyScheduler interface {
+	StablePeriodUntil(row int, now float64) float64
+}
+
+// StreamView exposes a row-independent scheduler's live decision state as
+// plain columns, so the fast-forward kernel can select each refresh op
+// inline instead of paying an interface call per event. The slices alias the
+// scheduler's own state: mutations between fast-forward windows (a
+// scrub-driven Upgrade, an OnAccess reset) are visible in the next window
+// without re-fetching, and rcount writes by the kernel are the scheduler's
+// own counter updates.
+type StreamView struct {
+	Period  float64   // shared period when Periods is nil (JEDEC)
+	Periods []float64 // per-row refresh periods, aliased live state
+	RCount  []int     // per-row partial-refresh counters; nil = always Full
+	MPRSF   []int     // per-row MPRSF, aliased live state (nil with RCount nil)
+	Full    Op        // the op issued when rcount == mprsf (or always, if RCount is nil)
+	Partial Op        // the op issued otherwise
+}
+
+// OpStreamer is the optional capability behind StreamView. Only policies
+// whose RefreshOp is exactly "rcount==mprsf ? full : partial" per row (or
+// unconditionally full) can offer it; anything richer must stay off the
+// fast-forward path.
+type OpStreamer interface {
+	StreamView() StreamView
 }
 
 // Config collects the knobs shared by the scheduler constructors.
@@ -150,6 +189,18 @@ func (s *jedec) Periods(rows []int, out []float64) {
 	}
 }
 
+// StablePeriodUntil implements SteadyScheduler: the JEDEC schedule is fixed
+// at construction.
+func (s *jedec) StablePeriodUntil(int, float64) float64 { return math.Inf(1) }
+
+// StreamView implements OpStreamer: one shared period, always full.
+func (s *jedec) StreamView() StreamView {
+	return StreamView{
+		Period: s.period,
+		Full:   Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull},
+	}
+}
+
 // --- RAIDR ---------------------------------------------------------------------
 
 // raidr refreshes each row fully at its binned period (Liu et al., ISCA
@@ -217,6 +268,18 @@ func (s *raidr) RefreshOps(rows []int, _ []float64, ops []Op) {
 func (s *raidr) Periods(rows []int, out []float64) {
 	for i, r := range rows {
 		out[i] = s.periods[r]
+	}
+}
+
+// StablePeriodUntil implements SteadyScheduler: the binned periods are fixed
+// at construction.
+func (s *raidr) StablePeriodUntil(int, float64) float64 { return math.Inf(1) }
+
+// StreamView implements OpStreamer: per-row periods, always full.
+func (s *raidr) StreamView() StreamView {
+	return StreamView{
+		Periods: s.periods,
+		Full:    Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull},
 	}
 }
 
@@ -370,6 +433,26 @@ func (s *vrl) RefreshOps(rows []int, _ []float64, ops []Op) {
 func (s *vrl) Periods(rows []int, out []float64) {
 	for i, r := range rows {
 		out[i] = s.periods[r]
+	}
+}
+
+// StablePeriodUntil implements SteadyScheduler. VRL's periods and MPRSF
+// mutate only through Upgrade (ECC- or scrub-driven) and its counters only
+// through RefreshOp itself and OnAccess - all paths the fast-forward runner
+// fences windows against - so the schedule is stable indefinitely between
+// those hooks. This holds for VRL-Access too: its extra state change rides
+// on OnAccess, which only fires at trace records, and every fast-forward
+// horizon stops at the next trace record.
+func (s *vrl) StablePeriodUntil(int, float64) float64 { return math.Inf(1) }
+
+// StreamView implements OpStreamer: Algorithm 1 as columns.
+func (s *vrl) StreamView() StreamView {
+	return StreamView{
+		Periods: s.periods,
+		RCount:  s.rcount,
+		MPRSF:   s.mprsf,
+		Full:    Op{Full: true, Cycles: s.rm.FullCycles, Alpha: s.rm.AlphaFull},
+		Partial: Op{Full: false, Cycles: s.rm.PartialCycles, Alpha: s.rm.AlphaPartial},
 	}
 }
 

@@ -93,6 +93,7 @@ type Bank struct {
 	// expMemoVal[r] the corresponding Exp2. One backing array holds both.
 	expMemoArg []float64
 	expMemoVal []float64
+
 }
 
 // NewBank returns a bank with every row fully charged at t = 0.

@@ -119,6 +119,42 @@ func (e *Env) DecayFactor(row int, tret, t0, t1 float64, base retention.DecayMod
 	return factor
 }
 
+// nominalReporter is the per-stressor side of Env.NominalUntil: the end of
+// the window starting at from over which the stressor is exactly the
+// identity - scale 1 for every row AND no change-point. The change-point
+// condition matters even when the scale stays 1, because DecayFactor splits
+// its float product at every NextChange boundary, and a split product is not
+// bitwise the unsplit factor. A return <= from means "not nominal at from".
+type nominalReporter interface {
+	NominalUntil(from float64) float64
+}
+
+// NominalUntil implements the dram.SteadyModulator capability: the end of
+// the window starting at from over which this Env's DecayFactor is bitwise
+// base.Factor(t1-t0, tret) for every row and every [t0, t1] inside the
+// window. That holds exactly when every stressor is nominal across the
+// window (all scales 1, so the single-segment walk computes
+// 1 * base.Factor(t1-t0, tret*1)) and no stressor change-point splits the
+// segment walk. Any stressor that cannot report a nominal window vetoes the
+// whole Env; an Env with no stressors is nominal forever.
+func (e *Env) NominalUntil(from float64) float64 {
+	until := math.Inf(1)
+	for _, s := range e.Stressors {
+		nr, ok := s.(nominalReporter)
+		if !ok {
+			return from
+		}
+		u := nr.NominalUntil(from)
+		if u <= from {
+			return from
+		}
+		if u < until {
+			until = u
+		}
+	}
+	return until
+}
+
 // envSegment is one cached constant-scale segment of a row-invariant
 // stressor's schedule: scale holds from the previous segment's end (or the
 // timeline origin) up to end.

@@ -78,6 +78,18 @@ func (c TempCycle) NextChange(row int, tret, t float64) float64 {
 	return next
 }
 
+// NominalUntil implements the nominalReporter capability for the
+// fast-forward backend: a tread whose thermal scale is exactly 1 is nominal
+// until the next tread boundary (the boundary itself ends the window even if
+// the next tread is also scale 1, because the segment-walk split there is
+// itself non-identity).
+func (c TempCycle) NominalUntil(from float64) float64 {
+	if c.Model.Scale(c.TempAt(from)) != 1 {
+		return from
+	}
+	return c.NextChange(0, 1, from)
+}
+
 // VRTStressor adapts a retention.VRT random-telegraph process to the
 // Stressor interface: ScaleAt is the telegraph state factor and NextChange
 // the next toggle, using exactly the boundary arithmetic of
@@ -157,6 +169,17 @@ func (a PatternAdversary) NextChange(row int, tret, t float64) float64 {
 	return frameNext(t, a.FramePeriod)
 }
 
+// NominalUntil implements the nominalReporter capability. A frame with any
+// hot rows is never device-wide nominal; with HotFrac <= 0 no row is ever
+// hot, but each frame boundary still ends the nominal window (the segment
+// split is non-identity on its own).
+func (a PatternAdversary) NominalUntil(from float64) float64 {
+	if a.HotFrac <= 0 {
+		return a.NextChange(0, 1, from)
+	}
+	return from
+}
+
 // AgingRamp compresses multi-year wear into the run window: retention
 // degrades along a staircase from zero aging at t=0 to Years of aging at
 // t=Window, following the aging model. The staircase keeps the modulation
@@ -202,6 +225,16 @@ func (a AgingRamp) NextChange(row int, tret, t float64) float64 {
 	return frameNext(t, a.Window/float64(a.Steps))
 }
 
+// NominalUntil implements the nominalReporter capability: the ramp's step 0
+// is unaged (scale 1) and each later step may not be, so the window runs to
+// the next staircase boundary only while the current step's scale is 1.
+func (a AgingRamp) NominalUntil(from float64) float64 {
+	if a.ScaleAt(0, 1, from) != 1 {
+		return from
+	}
+	return a.NextChange(0, 1, from)
+}
+
 // Gate is the episodic-activation combinator: time is cut into Period-long
 // episodes, each independently active with probability ActiveProb (drawn
 // from the stream keyed by Label), and the inner stressor only acts during
@@ -242,6 +275,18 @@ func (g Gate) ScaleAt(row int, tret, t float64) float64 {
 func (g Gate) RowInvariant() bool {
 	inv, ok := g.Inner.(RowInvariant)
 	return ok && inv.RowInvariant()
+}
+
+// NominalUntil implements the nominalReporter capability: a calm (inactive)
+// episode is identity until its boundary; an active episode is never nominal
+// regardless of the inner stressor's current value (the inner change-points
+// would split the walk anyway). This is what lets the fast-forward backend
+// macro-step the calm stretches of a VRT storm.
+func (g Gate) NominalUntil(from float64) float64 {
+	if g.active(frameOf(from, g.Period)) {
+		return from
+	}
+	return frameNext(from, g.Period)
 }
 
 // NextChange implements Stressor: the episode boundary, or the inner

@@ -49,7 +49,7 @@ func TestBatchQueueMatchesHeapPopOrder(t *testing.T) {
 				periods[r] = 32e-3 * math.Pow(2, 5*rng.Float64())
 			}
 			minPeriod = math.Min(minPeriod, periods[r])
-			e := event{t: staggerFrac(r) * periods[r], row: r}
+			e := event{T: staggerFrac(r) * periods[r], Row: r}
 			bq.push(e)
 			heap.push(e)
 		}
@@ -67,12 +67,12 @@ func TestBatchQueueMatchesHeapPopOrder(t *testing.T) {
 			}
 			for i := range rowsBuf {
 				he := heap.pop()
-				if he.row != rowsBuf[i] || he.t != timesBuf[i] {
+				if he.Row != rowsBuf[i] || he.T != timesBuf[i] {
 					return false
 				}
-				if next := he.t + periods[he.row]; next < horizon {
-					ne := event{t: next, row: he.row}
-					bq.pushNext(ne, periods[he.row])
+				if next := he.T + periods[he.Row]; next < horizon {
+					ne := event{T: next, Row: he.Row}
+					bq.pushNext(ne, periods[he.Row])
 					heap.push(ne)
 				}
 			}
@@ -93,7 +93,7 @@ func TestBatchQueuePendingSortedMatchesHeap(t *testing.T) {
 	bq.reset()
 	heap := eventQueue{useHeap: true}
 	for r := 0; r < 300; r++ {
-		e := event{t: rng.Float64(), row: r}
+		e := event{T: rng.Float64(), Row: r}
 		if r%2 == 0 {
 			d := 64e-3 * float64(1+r%20) // > batchMaxLanes distinct deltas
 			bq.pushNext(e, d)
@@ -211,7 +211,15 @@ func (h *backendHarness) runOnce(t *testing.T, schedName, scenName string, withS
 		opts.Scenario = env
 	}
 	if withScrub {
-		store, err := scrub.NewBankStore(bank, *opts.ECC)
+		// The scrub store needs a classifier even when the run itself skips
+		// ECC classification (the fast-forward harness clears opts.ECC to
+		// stay eligible).
+		cls := opts.ECC
+		if cls == nil {
+			d := ecc.DefaultClassifier()
+			cls = &d
+		}
+		store, err := scrub.NewBankStore(bank, *cls)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"slices"
+
+	"vrldram/internal/dram"
 )
 
 // Batched event queue. The timing wheel in wheel.go made pop O(1) amortized,
@@ -42,7 +44,7 @@ const (
 
 // eventLess is the queue's total order: (time, row) ascending.
 func eventLess(a, b event) bool {
-	return a.t < b.t || (a.t == b.t && a.row < b.row)
+	return a.T < b.T || (a.T == b.T && a.Row < b.Row)
 }
 
 // sortEvents orders s by (time, row) with a natural merge sort, reusing the
@@ -141,7 +143,7 @@ func radixSortEvents(s []event, scratch *[]event, keyBuf *[]uint64) {
 	keysTmp := (*keyBuf)[n : 2*n]
 	var hist [8][256]int
 	for i := range s {
-		b := math.Float64bits(s[i].t)
+		b := math.Float64bits(s[i].T)
 		if b>>63 != 0 {
 			b = ^b
 		} else {
@@ -189,10 +191,10 @@ func radixSortEvents(s []event, scratch *[]event, keyBuf *[]uint64) {
 	// equal-time run (rare: distinct rows almost always have distinct
 	// phases, so runs are short when they exist at all).
 	for i := 1; i < n; i++ {
-		if s[i].t == s[i-1].t && s[i].row < s[i-1].row {
+		if s[i].T == s[i-1].T && s[i].Row < s[i-1].Row {
 			e := s[i]
 			j := i
-			for j > 0 && s[j-1].t == e.t && s[j-1].row > e.row {
+			for j > 0 && s[j-1].T == e.T && s[j-1].Row > e.Row {
 				s[j] = s[j-1]
 				j--
 			}
@@ -255,31 +257,28 @@ func quickSortEvents(s []event) {
 }
 
 // batchLane is one FIFO of events sharing a re-push period. Its unconsumed
-// tail events[head:] is sorted by (time, row) by construction: the runner
+// tail Events[Head:] is sorted by (time, row) by construction: the runner
 // pushes in ascending event-time order, and adding a shared constant
-// preserves that order.
-type batchLane struct {
-	delta  float64 // the period this lane is keyed by
-	events []event
-	head   int
-}
+// preserves that order. It aliases dram.RefreshLane so the lane slice can be
+// handed to the fast-forward kernel in place.
+type batchLane = dram.RefreshLane
 
-// tailT returns the newest queued time, or -Inf when the lane is empty.
-func (l *batchLane) tailT() float64 {
-	if l.head == len(l.events) {
+// laneTailT returns the newest queued time, or -Inf when the lane is empty.
+func laneTailT(l *batchLane) float64 {
+	if l.Head == len(l.Events) {
 		return math.Inf(-1)
 	}
-	return l.events[len(l.events)-1].t
+	return l.Events[len(l.Events)-1].T
 }
 
-func (l *batchLane) compact() {
-	if l.head == len(l.events) {
-		l.events = l.events[:0]
-		l.head = 0
-	} else if l.head >= laneCompactMin && l.head >= len(l.events)/2 {
-		n := copy(l.events, l.events[l.head:])
-		l.events = l.events[:n]
-		l.head = 0
+func laneCompact(l *batchLane) {
+	if l.Head == len(l.Events) {
+		l.Events = l.Events[:0]
+		l.Head = 0
+	} else if l.Head >= laneCompactMin && l.Head >= len(l.Events)/2 {
+		n := copy(l.Events, l.Events[l.Head:])
+		l.Events = l.Events[:n]
+		l.Head = 0
 	}
 }
 
@@ -299,8 +298,8 @@ type batchQueue struct {
 // reset empties the queue while keeping every allocation for reuse.
 func (bq *batchQueue) reset() {
 	for i := range bq.lanes {
-		bq.lanes[i].events = bq.lanes[i].events[:0]
-		bq.lanes[i].head = 0
+		bq.lanes[i].Events = bq.lanes[i].Events[:0]
+		bq.lanes[i].Head = 0
 	}
 	bq.lanes = bq.lanes[:0]
 	bq.mixed = bq.mixed[:0]
@@ -327,12 +326,12 @@ func (bq *batchQueue) push(e event) {
 func (bq *batchQueue) pushNext(e event, delta float64) {
 	for i := range bq.lanes {
 		l := &bq.lanes[i]
-		if l.delta == delta {
-			if t := l.tailT(); e.t < t || (e.t == t && l.events[len(l.events)-1].row >= e.row) {
+		if l.Delta == delta {
+			if t := laneTailT(l); e.T < t || (e.T == t && l.Events[len(l.Events)-1].Row >= e.Row) {
 				break // would break FIFO order; spill to mixed
 			}
-			l.compact()
-			l.events = append(l.events, e)
+			laneCompact(l)
+			l.Events = append(l.Events, e)
 			bq.count++
 			return
 		}
@@ -342,11 +341,11 @@ func (bq *batchQueue) pushNext(e event, delta float64) {
 			// Reuse a recycled lane (and its buffer) from a prior run.
 			bq.lanes = bq.lanes[:len(bq.lanes)+1]
 			l := &bq.lanes[len(bq.lanes)-1]
-			l.delta = delta
-			l.events = append(l.events[:0], e)
-			l.head = 0
+			l.Delta = delta
+			l.Events = append(l.Events[:0], e)
+			l.Head = 0
 		} else {
-			bq.lanes = append(bq.lanes, batchLane{delta: delta, events: append(make([]event, 0, 64), e)})
+			bq.lanes = append(bq.lanes, batchLane{Delta: delta, Events: append(make([]event, 0, 64), e)})
 		}
 		bq.count++
 		return
@@ -371,7 +370,7 @@ func (bq *batchQueue) peekTime() float64 {
 	if bq.count == 0 {
 		return math.Inf(1)
 	}
-	return bq.peek().t
+	return bq.peek().T
 }
 
 // peek returns the earliest outstanding event without removing it. The
@@ -392,8 +391,8 @@ func (bq *batchQueue) argmin() (int, event) {
 	}
 	for i := range bq.lanes {
 		l := &bq.lanes[i]
-		if l.head < len(l.events) {
-			if e := l.events[l.head]; best == -2 || eventLess(e, bestE) {
+		if l.Head < len(l.Events) {
+			if e := l.Events[l.Head]; best == -2 || eventLess(e, bestE) {
 				best, bestE = i, e
 			}
 		}
@@ -407,7 +406,7 @@ func (bq *batchQueue) pop() event {
 	if li == -1 {
 		bq.mixedHead++
 	} else {
-		bq.lanes[li].head++
+		bq.lanes[li].Head++
 	}
 	bq.count--
 	return e
@@ -422,14 +421,14 @@ func (bq *batchQueue) popBatch(h float64, rows []int, times []float64) ([]int, [
 		best := -2
 		var bestE event
 		if bq.mixedHead < len(bq.mixed) {
-			if e := bq.mixed[bq.mixedHead]; e.t < h {
+			if e := bq.mixed[bq.mixedHead]; e.T < h {
 				best, bestE = -1, e
 			}
 		}
 		for i := range bq.lanes {
 			l := &bq.lanes[i]
-			if l.head < len(l.events) {
-				if e := l.events[l.head]; e.t < h && (best == -2 || eventLess(e, bestE)) {
+			if l.Head < len(l.Events) {
+				if e := l.Events[l.Head]; e.T < h && (best == -2 || eventLess(e, bestE)) {
 					best, bestE = i, e
 				}
 			}
@@ -444,8 +443,8 @@ func (bq *batchQueue) popBatch(h float64, rows []int, times []float64) ([]int, [
 		limit := h
 		limRow := -1
 		if bq.mixedHead < len(bq.mixed) && best != -1 {
-			if e := bq.mixed[bq.mixedHead]; e.t < limit {
-				limit, limRow = e.t, e.row
+			if e := bq.mixed[bq.mixedHead]; e.T < limit {
+				limit, limRow = e.T, e.Row
 			}
 		}
 		for i := range bq.lanes {
@@ -453,33 +452,33 @@ func (bq *batchQueue) popBatch(h float64, rows []int, times []float64) ([]int, [
 				continue
 			}
 			l := &bq.lanes[i]
-			if l.head < len(l.events) {
-				if e := l.events[l.head]; e.t < limit || (e.t == limit && limRow >= 0 && e.row < limRow) {
-					limit, limRow = e.t, e.row
+			if l.Head < len(l.Events) {
+				if e := l.Events[l.Head]; e.T < limit || (e.T == limit && limRow >= 0 && e.Row < limRow) {
+					limit, limRow = e.T, e.Row
 				}
 			}
 		}
 		if best == -1 {
 			for bq.mixedHead < len(bq.mixed) {
 				e := bq.mixed[bq.mixedHead]
-				if e.t > limit || (e.t == limit && limRow >= 0 && e.row > limRow) || e.t >= h {
+				if e.T > limit || (e.T == limit && limRow >= 0 && e.Row > limRow) || e.T >= h {
 					break
 				}
-				rows = append(rows, e.row)
-				times = append(times, e.t)
+				rows = append(rows, e.Row)
+				times = append(times, e.T)
 				bq.mixedHead++
 				bq.count--
 			}
 		} else {
 			l := &bq.lanes[best]
-			for l.head < len(l.events) {
-				e := l.events[l.head]
-				if e.t > limit || (e.t == limit && limRow >= 0 && e.row > limRow) || e.t >= h {
+			for l.Head < len(l.Events) {
+				e := l.Events[l.Head]
+				if e.T > limit || (e.T == limit && limRow >= 0 && e.Row > limRow) || e.T >= h {
 					break
 				}
-				rows = append(rows, e.row)
-				times = append(times, e.t)
-				l.head++
+				rows = append(rows, e.Row)
+				times = append(times, e.T)
+				l.Head++
 				bq.count--
 			}
 		}
@@ -493,12 +492,12 @@ func (bq *batchQueue) pendingSorted() []PendingEvent {
 	out := make([]PendingEvent, 0, bq.size())
 	for i := range bq.lanes {
 		l := &bq.lanes[i]
-		for _, e := range l.events[l.head:] {
-			out = append(out, PendingEvent{Time: e.t, Row: e.row})
+		for _, e := range l.Events[l.Head:] {
+			out = append(out, PendingEvent{Time: e.T, Row: e.Row})
 		}
 	}
 	for _, e := range bq.mixed[bq.mixedHead:] {
-		out = append(out, PendingEvent{Time: e.t, Row: e.row})
+		out = append(out, PendingEvent{Time: e.T, Row: e.Row})
 	}
 	slices.SortFunc(out, func(a, b PendingEvent) int {
 		switch {

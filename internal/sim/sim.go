@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"sync"
 
 	"vrldram/internal/core"
@@ -43,7 +44,59 @@ const (
 	// gate, not bit-identical - which is why it is strictly opt-in and never
 	// what Auto resolves to.
 	BackendBatchLUT
+	// BackendFastForward runs the batched runner with the steady-state
+	// fast-forward engine enabled on top: when the schedule is provably
+	// quiescent - scheduler periods stable (core.SteadyScheduler), scenario
+	// nominal (dram.SteadyModulator), no trace record, scrub sweep, or
+	// checkpoint boundary before the horizon - whole spans of refresh events
+	// are consumed by one fused kernel call (dram.Bank.RefreshStream)
+	// instead of per-bucket drains. It is exact: the kernel replays the
+	// per-event arithmetic in the same global order, so Stats and checkpoint
+	// blobs stay bit-identical to the scalar reference. BackendAuto resolves
+	// to it whenever the run is eligible.
+	BackendFastForward
 )
+
+// String returns the backend's CLI name.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendScalar:
+		return "scalar"
+	case BackendBatch:
+		return "batch"
+	case BackendBatchLUT:
+		return "batch-lut"
+	case BackendFastForward:
+		return "fast-forward"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// BackendNames lists the valid CLI backend names in menu order.
+func BackendNames() []string {
+	return []string{"auto", "scalar", "batch", "batch-lut", "fast-forward"}
+}
+
+// ParseBackend maps a CLI name to its Backend. The empty string means Auto.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "auto":
+		return BackendAuto, nil
+	case "scalar":
+		return BackendScalar, nil
+	case "batch":
+		return BackendBatch, nil
+	case "batch-lut":
+		return BackendBatchLUT, nil
+	case "fast-forward":
+		return BackendFastForward, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(BackendNames(), ", "))
+	}
+}
 
 // Options configures one simulation run.
 type Options struct {
@@ -186,10 +239,10 @@ func (s Stats) OverheadFraction(tck float64) float64 {
 
 // refresh event queue -------------------------------------------------------
 
-type event struct {
-	t   float64
-	row int
-}
+// event aliases dram.StreamEvent so the batch queue's period lanes can be
+// handed to the fast-forward kernel (dram.Bank.RefreshStream) without
+// copying or converting.
+type event = dram.StreamEvent
 
 // eventHeap is a binary min-heap ordered by (time, row). It deliberately
 // does NOT implement container/heap: that interface boxes every pushed and
@@ -201,10 +254,10 @@ type event struct {
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+	if h[i].T != h[j].T {
+		return h[i].T < h[j].T
 	}
-	return h[i].row < h[j].row
+	return h[i].Row < h[j].Row
 }
 
 func (h eventHeap) siftUp(i int) {
@@ -275,6 +328,16 @@ type Scratch struct {
 	bCharge  []float64
 	bOps     []core.Op
 	bPeriods []float64
+
+	// ffScratch is the fast-forward kernel's gathered row state. Keeping it
+	// on the Scratch (not the bank) lets its decay memo stay warm across
+	// sequential runs that share a Scratch - the kernel invalidates any row
+	// whose retention changed, so reuse across different banks is safe.
+	ffScratch dram.StreamScratch
+	// ffWindows counts fast-forward kernel windows executed by the last run
+	// (a debug/observability counter, deliberately NOT part of Stats - Stats
+	// must stay bit-identical across backends).
+	ffWindows int
 }
 
 // refreshQueue is the queue contract shared by the scalar and batched
@@ -457,6 +520,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 	// hoist a bucket's RefreshOp calls into one batch call.
 	bSched, _ := sched.(core.BatchScheduler)
 	q.reset()
+	scratch.ffWindows = 0
 	var (
 		next          trace.Record
 		havePending   bool
@@ -510,7 +574,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 				return st, fmt.Errorf("sim: resume: duplicate pending event for row %d", ev.Row)
 			}
 			seenRow[ev.Row] = true
-			q.push(event{t: ev.Time, row: ev.Row})
+			q.push(event{T: ev.Time, Row: ev.Row})
 		}
 		// Re-position the (freshly opened) trace source by replaying the
 		// records the checkpointed run had already consumed; the buffered
@@ -536,7 +600,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			if p <= 0 {
 				return Stats{}, fmt.Errorf("sim: scheduler period for row %d is %g", r, p)
 			}
-			q.push(event{t: staggerFrac(r) * p, row: r})
+			q.push(event{T: staggerFrac(r) * p, Row: r})
 		}
 		// Trace look-ahead record. The readers in internal/trace enforce time
 		// ordering themselves, but a custom Source is only trusted as far as
@@ -706,7 +770,7 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			p = sched.Period(row)
 		}
 		next := t + p
-		q.pushNext(event{t: next, row: row}, p)
+		q.pushNext(event{T: next, Row: row}, p)
 		return next, nil
 	}
 
@@ -715,13 +779,57 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 	// exclusively; the batched backend uses it for events a sub-bucket
 	// period pushes back into the open batch window.
 	processEvent := func(ev event) error {
-		op := sched.RefreshOp(ev.row, ev.t)
-		res, err := bank.Refresh(ev.row, ev.t, op.Alpha)
+		op := sched.RefreshOp(ev.Row, ev.T)
+		res, err := bank.Refresh(ev.Row, ev.T, op.Alpha)
 		if err != nil {
 			return err
 		}
-		_, err = postRefresh(ev.row, ev.t, op, res, -1)
+		_, err = postRefresh(ev.Row, ev.T, op, res, -1)
 		return err
+	}
+
+	// Fast-forward eligibility is a run-level property: every dynamic
+	// mutation path into the refresh pipeline must be statically absent
+	// (monitors and ECC can reshape schedules mid-flight; a non-streamable
+	// decay or an opaque modulator would change the arithmetic) and the
+	// scheduler must expose both its stability horizon and its decision
+	// columns. Per-window caps (trace, scrub, checkpoints, scenario change-
+	// points) are then handled by the horizon computation inside the loop.
+	ffEligible := batched &&
+		(opts.Backend == BackendAuto || opts.Backend == BackendFastForward) &&
+		opts.ECC == nil && !hasMonitor && bank.Streamable()
+	var (
+		ffSteady core.SteadyScheduler
+		ffMod    dram.SteadyModulator
+		ffCfg    dram.StreamConfig
+	)
+	if ffEligible {
+		steady, okS := sched.(core.SteadyScheduler)
+		streamer, okV := sched.(core.OpStreamer)
+		if !okS || !okV {
+			ffEligible = false
+		} else {
+			ffSteady = steady
+			view := streamer.StreamView()
+			ffCfg = dram.StreamConfig{
+				Period:        view.Period,
+				Periods:       view.Periods,
+				RCount:        view.RCount,
+				MPRSF:         view.MPRSF,
+				AlphaFull:     view.Full.Alpha,
+				CyclesFull:    view.Full.Cycles,
+				AlphaPartial:  view.Partial.Alpha,
+				CyclesPartial: view.Partial.Cycles,
+			}
+		}
+		if mod := bank.ActiveModulator(); mod != nil && ffEligible {
+			sm, ok := mod.(dram.SteadyModulator)
+			if !ok {
+				ffEligible = false
+			} else {
+				ffMod = sm
+			}
+		}
 	}
 
 	bq := &scratch.batch
@@ -755,20 +863,20 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 		}
 		if !batched {
 			ev := q.pop()
-			if ev.t >= opts.Duration {
+			if ev.T >= opts.Duration {
 				continue
 			}
-			now = ev.t
-			if err := drainScrub(ev.t); err != nil {
-				finalize(ev.t)
+			now = ev.T
+			if err := drainScrub(ev.T); err != nil {
+				finalize(ev.T)
 				return st, err
 			}
-			if err := drainTrace(ev.t); err != nil {
-				finalize(ev.t)
+			if err := drainTrace(ev.T); err != nil {
+				finalize(ev.T)
 				return st, err
 			}
 			if err := processEvent(ev); err != nil {
-				finalize(ev.t)
+				finalize(ev.T)
 				return st, err
 			}
 			continue
@@ -795,6 +903,86 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			finalize(tFirst)
 			return st, err
 		}
+		if ffEligible {
+			// Compose the quiescence horizon: nothing non-refresh may be able
+			// to fire strictly below it. Sources that do not apply contribute
+			// +Inf; the scheduler contributes its own stability bound.
+			cpCap, scrubDue, traceNext := ffInf(), ffInf(), ffInf()
+			if opts.CheckpointSink != nil {
+				cpCap = nextCP
+			}
+			if opts.Scrub != nil {
+				scrubDue = opts.Scrub.NextDue()
+			}
+			if havePending {
+				traceNext = next.Time
+			}
+			hf := ffHorizon(opts.Duration, cpCap, scrubDue, traceNext, ffSteady.StablePeriodUntil(-1, tFirst))
+			if ffMod != nil {
+				// The scenario must be exactly nominal over every decay
+				// interval the window can evaluate, which reach back to the
+				// oldest last-restore time, not just to tFirst.
+				if u := ffMod.NominalUntil(bank.MinLastRestore()); u < hf {
+					hf = u
+				}
+			}
+			// Engagement gate, purely a cost heuristic (any choice keeps the
+			// output bit-identical): the kernels pay a full scan of every
+			// lane row per window, so a window too short for even one lap of
+			// the densest lane - the norm on trace-dense runs, where the next
+			// record caps the horizon microseconds away - must go straight to
+			// the batch path instead of thrashing that scan per record.
+			if hf-tFirst >= ffMinLap(bq.lanes) && (bq.mixedQuietBelow(hf) || bq.adoptMixed(ffCfg.Period, ffCfg.Periods)) {
+				ffGrowLanes(bq.lanes, hf)
+				// Kernel tiering: the macro kernel refuses (cleanly, before
+				// mutating anything) any lane shape outside its verified
+				// regular-lap structure; the rotor kernel then handles the
+				// same window event-by-event, bailing with partial progress
+				// only at a cross-lane row collision it cannot re-push.
+				res, err := bank.RefreshMacro(&scratch.ffScratch, bq.lanes, hf, &ffCfg, st.ChargeRestored)
+				if err == nil && res.Bailed && res.Events == 0 {
+					res, err = bank.RefreshStream(&scratch.ffScratch, bq.lanes, hf, &ffCfg, st.ChargeRestored)
+				}
+				if res.Events > 0 {
+					// The kernel replayed res.Events iterations of the
+					// refresh pipeline; fold its accounting into Stats
+					// exactly as the per-event tail would have. Cycle counts
+					// are integer sums (associative, so the bulk product is
+					// exact); ChargeRestored was threaded through the kernel
+					// in event order and comes back as the new accumulator
+					// value.
+					st.FullRefreshes += res.Fulls
+					st.PartialRefreshes += res.Partials
+					st.BusyCycles += res.Fulls*int64(ffCfg.CyclesFull) + res.Partials*int64(ffCfg.CyclesPartial)
+					st.ChargeRestored = res.ChargeRestored
+					busyUntil = res.LastTime + float64(res.LastCycles)*opts.TCK
+					now = res.LastTime
+					scratch.ffWindows++
+				}
+				if err != nil {
+					finalize(now)
+					return st, err
+				}
+				if res.Bailed {
+					// The kernel stopped before an event it could not re-push
+					// exactly; that event is the queue minimum (the mixed
+					// intake is quiet below hf), so one scalar step clears it.
+					ev := q.pop()
+					now = ev.T
+					if err := processEvent(ev); err != nil {
+						finalize(ev.T)
+						return st, err
+					}
+					continue
+				}
+				if res.Events > 0 {
+					continue
+				}
+				// Events == 0 and no bail: the lanes held nothing below hf
+				// after all (tFirst came from a boundary edge); fall through
+				// to the batch path, which guarantees progress.
+			}
+		}
 		h := tFirst + batchWindow
 		if opts.Duration < h {
 			h = opts.Duration
@@ -819,9 +1007,9 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			// into a bucket whose end precedes it). Process one event
 			// scalar-style to guarantee progress.
 			ev := q.pop()
-			now = ev.t
+			now = ev.T
 			if err := processEvent(ev); err != nil {
-				finalize(ev.t)
+				finalize(ev.T)
 				return st, err
 			}
 			continue
@@ -868,14 +1056,14 @@ func runContext(ctx context.Context, bank *dram.Bank, sched core.Scheduler, src 
 			// event per row), so the precomputed senses stay valid.
 			for qNext <= evT && bq.size() > 0 {
 				pe := bq.peek()
-				if pe.t > evT || (pe.t == evT && pe.row > evRow) {
-					qNext = pe.t
+				if pe.T > evT || (pe.T == evT && pe.Row > evRow) {
+					qNext = pe.T
 					break
 				}
 				bq.pop()
-				now = pe.t
+				now = pe.T
 				if err := processEvent(pe); err != nil {
-					finalize(pe.t)
+					finalize(pe.T)
 					return st, err
 				}
 				qNext = bq.peekTime()

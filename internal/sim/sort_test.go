@@ -15,12 +15,12 @@ func refSorted(s []event) []event {
 	out := append([]event(nil), s...)
 	slices.SortStableFunc(out, func(a, b event) int {
 		switch {
-		case a.t < b.t:
+		case a.T < b.T:
 			return -1
-		case a.t > b.t:
+		case a.T > b.T:
 			return 1
 		}
-		return a.row - b.row
+		return a.Row - b.Row
 	})
 	return out
 }
@@ -33,7 +33,7 @@ func TestQuickSortEvents(t *testing.T) {
 		n := 1 + rng.Intn(300)
 		s := make([]event, n)
 		for i := range s {
-			s[i] = event{t: float64(rng.Intn(40)) / 16, row: rng.Intn(50)}
+			s[i] = event{T: float64(rng.Intn(40)) / 16, Row: rng.Intn(50)}
 		}
 		want := refSorted(s)
 		got := append([]event(nil), s...)
@@ -55,7 +55,7 @@ func TestRadixSortEvents(t *testing.T) {
 		n := 256 + rng.Intn(600)
 		s := make([]event, n)
 		for i := range s {
-			s[i] = event{t: float64(rng.Intn(400)) / 16, row: rng.Intn(50)}
+			s[i] = event{T: float64(rng.Intn(400)) / 16, Row: rng.Intn(50)}
 		}
 		want := refSorted(s)
 		got := append([]event(nil), s...)
@@ -77,7 +77,7 @@ func TestSortEvents(t *testing.T) {
 		n := 1 + rng.Intn(500)
 		s := make([]event, n)
 		for i := range s {
-			s[i] = event{t: float64(rng.Intn(100)) / 16, row: rng.Intn(50)}
+			s[i] = event{T: float64(rng.Intn(100)) / 16, Row: rng.Intn(50)}
 		}
 		want := refSorted(s)
 		got := append([]event(nil), s...)

@@ -51,7 +51,7 @@ func (w *timingWheel) push(e event) {
 	if w.buckets == nil {
 		w.buckets = make([]eventHeap, wheelBuckets)
 	}
-	idx := int((e.t - w.base) / wheelWidth)
+	idx := int((e.T - w.base) / wheelWidth)
 	if idx >= wheelBuckets {
 		w.overflow.push(e)
 		return
@@ -83,10 +83,10 @@ func (w *timingWheel) advance() {
 		// pull everything within the new horizon out of the overflow ring.
 		// The ring is a min-heap, so the drain stops at the first event past
 		// the horizon.
-		w.base = math.Floor(w.overflow[0].t/wheelWidth) * wheelWidth
+		w.base = math.Floor(w.overflow[0].T/wheelWidth) * wheelWidth
 		w.cursor = 0
 		for len(w.overflow) > 0 {
-			idx := int((w.overflow[0].t - w.base) / wheelWidth)
+			idx := int((w.overflow[0].T - w.base) / wheelWidth)
 			if idx >= wheelBuckets {
 				break
 			}
@@ -103,7 +103,7 @@ func (w *timingWheel) advance() {
 func (w *timingWheel) peekTime() float64 {
 	w.advance()
 	if w.count > 0 {
-		return w.buckets[w.cursor][0].t
+		return w.buckets[w.cursor][0].T
 	}
 	return math.Inf(1)
 }
@@ -163,7 +163,7 @@ func (q *eventQueue) peekTime() float64 {
 		if len(q.heap) == 0 {
 			return math.Inf(1)
 		}
-		return q.heap[0].t
+		return q.heap[0].T
 	}
 	return q.wheel.peekTime()
 }
@@ -175,16 +175,16 @@ func (q *eventQueue) pendingSorted() []PendingEvent {
 	out := make([]PendingEvent, 0, q.size())
 	if q.useHeap {
 		for _, e := range q.heap {
-			out = append(out, PendingEvent{Time: e.t, Row: e.row})
+			out = append(out, PendingEvent{Time: e.T, Row: e.Row})
 		}
 	} else {
 		for i := q.wheel.cursor; i < len(q.wheel.buckets); i++ {
 			for _, e := range q.wheel.buckets[i] {
-				out = append(out, PendingEvent{Time: e.t, Row: e.row})
+				out = append(out, PendingEvent{Time: e.T, Row: e.Row})
 			}
 		}
 		for _, e := range q.wheel.overflow {
-			out = append(out, PendingEvent{Time: e.t, Row: e.row})
+			out = append(out, PendingEvent{Time: e.T, Row: e.Row})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

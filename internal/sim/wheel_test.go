@@ -36,7 +36,7 @@ func TestWheelMatchesHeapPopOrder(t *testing.T) {
 		for r := 0; r < rows; r++ {
 			// Periods from one bucket width up to ~4x the wheel horizon.
 			periods[r] = wheelWidth * math.Pow(2, 16*rng.Float64())
-			e := event{t: staggerFrac(r) * periods[r], row: r}
+			e := event{T: staggerFrac(r) * periods[r], Row: r}
 			wheel.push(e)
 			heap.push(e)
 		}
@@ -52,8 +52,8 @@ func TestWheelMatchesHeapPopOrder(t *testing.T) {
 			if we != he {
 				return false
 			}
-			if he.t+periods[he.row] < horizon {
-				next := event{t: he.t + periods[he.row], row: he.row}
+			if he.T+periods[he.Row] < horizon {
+				next := event{T: he.T + periods[he.Row], Row: he.Row}
 				wheel.push(next)
 				heap.push(next)
 			}
@@ -71,13 +71,13 @@ func TestWheelTieOrder(t *testing.T) {
 	wheel := eventQueue{}
 	heap := eventQueue{useHeap: true}
 	for _, r := range []int{5, 1, 9, 3, 7} {
-		e := event{t: 0.125, row: r}
+		e := event{T: 0.125, Row: r}
 		wheel.push(e)
 		heap.push(e)
 	}
 	for _, want := range []int{1, 3, 5, 7, 9} {
 		we, he := wheel.pop(), heap.pop()
-		if we != he || we.row != want {
+		if we != he || we.Row != want {
 			t.Fatalf("tie pop diverged: wheel %+v heap %+v want row %d", we, he, want)
 		}
 	}
@@ -93,12 +93,12 @@ func TestWheelSteadyStateZeroAllocs(t *testing.T) {
 	periods := make([]float64, rows)
 	for r := 0; r < rows; r++ {
 		periods[r] = 64e-3 * float64(1+r%8) // 64..512 ms, spanning rebases
-		wheel.push(event{t: staggerFrac(r) * periods[r], row: r})
+		wheel.push(event{T: staggerFrac(r) * periods[r], Row: r})
 	}
 	cycle := func(n int) {
 		for i := 0; i < n; i++ {
 			e := wheel.pop()
-			wheel.push(event{t: e.t + periods[e.row], row: e.row})
+			wheel.push(event{T: e.T + periods[e.Row], Row: e.Row})
 		}
 	}
 	cycle(10 * rows) // warm every bucket and the overflow ring
